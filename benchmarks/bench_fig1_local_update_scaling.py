@@ -1,0 +1,72 @@
+"""Fig. 1: average local-update wall time per iteration vs number of CPUs.
+
+Three panels per instance, as in the paper: (a) total local-update time,
+(b) pure compute, (c) communication — ours vs the solver-based benchmark,
+both replayed through the simulated cluster from measured per-component
+costs.
+
+Shape claims under test (the paper's reading of Fig. 1):
+
+* compute shrinks and communication grows with the number of CPUs;
+* the benchmark keeps improving with many CPUs (compute-dominated),
+  whereas ours bottoms out early at a far lower level — "our algorithm is
+  faster even with significantly fewer CPUs".
+"""
+
+import numpy as np
+from _common import INSTANCES, format_table, get_dec, get_local_costs, report
+
+from repro.parallel import CPU_CLUSTER_COMM, sweep_ranks
+
+RANKS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def test_fig1_report(benchmark):
+    blocks = []
+    for name in INSTANCES:
+        dec = get_dec(name)
+        ours_costs, bench_costs = get_local_costs(name)
+        ours = sweep_ranks(dec, ours_costs, RANKS, CPU_CLUSTER_COMM)
+        theirs = sweep_ranks(dec, bench_costs, RANKS, CPU_CLUSTER_COMM)
+        rows = []
+        for t_o, t_b in zip(ours, theirs):
+            rows.append(
+                [
+                    t_o.n_ranks,
+                    f"{t_o.total_s * 1e3:.4f}",
+                    f"{t_o.compute_s * 1e3:.4f}",
+                    f"{t_o.comm_s * 1e3:.4f}",
+                    f"{t_b.total_s * 1e3:.3f}",
+                    f"{t_b.compute_s * 1e3:.3f}",
+                    f"{t_b.comm_s * 1e3:.4f}",
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["#CPUs", "ours total", "ours comp", "ours comm",
+                 "bench total", "bench comp", "bench comm"],
+                rows,
+                title=f"Fig. 1 ({name}): local-update time per iteration [ms]",
+            )
+        )
+
+        # Shape assertions.
+        comp_o = [t.compute_s for t in ours]
+        comm_o = [t.comm_s for t in ours]
+        assert comp_o == sorted(comp_o, reverse=True)
+        assert comm_o == sorted(comm_o)
+        best_ours = min(t.total_s for t in ours)
+        best_bench = min(t.total_s for t in theirs)
+        assert best_ours < best_bench / 5, (
+            f"{name}: ours should dominate the benchmark's best rank count"
+        )
+        # Ours reaches its optimum with far fewer CPUs than the benchmark.
+        argmin_ours = RANKS[int(np.argmin([t.total_s for t in ours]))]
+        argmin_bench = RANKS[int(np.argmin([t.total_s for t in theirs]))]
+        assert argmin_ours <= argmin_bench
+
+    report("fig1_local_update_scaling", "\n\n".join(blocks))
+
+    dec = get_dec("ieee123")
+    costs, _ = get_local_costs("ieee123")
+    benchmark(lambda: sweep_ranks(dec, costs, RANKS, CPU_CLUSTER_COMM))

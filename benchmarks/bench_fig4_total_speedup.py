@@ -1,0 +1,60 @@
+"""Fig. 4: total time to convergence, one GPU vs 16 CPUs (log scale).
+
+Total time = per-iteration time x iterations-to-convergence; iterations are
+identical on both platforms (Fig. 2), so the figure is the per-iteration
+ratio scaled by the instance's run length.  The paper's headline: about a
+fifty-fold gain on the 8500-bus instance, growing with instance size.
+"""
+
+from _common import (
+    INSTANCES,
+    PAPER,
+    format_table,
+    get_dec,
+    get_local_costs,
+    get_solution,
+    report,
+)
+
+from repro.gpu import A100, iteration_times
+from repro.parallel import CPU_CLUSTER_COMM, SimulatedCluster
+
+
+def test_fig4_report(benchmark):
+    rows = []
+    speedups = {}
+    for name in INSTANCES:
+        dec = get_dec(name)
+        sol = get_solution(name)
+        iters = sol.iterations
+        g = sol.timers["global"] / iters
+        d = sol.timers["dual"] / iters
+
+        cpu16 = SimulatedCluster(dec, get_local_costs(name)[0], 16, CPU_CLUSTER_COMM)
+        t_cpu = cpu16.iteration_time(g, d) * iters
+        gpu = iteration_times(A100, dec)
+        t_gpu = gpu.total_s * iters
+        speedups[name] = t_cpu / t_gpu
+        rows.append(
+            [
+                name,
+                iters,
+                f"{t_cpu:.2f}",
+                f"{t_gpu:.3f}",
+                f"{speedups[name]:.1f}x",
+                f"~{PAPER['fig4_speedup'][name]:.0f}x",
+            ]
+        )
+    text = format_table(
+        ["instance", "iterations", "16 CPUs [s]", "1 GPU [s]", "speedup", "paper"],
+        rows,
+        title="Fig. 4: total time to convergence, 1 GPU vs 16 CPUs",
+    )
+    report("fig4_total_speedup", text)
+
+    # Shape claims: the GPU wins everywhere and the gap grows with size.
+    assert all(s > 1.0 for s in speedups.values())
+    assert speedups["ieee8500"] > speedups["ieee13"]
+
+    dec = get_dec("ieee13")
+    benchmark(lambda: iteration_times(A100, dec))

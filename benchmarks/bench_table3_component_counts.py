@@ -1,0 +1,39 @@
+"""Table III: component counts of the component-wise decomposition.
+
+Checks the identity S = #nodes + #lines - #leaves on every instance and
+benchmarks the partitioning step.
+"""
+
+from _common import INSTANCES, PAPER, format_table, get_dec, get_net, report
+
+from repro.decomposition import partition_components
+
+
+def test_table3_report(benchmark):
+    rows = []
+    for name in INSTANCES:
+        counts = get_dec(name).partition_counts
+        p = PAPER["table3"][name]
+        rows.append(
+            [
+                name,
+                counts.n_nodes,
+                counts.n_lines,
+                counts.n_leaves,
+                counts.n_components,
+                p["nodes"],
+                p["lines"],
+                p["leaves"],
+                p["S"],
+            ]
+        )
+        assert counts.n_components == counts.n_nodes + counts.n_lines - counts.n_leaves
+    text = format_table(
+        ["instance", "nodes", "lines", "leaves", "S", "nodes*", "lines*", "leaves*", "S*"],
+        rows,
+        title="Table III: component counts (starred columns: paper)",
+    )
+    report("table3_component_counts", text)
+
+    net = get_net("ieee123")
+    benchmark(lambda: partition_components(net))

@@ -1,0 +1,48 @@
+"""Table IV: distribution of component subproblem sizes (m_s, n_s).
+
+The paper's qualitative signature must reproduce: the 8500-class instance
+has the *smallest average* subproblems of the three (dominated by 1/2-phase
+secondaries) while having by far the most components.  Benchmarks the full
+decomposition of the 13-bus instance.
+"""
+
+from _common import INSTANCES, PAPER, format_table, get_dec, get_lp, report
+
+from repro.decomposition import decompose
+
+
+def _stats_row(name, which, stats, paper_row):
+    return [
+        name,
+        which,
+        stats.minimum,
+        stats.maximum,
+        round(stats.mean, 2),
+        round(stats.stdev, 2),
+        stats.total,
+        paper_row[2],
+        paper_row[4],
+    ]
+
+
+def test_table4_report(benchmark):
+    rows = []
+    means_m = {}
+    for name in INSTANCES:
+        ms, ns = get_dec(name).size_stats()
+        rows.append(_stats_row(name, "m_s", ms, PAPER["table4_m"][name]))
+        rows.append(_stats_row(name, "n_s", ns, PAPER["table4_n"][name]))
+        means_m[name] = ms.mean
+    text = format_table(
+        ["instance", "dim", "min", "max", "mean", "stdev", "sum", "mean*", "sum*"],
+        rows,
+        title="Table IV: component subproblem sizes (starred: paper)",
+    )
+    report("table4_subproblem_sizes", text)
+
+    # Qualitative signature: the largest instance has the smallest mean m_s.
+    assert means_m["ieee8500"] < means_m["ieee13"]
+    assert means_m["ieee8500"] < means_m["ieee123"]
+
+    lp = get_lp("ieee13")
+    benchmark(lambda: decompose(lp))

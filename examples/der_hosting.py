@@ -1,0 +1,82 @@
+"""DER hosting study: how much rooftop PV can a feeder absorb?
+
+Sweeps the installed DER capacity on a synthetic feeder and, for each level,
+re-dispatches with the solver-free ADMM to find (a) the substation import
+and (b) the worst-case voltage rise — the two quantities a distribution
+operator watches when approving interconnection requests.  The upper voltage
+bound (2b) is what eventually binds.
+
+Run:  python examples/der_hosting.py
+"""
+
+import numpy as np
+
+import repro
+from repro.feeders import SyntheticFeederSpec, build_synthetic_feeder
+from repro.network import Generator
+from repro.utils import format_table
+
+
+def main() -> None:
+    base = build_synthetic_feeder(
+        SyntheticFeederSpec(name="hosting", n_buses=50, seed=77, load_density=0.8)
+    )
+    hosts = [b.name for b in base.buses.values() if b.n_phases == 3][2::3]
+    print(base.summary())
+    print(f"candidate PV buses: {', '.join(hosts)}\n")
+
+    rows = []
+    prev = None
+    for level_kw in (0.0, 20.0, 50.0, 100.0, 200.0):
+        net = base.copy()
+        cap_pu = level_kw / 1000.0 / net.mva_base
+        for k, bus in enumerate(hosts):
+            phases = net.buses[bus].phases
+            net.add_generator(
+                Generator(
+                    f"pv{k}", bus=bus, phases=phases,
+                    p_min=0.0, p_max=cap_pu, q_min=-0.3 * cap_pu - 1e-12,
+                    q_max=0.3 * cap_pu + 1e-12, cost=0.0,
+                )
+            )
+        lp = repro.build_centralized_lp(net)
+        dec = repro.decompose(lp)
+        result = repro.SolverFreeADMM(dec, repro.ADMMConfig(max_iter=120000)).solve(
+            x0=prev if prev is not None and len(prev) == lp.n_vars else None
+        )
+        vi = lp.var_index
+        sub_import = sum(
+            result.value(vi, ("pg", "source", phi)) for phi in (1, 2, 3)
+        )
+        w = result.x[vi.indices_of_kind("w")]
+        pv_total = sum(
+            result.x[vi.index(("pg", f"pv{k}", phi))]
+            for k, bus in enumerate(hosts)
+            for phi in net.buses[bus].phases
+        )
+        rows.append(
+            [
+                f"{level_kw:.0f} kW/bus",
+                f"{pv_total * net.mva_base * 1000:.0f} kW",
+                f"{sub_import * net.mva_base * 1000:.0f} kW",
+                f"{np.sqrt(w.max()):.4f} pu",
+                result.iterations,
+                "yes" if result.converged else "NO",
+            ]
+        )
+
+    print(
+        format_table(
+            ["PV capacity", "PV dispatched", "substation import", "max |V|", "iters", "conv"],
+            rows,
+            title="DER hosting sweep (solver-free ADMM dispatch)",
+        )
+    )
+    print(
+        "\nReading: PV displaces substation import roughly 1:1 until the "
+        "voltage ceiling binds; past that the dispatch curtails."
+    )
+
+
+if __name__ == "__main__":
+    main()

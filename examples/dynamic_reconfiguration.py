@@ -1,0 +1,102 @@
+"""Dynamic topology reconfiguration with warm-started re-solves.
+
+The paper motivates component-wise decomposition with *dynamically changing
+network configurations*: components can join or leave the control region
+without re-deriving the whole problem.  This example simulates an operating
+sequence on a synthetic feeder:
+
+  1. solve the base case;
+  2. a lateral drops off (storm damage) -> re-decompose, warm start;
+  3. the lateral is restored and a new DER joins -> warm start again;
+
+and reports how warm starting cuts the iteration count at each step.
+
+Run:  python examples/dynamic_reconfiguration.py
+"""
+
+import numpy as np
+
+import repro
+from repro.feeders import SyntheticFeederSpec, build_synthetic_feeder
+from repro.network import Generator
+
+
+def transfer_warm_start(lp_old, res_old, lp_new) -> np.ndarray:
+    """Map a previous global solution onto a new variable space; variables
+    new to the model fall back to the paper's initialization rule."""
+    x0 = lp_new.initial_point()
+    for i, key in enumerate(lp_new.var_index.keys):
+        if key in lp_old.var_index:
+            x0[i] = res_old.x[lp_old.var_index.index(key)]
+    return x0
+
+
+def solve(net, x0=None, label=""):
+    lp = repro.build_centralized_lp(net)
+    dec = repro.decompose(lp)
+    solver = repro.SolverFreeADMM(dec, repro.ADMMConfig(max_iter=100000))
+    result = solver.solve(x0=x0)
+    ref = repro.solve_reference(lp)
+    print(
+        f"{label:<28s} S={dec.n_components:4d}  iterations={result.iterations:6d}  "
+        f"objective={result.objective:.5f}  gap={ref.compare_objective(result.objective):.1e}"
+    )
+    return lp, result
+
+
+def main() -> None:
+    net = build_synthetic_feeder(
+        SyntheticFeederSpec(name="dyn", n_buses=60, seed=42, load_density=0.7)
+    )
+    print(net.summary())
+
+    # --- Base case -------------------------------------------------------
+    lp0, res0 = solve(net, label="base case (cold)")
+
+    # --- Contingency: a leaf lateral drops off ---------------------------
+    leaf = net.leaf_buses()[-1]
+    removed_loads = [net.remove_load(l.name) for l in list(net.loads_at(leaf))]
+    removed_gens = [net.remove_generator(g.name) for g in list(net.generators_at(leaf))]
+    removed_line = net.remove_line(net.lines_at(leaf)[0].name)
+    removed_bus = net.buses.pop(leaf)
+    net._invalidate()
+    net.validate(require_radial=True)
+    print(f"\ncontingency: bus {leaf} and line {removed_line.name} dropped")
+
+    lp1, res1_cold = solve(net, label="contingency (cold)")
+    x0 = transfer_warm_start(lp0, res0, lp1)
+    lp1, res1_warm = solve(net, x0=x0, label="contingency (warm)")
+    speedup = res1_cold.iterations / max(res1_warm.iterations, 1)
+    print(f"warm start cut iterations by {speedup:.1f}x")
+
+    # --- Restoration + a new DER joins the control region ----------------
+    net.add_bus(removed_bus)
+    net.add_line(removed_line)
+    for load in removed_loads:
+        net.add_load(load)
+    for gen in removed_gens:
+        net.add_generator(gen)
+    three_phase = [b for b in net.buses.values() if b.n_phases == 3]
+    host = three_phase[len(three_phase) // 2]
+    net.add_generator(
+        Generator(
+            "new_der", bus=host.name, phases=host.phases,
+            p_min=0.0, p_max=0.05, q_min=-0.05, q_max=0.05, cost=0.0,
+        )
+    )
+    net.validate(require_radial=True)
+    print(f"\nrestoration + DER at bus {host.name}")
+
+    lp2, res2_cold = solve(net, label="restored + DER (cold)")
+    x0 = transfer_warm_start(lp1, res1_warm, lp2)
+    _, res2_warm = solve(net, x0=x0, label="restored + DER (warm)")
+    print(
+        f"warm start cut iterations by "
+        f"{res2_cold.iterations / max(res2_warm.iterations, 1):.1f}x; "
+        f"DER lowered substation draw by "
+        f"{res1_warm.objective - res2_warm.objective:.5f} pu"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: solve the IEEE 13-bus multi-phase OPF with solver-free ADMM.
+
+Builds the feeder, assembles the linearized OPF (7), decomposes it
+component-wise (9), runs Algorithm 1 with the paper's default settings, and
+validates the result against the centralized HiGHS optimum.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # 1. The network model: buses, lines, transformers, wye/delta ZIP loads.
+    net = repro.ieee13()
+    print(net.summary())
+
+    # 2. The centralized LP (7): min c'x s.t. Ax = b, lb <= x <= ub.
+    lp = repro.build_centralized_lp(net)
+    print(f"centralized LP: A is {lp.shape[0]} x {lp.shape[1]}")
+
+    # 3. Component-wise decomposition (9): one agent per bus/line/leaf.
+    dec = repro.decompose(lp)
+    ms, ns = dec.size_stats()
+    print(
+        f"decomposed into S = {dec.n_components} components "
+        f"(mean subproblem: {ms.mean:.1f} rows x {ns.mean:.1f} vars)"
+    )
+
+    # 4. Algorithm 1 with the paper's defaults (rho = 100, eps_rel = 1e-3).
+    solver = repro.SolverFreeADMM(dec)
+    result = solver.solve()
+    print(result.summary())
+
+    # 5. Validate against the centralized optimum.
+    ref = repro.solve_reference(lp)
+    gap = ref.compare_objective(result.objective)
+    print(f"reference objective {ref.objective:.6f}  |  relative gap {gap:.2e}")
+
+    # 6. Inspect the solution: substation dispatch and voltage profile.
+    vi = lp.var_index
+    pg = [result.value(vi, ("pg", "source", phi)) for phi in (1, 2, 3)]
+    print(
+        "substation dispatch per phase (pu):",
+        " ".join(f"{p:.4f}" for p in pg),
+    )
+    w_stats = [result.value(vi, ("w", b, phi)) for b in net.buses for phi in net.buses[b].phases]
+    print(
+        f"squared voltage magnitudes: min {min(w_stats):.4f}, "
+        f"max {max(w_stats):.4f} (bounds [0.81, 1.21])"
+    )
+    assert result.converged and gap < 5e-3
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Mini scaling study: solver-free vs solver-based ADMM across deployments.
+
+A compressed, runnable version of the paper's evaluation on one mid-size
+feeder: measures real per-component local-update costs for both algorithms,
+replays them through the simulated CPU cluster (Fig. 1 mechanics), and
+compares against the modeled A100 execution (Fig. 4 mechanics).
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core import BenchmarkADMM
+from repro.feeders import ieee123
+from repro.gpu import A100, iteration_times
+from repro.parallel import CPU_CLUSTER_COMM, SimulatedCluster
+from repro.utils import format_table
+
+
+def main() -> None:
+    net = ieee123()
+    lp = repro.build_centralized_lp(net)
+    dec = repro.decompose(lp)
+    print(f"{net.summary()}  ->  S = {dec.n_components} components")
+
+    solver = repro.SolverFreeADMM(dec)
+    bench = BenchmarkADMM(dec)
+    print("measuring per-component local-update costs (ours vs benchmark)...")
+    ours_costs = solver.measure_local_costs(repeats=3)
+    bench_costs = bench.measure_local_costs(repeats=1)
+    print(
+        f"  ours:      mean {ours_costs.mean() * 1e6:8.1f} us/component\n"
+        f"  benchmark: mean {bench_costs.mean() * 1e6:8.1f} us/component "
+        f"({bench_costs.mean() / ours_costs.mean():.0f}x more expensive)"
+    )
+
+    rows = []
+    for n_cpus in (1, 2, 4, 8, 16, 32, 64, 128):
+        t_ours = SimulatedCluster(dec, ours_costs, n_cpus, CPU_CLUSTER_COMM).local_update_timing()
+        t_bench = SimulatedCluster(dec, bench_costs, n_cpus, CPU_CLUSTER_COMM).local_update_timing()
+        rows.append(
+            [
+                n_cpus,
+                f"{t_ours.total_s * 1e3:.3f}",
+                f"{t_ours.compute_s * 1e3:.3f}",
+                f"{t_ours.comm_s * 1e3:.3f}",
+                f"{t_bench.total_s * 1e3:.3f}",
+                f"{t_bench.compute_s * 1e3:.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["#CPUs", "ours total", "ours comp", "comm", "bench total", "bench comp"],
+            rows,
+            title="Simulated local-update wall time per iteration (ms) - Fig. 1 analogue",
+        )
+    )
+
+    gpu = iteration_times(A100, dec)
+    best_cpu = min(
+        SimulatedCluster(dec, ours_costs, n, CPU_CLUSTER_COMM).local_update_timing().total_s
+        for n in (1, 2, 4, 8, 16)
+    )
+    print(
+        f"\nmodeled A100 local update: {gpu.local_s * 1e3:.4f} ms/iteration "
+        f"vs best simulated <=16-CPU: {best_cpu * 1e3:.4f} ms/iteration"
+    )
+
+    result = solver.solve()
+    print(f"\nfull solve: {result.summary()}")
+    print(
+        f"modeled A100 total time for those iterations: "
+        f"{gpu.total_s * result.iterations:.3f} s"
+    )
+
+
+if __name__ == "__main__":
+    main()

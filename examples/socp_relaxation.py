@@ -1,0 +1,81 @@
+"""The paper's future work, working today: solver-free conic ADMM.
+
+Builds the branch-flow SOCP relaxation of the IEEE 13-bus feeder's
+positive-sequence equivalent and solves it with consensus ADMM in which
+*every* local update is still closed form — affine projections for the
+linear components, rotated second-order-cone projections for the current
+constraints.  Verifies exactness of the relaxation (radial feeder) and
+compares against an SLSQP reference.
+
+Run:  python examples/socp_relaxation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.socp import ConicSolverFreeADMM, build_bfm_socp, decompose_conic
+from repro.utils import format_table
+
+
+def main() -> None:
+    net = repro.ieee13()
+    prob = build_bfm_socp(net, le_max=10.0)
+    print(
+        f"branch-flow SOCP: {prob.n_vars} variables, {len(prob.rows)} linear "
+        f"rows, {len(prob.cones)} rotated-SOC constraints"
+    )
+
+    dec = decompose_conic(prob)
+    print(
+        f"conic decomposition: {len(dec.linear)} linear components + "
+        f"{dec.cone_cols.shape[0]} cone components, all closed-form"
+    )
+
+    solver = ConicSolverFreeADMM(
+        dec, repro.ADMMConfig(eps_rel=1e-4, max_iter=100_000, record_history=False)
+    )
+    res = solver.solve()
+    print(res.summary())
+
+    a, b = prob.linear_system()
+    print(
+        f"feasibility: linear {np.abs(a @ res.x - b).max():.2e}, "
+        f"cone violation {prob.cone_violation(res.x):.2e}"
+    )
+
+    # Relaxation tightness per line (exact for radial feeders).
+    vi = prob.var_index
+    slacks = prob.cone_slack(res.x)
+    rows = []
+    for k, cone in enumerate(prob.cones):
+        p = res.x[vi.index(cone.w_keys[0])]
+        ell = prob.squared_current(res.x, cone.line)
+        rows.append(
+            [cone.line, f"{p:.4f}", f"{ell:.5f}", f"{slacks[k]:.2e}"]
+        )
+    print(
+        format_table(
+            ["line", "P [pu]", "ell [pu]", "cone slack"],
+            rows,
+            title="relaxation tightness (slack ~ 0 = exact)",
+        )
+    )
+
+    # Losses now appear physically: r * le per line.
+    from repro.socp import positive_sequence_impedance
+
+    loss = sum(
+        positive_sequence_impedance(net.lines[c.line])[0]
+        * prob.squared_current(res.x, c.line)
+        for c in prob.cones
+    )
+    print(
+        f"\nSOCP dispatch: generation {res.objective:.4f} pu, "
+        f"series losses {loss:.5f} pu "
+        f"({loss / max(res.objective, 1e-9) * 100:.2f}% of generation)"
+    )
+    assert res.converged
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: GPU-accelerated solver-free ADMM for distributed multi-phase OPF.
+
+A from-scratch reproduction of "A GPU-Accelerated Distributed Algorithm for
+Optimal Power Flow in Distribution Systems" (IPPS 2025).
+
+Quickstart
+----------
+>>> import repro
+>>> net = repro.ieee13()
+>>> lp = repro.build_centralized_lp(net)
+>>> dec = repro.decompose(lp)
+>>> result = repro.SolverFreeADMM(dec).solve()
+>>> result.converged
+True
+"""
+
+from repro.core import (
+    ADMMConfig,
+    ADMMResult,
+    BenchmarkADMM,
+    SolverFreeADMM,
+)
+from repro.decomposition import DecomposedOPF, decompose
+from repro.feeders import ieee13
+from repro.formulation import CentralizedLP, build_centralized_lp
+from repro.network import (
+    Bus,
+    Connection,
+    DistributionNetwork,
+    Generator,
+    Line,
+    Load,
+)
+from repro.network.analysis import solution_report, voltage_profile
+from repro.reference import solve_reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SolverFreeADMM",
+    "BenchmarkADMM",
+    "ADMMConfig",
+    "ADMMResult",
+    "decompose",
+    "DecomposedOPF",
+    "build_centralized_lp",
+    "CentralizedLP",
+    "solve_reference",
+    "DistributionNetwork",
+    "Bus",
+    "Line",
+    "Load",
+    "Generator",
+    "Connection",
+    "ieee13",
+    "solution_report",
+    "voltage_profile",
+    "__version__",
+]

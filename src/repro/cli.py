@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Network, LP and decomposition statistics for a feeder.
+``solve``
+    Run the solver-free (or benchmark) ADMM and print a solution report,
+    optionally validating against the centralized HiGHS optimum.
+``export``
+    Convert a feeder between the named builtins, JSON, and CSV formats, or
+    dump the assembled LP as ``.npz``.
+``bench-iteration``
+    Measure per-iteration update costs and show the modeled A100 times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import ADMMConfig, BenchmarkADMM, SolverFreeADMM
+from repro.decomposition import decompose
+from repro.feeders import ieee13, ieee123, ieee8500
+from repro.formulation import build_centralized_lp
+from repro.io import load_network, save_lp_npz, save_network
+from repro.io.csv_feeder import load_network_csv, save_network_csv
+from repro.network.analysis import solution_report
+from repro.reference import solve_reference
+from repro.utils import format_table
+
+BUILTIN_FEEDERS = {"ieee13": ieee13, "ieee123": ieee123, "ieee8500": ieee8500}
+
+
+def resolve_feeder(spec: str):
+    """Resolve a feeder argument: builtin name, ``.json`` file, or CSV dir."""
+    if spec in BUILTIN_FEEDERS:
+        return BUILTIN_FEEDERS[spec]()
+    path = Path(spec)
+    if path.is_dir():
+        return load_network_csv(path)
+    if path.suffix == ".json" and path.exists():
+        return load_network(path)
+    raise SystemExit(
+        f"unknown feeder {spec!r}: expected one of {sorted(BUILTIN_FEEDERS)}, "
+        f"a .json file, or a CSV directory"
+    )
+
+
+def cmd_info(args) -> int:
+    net = resolve_feeder(args.feeder)
+    lp = build_centralized_lp(net)
+    dec = decompose(lp)
+    ms, ns = dec.size_stats()
+    print(net.summary())
+    print(f"radial: {net.is_radial()}   substation: {net.substation}")
+    print(f"centralized LP: A is {lp.shape[0]} x {lp.shape[1]}")
+    counts = dec.partition_counts
+    print(
+        f"decomposition: S = {dec.n_components} "
+        f"({counts.n_nodes} nodes + {counts.n_lines} lines - {counts.n_leaves} leaves)"
+    )
+    print(
+        format_table(
+            ["dim", "min", "max", "mean", "stdev", "sum"],
+            [
+                ["m_s", ms.minimum, ms.maximum, round(ms.mean, 2), round(ms.stdev, 2), ms.total],
+                ["n_s", ns.minimum, ns.maximum, round(ns.mean, 2), round(ns.stdev, 2), ns.total],
+            ],
+            title="component subproblem sizes",
+        )
+    )
+    return 0
+
+
+def cmd_solve(args) -> int:
+    net = resolve_feeder(args.feeder)
+    lp = build_centralized_lp(net)
+    dec = decompose(lp)
+    cfg = ADMMConfig(
+        rho=args.rho,
+        eps_rel=args.eps_rel,
+        max_iter=args.max_iter,
+        relaxation=args.relaxation,
+        record_history=False,
+    )
+    if args.algorithm == "solver-free":
+        solver = SolverFreeADMM(dec, cfg)
+    else:
+        solver = BenchmarkADMM(dec, cfg, local_mode=args.local_mode)
+    result = solver.solve()
+    print(result.summary())
+    report = solution_report(lp, result.x)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [[k, v] for k, v in report.items()],
+            title="solution report",
+        )
+    )
+    if args.reference:
+        ref = solve_reference(lp)
+        print(
+            f"reference objective {ref.objective:.6f}  "
+            f"relative gap {ref.compare_objective(result.objective):.3e}"
+        )
+    if args.output:
+        from repro.io import save_result
+
+        save_result(result, args.output)
+        print(f"result written to {args.output}")
+    return 0 if result.converged else 2
+
+
+def cmd_export(args) -> int:
+    net = resolve_feeder(args.feeder)
+    out = Path(args.output)
+    if args.format == "json":
+        save_network(net, out)
+    elif args.format == "csv":
+        save_network_csv(net, out)
+    elif args.format == "npz":
+        save_lp_npz(build_centralized_lp(net), out)
+    print(f"{args.format} written to {out}")
+    return 0
+
+
+def cmd_bench_iteration(args) -> int:
+    import numpy as np
+
+    from repro.gpu import A100, iteration_times
+    from repro.parallel import CPU_CLUSTER_COMM, SimulatedCluster
+
+    net = resolve_feeder(args.feeder)
+    lp = build_centralized_lp(net)
+    dec = decompose(lp)
+    solver = SolverFreeADMM(dec)
+    res = solver.solve(max_iter=args.iterations)
+    per = {k: v / res.iterations for k, v in res.timers.items()}
+    rows = [[k, f"{v * 1e6:.1f}"] for k, v in per.items()]
+    print(
+        format_table(
+            ["stage", "us/iteration"],
+            rows,
+            title=f"measured per-iteration cost ({res.iterations} iterations, this machine)",
+        )
+    )
+    costs = solver.measure_local_costs(repeats=2)
+    cluster = SimulatedCluster(dec, costs, args.cpus, CPU_CLUSTER_COMM)
+    timing = cluster.local_update_timing()
+    print(
+        f"simulated {timing.n_ranks}-CPU local update: "
+        f"{timing.total_s * 1e6:.1f} us (compute {timing.compute_s * 1e6:.1f}, "
+        f"comm {timing.comm_s * 1e6:.1f})"
+    )
+    gpu = iteration_times(A100, dec)
+    print(
+        f"modeled A100 per-iteration: total {gpu.total_s * 1e6:.1f} us "
+        f"(global {gpu.global_s * 1e6:.1f}, local {gpu.local_s * 1e6:.1f}, "
+        f"dual {gpu.dual_s * 1e6:.1f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Solver-free distributed multi-phase OPF (IPPS 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="feeder / LP / decomposition statistics")
+    p.add_argument("--feeder", default="ieee13")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("solve", help="run the distributed OPF")
+    p.add_argument("--feeder", default="ieee13")
+    p.add_argument("--algorithm", choices=["solver-free", "benchmark"], default="solver-free")
+    p.add_argument("--local-mode", choices=["interior_point", "projection"], default="projection")
+    p.add_argument("--rho", type=float, default=100.0)
+    p.add_argument("--eps-rel", type=float, default=1e-3)
+    p.add_argument("--max-iter", type=int, default=100_000)
+    p.add_argument("--relaxation", type=float, default=1.0)
+    p.add_argument("--reference", action="store_true", help="validate against HiGHS")
+    p.add_argument("--output", help="write the result summary as JSON")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("export", help="convert a feeder / dump the LP")
+    p.add_argument("--feeder", default="ieee13")
+    p.add_argument("--format", choices=["json", "csv", "npz"], required=True)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("bench-iteration", help="per-iteration cost snapshot")
+    p.add_argument("--feeder", default="ieee13")
+    p.add_argument("--iterations", type=int, default=200)
+    p.add_argument("--cpus", type=int, default=16)
+    p.set_defaults(func=cmd_bench_iteration)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

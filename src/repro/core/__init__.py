@@ -1,0 +1,37 @@
+"""The paper's primary contribution: solver-free ADMM (Algorithm 1) and the
+solver-based benchmark ADMM it is evaluated against."""
+
+from repro.core.baseline import BenchmarkADMM
+from repro.core.batch import BatchedLocalSolver, projection_data
+from repro.core.config import ADMMConfig
+from repro.core.diagnostics import (
+    consensus_gaps_by_kind,
+    convergence_report,
+    is_stalled,
+    residual_tail_slope,
+)
+from repro.core.privacy import PrivacyAccountant, PrivacyConfig, PrivateSolverFreeADMM
+from repro.core.residuals import Residuals, compute_residuals
+from repro.core.results import ADMMResult, IterationHistory
+from repro.core.rho import ResidualBalancer
+from repro.core.solver_free import SolverFreeADMM
+
+__all__ = [
+    "SolverFreeADMM",
+    "BenchmarkADMM",
+    "ADMMConfig",
+    "ADMMResult",
+    "IterationHistory",
+    "Residuals",
+    "compute_residuals",
+    "BatchedLocalSolver",
+    "projection_data",
+    "ResidualBalancer",
+    "PrivateSolverFreeADMM",
+    "PrivacyConfig",
+    "PrivacyAccountant",
+    "convergence_report",
+    "consensus_gaps_by_kind",
+    "is_stalled",
+    "residual_tail_slope",
+]

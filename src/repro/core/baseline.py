@@ -1,0 +1,181 @@
+"""The paper's benchmark: solver-based ADMM on model (8) (Section V-B).
+
+Identical global and dual updates to Algorithm 1 — but the bound
+constraints stay *inside* the component subproblems, so
+
+* the global update is the **unclipped** minimizer ``x_hat`` of (10), and
+* every local update must solve the box-constrained QP
+
+      min 1/2 rho ||x_s||^2 + d_s^T x_s   s.t.  A_s x_s = b_s,
+                                                lb_s <= x_s <= ub_s,
+
+  which has no closed form and requires an optimization solver per
+  component per iteration — the cost the paper's figures attribute to
+  existing component-wise ADMM methods.
+
+Two local execution modes:
+
+* ``"interior_point"`` (default): the authentic path; calls the dense
+  interior-point solver of :mod:`repro.qp` for every component, so measured
+  wall time reflects real solver cost.
+* ``"projection"``: a fast exact path (semismooth-Newton projection) that
+  produces the *same iterate sequence* — used to count iterations on large
+  instances where running thousands of solver-based iterations is
+  impractical on this machine.  Timing benchmarks never use it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import ADMMConfig
+from repro.core.residuals import compute_residuals
+from repro.core.results import ADMMResult, IterationHistory
+from repro.decomposition.decomposed import DecomposedOPF
+from repro.qp.interior_point import solve_qp_box_eq
+from repro.qp.projection import project_box_affine
+from repro.utils.exceptions import ConvergenceError
+from repro.utils.timing import PhaseTimer
+
+
+class BenchmarkADMM:
+    """Solver-based component ADMM (the paper's comparison baseline)."""
+
+    algorithm_name = "benchmark ADMM (solver-based)"
+
+    def __init__(
+        self,
+        dec: DecomposedOPF,
+        config: ADMMConfig | None = None,
+        local_mode: str = "interior_point",
+    ):
+        if local_mode not in ("interior_point", "projection"):
+            raise ValueError(f"unknown local_mode {local_mode!r}")
+        self.dec = dec
+        self.config = config or ADMMConfig()
+        self.local_mode = local_mode
+        lp = dec.lp
+        self.n = lp.n_vars
+        self.n_local = dec.n_local
+        self.c = lp.cost
+        self.gcols = dec.global_cols
+        self.counts = dec.counts
+        self.components = dec.components
+        self.offsets = dec.offsets
+
+    # ------------------------------------------------------------------
+    def global_update(self, z: np.ndarray, lam: np.ndarray, rho: float) -> np.ndarray:
+        """Unclipped x_hat of (10) — bounds live in the local subproblems."""
+        scatter = np.bincount(self.gcols, weights=z - lam / rho, minlength=self.n)
+        return (scatter - self.c / rho) / self.counts
+
+    def solve_local(self, s: int, v_s: np.ndarray, rho: float) -> np.ndarray:
+        """Solve component ``s``'s box-constrained QP for target ``v_s``."""
+        comp = self.components[s]
+        if self.local_mode == "projection":
+            return project_box_affine(v_s, comp.a, comp.b, comp.lb, comp.ub)
+        n_s = comp.n_vars
+        result = solve_qp_box_eq(
+            rho * np.eye(n_s),
+            -rho * v_s,
+            comp.a,
+            comp.b,
+            comp.lb,
+            comp.ub,
+            tol=self.config.qp_tol,
+        )
+        return result.x
+
+    def local_update(self, bx: np.ndarray, lam: np.ndarray, rho: float) -> np.ndarray:
+        v = bx + lam / rho
+        z = np.empty(self.n_local)
+        for s in range(len(self.components)):
+            sl = self.dec.component_slice(s)
+            z[sl] = self.solve_local(s, v[sl], rho)
+        return z
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        x0: np.ndarray | None = None,
+        z0: np.ndarray | None = None,
+        lam0: np.ndarray | None = None,
+        max_iter: int | None = None,
+        callback=None,
+    ) -> ADMMResult:
+        """Run the benchmark ADMM until (16) holds or the budget is hit."""
+        cfg = self.config
+        budget = cfg.max_iter if max_iter is None else max_iter
+        rho = cfg.rho
+        x = self.dec.lp.initial_point() if x0 is None else np.asarray(x0, dtype=float).copy()
+        z = x[self.gcols].copy() if z0 is None else np.asarray(z0, dtype=float).copy()
+        lam = np.zeros(self.n_local) if lam0 is None else np.asarray(lam0, dtype=float).copy()
+        history = IterationHistory() if cfg.record_history else None
+        timers = PhaseTimer()
+        res = None
+        iteration = 0
+        for iteration in range(1, budget + 1):
+            t0 = time.perf_counter()
+            x = self.global_update(z, lam, rho)
+            t1 = time.perf_counter()
+            bx = x[self.gcols]
+            z_prev = z
+            z = self.local_update(bx, lam, rho)
+            t2 = time.perf_counter()
+            lam = lam + rho * (bx - z)
+            t3 = time.perf_counter()
+            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
+            t4 = time.perf_counter()
+            timers.add("global", t1 - t0)
+            timers.add("local", t2 - t1)
+            timers.add("dual", t3 - t2)
+            timers.add("residual", t4 - t3)
+            if history is not None:
+                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
+            if callback is not None:
+                callback(iteration, x, z, lam, res)
+            if res.converged:
+                break
+        converged = bool(res is not None and res.converged)
+        if not converged and cfg.raise_on_max_iter:
+            raise ConvergenceError(f"benchmark ADMM: no convergence in {budget} iterations")
+        return ADMMResult(
+            x=x,
+            z=z,
+            lam=lam,
+            objective=float(self.c @ x),
+            iterations=iteration,
+            converged=converged,
+            pres=res.pres if res else float("inf"),
+            dres=res.dres if res else float("inf"),
+            history=history,
+            timers=timers.as_dict(),
+            algorithm=self.algorithm_name,
+        )
+
+    # ------------------------------------------------------------------
+    def measure_local_costs(self, repeats: int = 3, rho: float | None = None) -> np.ndarray:
+        """Measured seconds of one authentic (interior-point) local solve per
+        component — the benchmark's per-agent unit of work."""
+        rho = self.config.rho if rho is None else rho
+        rng = np.random.default_rng(0)
+        costs = np.empty(len(self.components))
+        for s, comp in enumerate(self.components):
+            v = rng.standard_normal(comp.n_vars) * 0.1
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                solve_qp_box_eq(
+                    rho * np.eye(comp.n_vars),
+                    -rho * v,
+                    comp.a,
+                    comp.b,
+                    comp.lb,
+                    comp.ub,
+                    tol=self.config.qp_tol,
+                )
+                best = min(best, time.perf_counter() - t0)
+            costs[s] = best
+        return costs

@@ -1,0 +1,58 @@
+"""Primal/dual residuals and the termination criterion (paper eq. (16)).
+
+The paper's quantities are sums over components; because every component's
+``B_s`` has orthonormal rows (each local variable copies exactly one global
+variable, and local variables within a component are distinct), the
+component sums collapse to plain stacked-vector norms:
+
+    pres   = || B x - z ||_2
+    dres   = rho * || z - z_prev ||_2          (= rho * sqrt(sum ||B_s^T d_s||^2))
+    eps_p  = eps_rel * max(||B x||_2, ||z||_2)
+    eps_d  = eps_rel * || lam ||_2             (= eps_rel * sqrt(sum ||B_s^T lam_s||^2))
+
+where ``B x`` is the gather ``x[global_cols]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Residuals:
+    pres: float
+    dres: float
+    eps_prim: float
+    eps_dual: float
+
+    @property
+    def converged(self) -> bool:
+        return self.pres <= self.eps_prim and self.dres <= self.eps_dual
+
+
+def compute_residuals(
+    bx: np.ndarray,
+    z: np.ndarray,
+    z_prev: np.ndarray,
+    lam: np.ndarray,
+    rho: float,
+    eps_rel: float,
+) -> Residuals:
+    """Evaluate (16) from the stacked iterates.
+
+    Parameters
+    ----------
+    bx:
+        The gathered global solution ``x[global_cols]`` (i.e. ``B x``).
+    z, z_prev:
+        Current and previous stacked local solutions.
+    lam:
+        Stacked consensus duals.
+    """
+    pres = float(np.linalg.norm(bx - z))
+    dres = float(rho * np.linalg.norm(z - z_prev))
+    eps_prim = float(eps_rel * max(np.linalg.norm(bx), np.linalg.norm(z)))
+    eps_dual = float(eps_rel * np.linalg.norm(lam))
+    return Residuals(pres=pres, dres=dres, eps_prim=eps_prim, eps_dual=eps_dual)

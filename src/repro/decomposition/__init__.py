@@ -1,0 +1,30 @@
+"""Component-wise decomposition of the centralized OPF (paper Sections II-B,
+IV-B and V-A): partitioning with leaf merging, local subproblem assembly,
+row reduction to full row rank, and the stacked consensus structure."""
+
+from repro.decomposition.decomposed import DecomposedOPF, SizeStats, decompose
+from repro.decomposition.partition import (
+    ComponentSpec,
+    PartitionCounts,
+    partition_components,
+)
+from repro.decomposition.rowreduce import reduced_row_echelon, row_rank
+from repro.decomposition.subproblems import (
+    ComponentSubproblem,
+    build_subproblem,
+    component_variable_keys,
+)
+
+__all__ = [
+    "decompose",
+    "DecomposedOPF",
+    "SizeStats",
+    "ComponentSpec",
+    "PartitionCounts",
+    "partition_components",
+    "ComponentSubproblem",
+    "build_subproblem",
+    "component_variable_keys",
+    "reduced_row_echelon",
+    "row_rank",
+]

@@ -1,0 +1,171 @@
+"""Component subproblem construction (paper eqs. (8)-(9)).
+
+For a partition cell (a :class:`~repro.decomposition.partition.ComponentSpec`)
+this module builds the local system
+
+    A_s x_s = b_s,        x_s = B_s x,
+
+where the local variable vector ``x_s`` collects, in a deterministic order:
+
+* for a **bus** cell: the bus voltages ``w``, the generator variables at the
+  bus, the load variables at the bus, and the *bus-side* directed flow of
+  every incident line;
+* for a **line** cell: the voltages at both terminals (line phases only) and
+  the four directed flow variables per phase;
+* for a **leaf** cell: the union of the two (shared keys appearing once).
+
+``B_s`` is stored compactly as the integer vector ``global_cols`` (the global
+column index of each local variable), which is exactly the 0-1 matrix of the
+paper with rows summing to one.  ``A_s`` is the dense stack of the rows owned
+by the cell, row-reduced to full row rank (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decomposition.partition import ComponentSpec
+from repro.decomposition.rowreduce import reduced_row_echelon
+from repro.formulation.rows import Row, rows_to_dense_local
+from repro.formulation.variables import VariableIndex, VarKey
+from repro.network.network import DistributionNetwork
+from repro.utils.exceptions import DecompositionError
+
+
+@dataclass
+class ComponentSubproblem:
+    """One agent's local problem data.
+
+    Attributes
+    ----------
+    a_raw, b_raw:
+        The stacked owned rows before row reduction (used for the
+        stack-equivalence invariant with the centralized model).
+    a, b:
+        The full-row-rank system after RREF; this is what Algorithm 1's
+        precomputation consumes.
+    global_cols:
+        ``B_s`` in index form: ``x_s = x[global_cols]``.
+    lb, ub:
+        Local copies of the global bounds — used only by the *benchmark*
+        ADMM, whose subproblems keep the bound constraints locally (model
+        (8)); Algorithm 1 never reads them.
+    """
+
+    name: str
+    kind: str
+    local_keys: list[VarKey]
+    global_cols: np.ndarray
+    a_raw: np.ndarray
+    b_raw: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+
+    @property
+    def n_vars(self) -> int:
+        """n_s — the number of local variables (Table IV)."""
+        return len(self.local_keys)
+
+    @property
+    def n_rows(self) -> int:
+        """m_s — rows of the reduced A_s (Table IV)."""
+        return self.a.shape[0]
+
+    @property
+    def n_rows_raw(self) -> int:
+        return self.a_raw.shape[0]
+
+
+def component_variable_keys(
+    net: DistributionNetwork, spec: ComponentSpec
+) -> list[VarKey]:
+    """Deterministic local variable ordering for one partition cell."""
+    keys: list[VarKey] = []
+    seen: set[VarKey] = set()
+
+    def push(key: VarKey) -> None:
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+
+    for bus_name in spec.buses:
+        bus = net.buses[bus_name]
+        for phi in bus.phases:
+            push(("w", bus_name, phi))
+        for gen in net.generators_at(bus_name):
+            for phi in gen.phases:
+                push(("pg", gen.name, phi))
+                push(("qg", gen.name, phi))
+        for load in net.loads_at(bus_name):
+            for phi in load.bus_phases:
+                push(("pb", load.name, phi))
+                push(("qb", load.name, phi))
+            for phi in load.phases:
+                push(("pd", load.name, phi))
+                push(("qd", load.name, phi))
+        for line in net.lines_at(bus_name):
+            side = "f" if line.from_bus == bus_name else "t"
+            for phi in line.phases:
+                push((f"p{side}", line.name, phi))
+                push((f"q{side}", line.name, phi))
+    for line_name in spec.lines:
+        line = net.lines[line_name]
+        for phi in line.phases:
+            push(("w", line.from_bus, phi))
+            push(("w", line.to_bus, phi))
+        for phi in line.phases:
+            push(("pf", line_name, phi))
+            push(("qf", line_name, phi))
+            push(("pt", line_name, phi))
+            push(("qt", line_name, phi))
+    return keys
+
+
+def build_subproblem(
+    net: DistributionNetwork,
+    spec: ComponentSpec,
+    owned_rows: list[Row],
+    var_index: VariableIndex,
+    rref_tol: float = 1e-9,
+    global_lb: np.ndarray | None = None,
+    global_ub: np.ndarray | None = None,
+) -> ComponentSubproblem:
+    """Assemble one component subproblem from its owned rows.
+
+    Raises
+    ------
+    DecompositionError
+        If an owned row references a variable outside the component's local
+        set (would violate the consensus structure) or if the local system
+        is inconsistent.
+    """
+    local_keys = component_variable_keys(net, spec)
+    key_set = set(local_keys)
+    for row in owned_rows:
+        extra = row.support() - key_set
+        if extra:
+            raise DecompositionError(
+                f"component {spec.name}: row {row.tag!r} references foreign "
+                f"variables {sorted(extra)[:3]}"
+            )
+    a_raw, b_raw = rows_to_dense_local(owned_rows, local_keys)
+    a_red, b_red, _ = reduced_row_echelon(a_raw, b_raw, tol=rref_tol)
+    global_cols = np.array([var_index.index(k) for k in local_keys], dtype=np.int64)
+    glb = var_index.lower_bounds() if global_lb is None else global_lb
+    gub = var_index.upper_bounds() if global_ub is None else global_ub
+    return ComponentSubproblem(
+        name=spec.name,
+        kind=spec.kind,
+        local_keys=local_keys,
+        global_cols=global_cols,
+        a_raw=a_raw,
+        b_raw=b_raw,
+        a=a_red,
+        b=b_red,
+        lb=glb[global_cols],
+        ub=gub[global_cols],
+    )

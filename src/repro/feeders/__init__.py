@@ -1,0 +1,19 @@
+"""Test feeder library: the hand-encoded IEEE 13-bus feeder, statistically
+matched IEEE 123- and 8500-class instances, and a parameterized synthetic
+radial feeder generator."""
+
+from repro.feeders.ieee13 import ieee13
+from repro.feeders.synthetic import (
+    SyntheticFeederSpec,
+    build_synthetic_feeder,
+    ieee123,
+    ieee8500,
+)
+
+__all__ = [
+    "ieee13",
+    "ieee123",
+    "ieee8500",
+    "SyntheticFeederSpec",
+    "build_synthetic_feeder",
+]

@@ -1,0 +1,220 @@
+"""The IEEE 13-bus test feeder, hand-encoded from the published data.
+
+A small but deliberately nasty unbalanced feeder: single-, two- and
+three-phase overhead and underground segments (configurations 601-607), an
+in-line transformer (XFM-1), a three-phase voltage regulator at the
+substation, a switch, shunt capacitors, and wye- and delta-connected loads
+of all three ZIP types — exactly the feature set the paper's formulation
+(Section II) must handle.
+
+Modeling notes (documented substitutions, see DESIGN.md):
+
+* The distributed load along 632-671 is split half-and-half onto its two
+  terminal buses (a standard lumping).
+* The voltage regulator is an ideal tap line: per-phase squared-voltage
+  ratio, zero series impedance.
+* Shunt capacitors enter as constant-susceptance bus shunts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.components import Bus, Connection, Generator, Line, Load
+from repro.network.impedance import IEEE13_CONFIGS, line_impedance_pu
+from repro.network.network import DistributionNetwork
+
+#: System bases: 5 MVA three-phase, 4.16 kV line-to-line.
+MVA_BASE = 5.0
+KV_BASE = 4.16
+
+#: (name, from, to, config, length_ft)
+_SEGMENTS = [
+    ("l_rg60_632", "rg60", "632", "601", 2000.0),
+    ("l_632_633", "632", "633", "602", 500.0),
+    ("l_632_645", "632", "645", "603", 500.0),
+    ("l_645_646", "645", "646", "603", 300.0),
+    ("l_632_671", "632", "671", "601", 2000.0),
+    ("l_671_680", "671", "680", "601", 1000.0),
+    ("l_671_684", "671", "684", "604", 300.0),
+    ("l_684_611", "684", "611", "605", 300.0),
+    ("l_684_652", "684", "652", "607", 800.0),
+    ("l_692_675", "692", "675", "606", 500.0),
+]
+
+#: Buses and their phases.
+_BUSES = {
+    "650": (1, 2, 3),
+    "rg60": (1, 2, 3),
+    "632": (1, 2, 3),
+    "633": (1, 2, 3),
+    "634": (1, 2, 3),
+    "645": (2, 3),
+    "646": (2, 3),
+    "671": (1, 2, 3),
+    "680": (1, 2, 3),
+    "684": (1, 3),
+    "611": (3,),
+    "652": (1,),
+    "692": (1, 2, 3),
+    "675": (1, 2, 3),
+}
+
+#: Regulator per-phase voltage boost (voltage ratio, not squared).
+_REGULATOR_BOOST = {1: 1.0625, 2: 1.0500, 3: 1.0687}
+
+
+def _pu(kw: float) -> float:
+    """Convert kW (or kVAr) to per-unit on the system base."""
+    return kw / 1000.0 / MVA_BASE
+
+
+def ieee13(flow_limit: float = 10.0) -> DistributionNetwork:
+    """Build the IEEE 13-bus feeder model.
+
+    Parameters
+    ----------
+    flow_limit:
+        Per-phase directed flow bound (pu) applied to every line, matching
+        the box structure (2c)-(2d).
+    """
+    net = DistributionNetwork(name="ieee13", mva_base=MVA_BASE, kv_base=KV_BASE)
+
+    for name, phases in _BUSES.items():
+        w_min, w_max = 0.81, 1.21
+        if name == "650":
+            w_min = w_max = 1.0  # stiff source
+        net.add_bus(Bus(name, phases, w_min=w_min, w_max=w_max))
+
+    # Shunt capacitors: 675 has 200 kVAr per phase, 611 has 100 kVAr (c).
+    net.buses["675"].b_sh[:] = _pu(200.0)
+    net.buses["611"].b_sh[:] = _pu(100.0)
+
+    # Substation source behind the regulator.
+    net.add_generator(
+        Generator(
+            "source",
+            bus="650",
+            phases=(1, 2, 3),
+            p_min=-10.0,
+            p_max=10.0,
+            q_min=-10.0,
+            q_max=10.0,
+            cost=1.0,
+        )
+    )
+
+    # Voltage regulator 650 -> rg60: ideal per-phase tap, zero impedance.
+    # In (5c), w_from = tap * w_to with zero M; boosting the downstream
+    # voltage by ratio k means tap = 1 / k^2 in squared-magnitude units.
+    tap = np.array([1.0 / _REGULATOR_BOOST[p] ** 2 for p in (1, 2, 3)])
+    net.add_line(
+        Line(
+            "reg_650_rg60",
+            from_bus="650",
+            to_bus="rg60",
+            phases=(1, 2, 3),
+            tap=tap,
+            p_min=-flow_limit,
+            p_max=flow_limit,
+            q_min=-flow_limit,
+            q_max=flow_limit,
+            is_transformer=True,
+        )
+    )
+
+    # Overhead / underground segments from the configuration table.
+    for name, f, t, cfg, length in _SEGMENTS:
+        config = IEEE13_CONFIGS[cfg]
+        r, x = line_impedance_pu(config, length, KV_BASE, MVA_BASE)
+        net.add_line(
+            Line(
+                name,
+                from_bus=f,
+                to_bus=t,
+                phases=config.phases,
+                r=r,
+                x=x,
+                p_min=-flow_limit,
+                p_max=flow_limit,
+                q_min=-flow_limit,
+                q_max=flow_limit,
+            )
+        )
+
+    # XFM-1: 633 -> 634, 500 kVA, Z = 1.1 + j2 % on its own base.
+    z_scale = MVA_BASE / 0.5
+    r_t = 0.011 * z_scale
+    x_t = 0.02 * z_scale
+    net.add_line(
+        Line(
+            "xfm1_633_634",
+            from_bus="633",
+            to_bus="634",
+            phases=(1, 2, 3),
+            r=np.eye(3) * r_t,
+            x=np.eye(3) * x_t,
+            p_min=-flow_limit,
+            p_max=flow_limit,
+            q_min=-flow_limit,
+            q_max=flow_limit,
+            is_transformer=True,
+        )
+    )
+
+    # Switch 671 -> 692 (closed): tiny impedance to keep rows well scaled.
+    net.add_line(
+        Line(
+            "sw_671_692",
+            from_bus="671",
+            to_bus="692",
+            phases=(1, 2, 3),
+            r=np.eye(3) * 1e-4,
+            x=np.eye(3) * 1e-4,
+            p_min=-flow_limit,
+            p_max=flow_limit,
+            q_min=-flow_limit,
+            q_max=flow_limit,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Spot loads (kW, kVAr): (bus, connection, type, {phase: (p, q)}).
+    # Types: PQ (alpha=0), I (alpha=1), Z (alpha=2).
+    # ------------------------------------------------------------------
+    def add_load(name, bus, conn, zip_exp, per_phase):
+        phases = tuple(sorted(per_phase))
+        p = np.array([_pu(per_phase[ph][0]) for ph in phases])
+        q = np.array([_pu(per_phase[ph][1]) for ph in phases])
+        net.add_load(
+            Load(
+                name,
+                bus=bus,
+                phases=phases,
+                connection=conn,
+                p_ref=p,
+                q_ref=q,
+                alpha=zip_exp,
+                beta=zip_exp,
+            )
+        )
+
+    wye, delta = Connection.WYE, Connection.DELTA
+    add_load("ld634", "634", wye, 0.0, {1: (160, 110), 2: (120, 90), 3: (120, 90)})
+    add_load("ld645", "645", wye, 0.0, {2: (170, 125)})
+    # 646: delta constant-impedance on branch b-c (branch id 2).
+    add_load("ld646", "646", delta, 2.0, {2: (230, 132)})
+    add_load("ld652", "652", wye, 2.0, {1: (128, 86)})
+    # 671: three-phase delta constant-power, 385 + j220 per branch.
+    add_load("ld671", "671", delta, 0.0, {1: (385, 220), 2: (385, 220), 3: (385, 220)})
+    add_load("ld675", "675", wye, 0.0, {1: (485, 190), 2: (68, 60), 3: (290, 212)})
+    # 692: delta constant-current on branch c-a (branch id 3).
+    add_load("ld692", "692", delta, 1.0, {3: (170, 151)})
+    add_load("ld611", "611", wye, 1.0, {3: (170, 80)})
+    # Distributed load 632-671 (Y-PQ), lumped half to each terminal bus.
+    add_load("ld632_dist", "632", wye, 0.0, {1: (8.5, 5), 2: (33, 19), 3: (58.5, 34)})
+    add_load("ld671_dist", "671", wye, 0.0, {1: (8.5, 5), 2: (33, 19), 3: (58.5, 34)})
+
+    net.substation = "650"
+    net.validate(require_radial=True)
+    return net

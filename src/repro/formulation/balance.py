@@ -1,0 +1,52 @@
+"""Nodal power balance rows (paper eqs. (3a)-(3b)).
+
+For every bus ``i`` and phase ``phi`` present at the bus::
+
+    sum_{lines e at i} p_e(i-side) + sum_{loads l at i} p^b_l
+        + g^sh_i w_i - sum_{gens k at i} p^g_k = 0
+
+and the reactive counterpart with ``-b^sh_i w_i``.  The *i-side* flow
+variable is ``pf`` when ``i`` is the line's from-bus and ``pt`` otherwise
+(both flows are oriented as withdrawals from their own terminal bus).
+"""
+
+from __future__ import annotations
+
+from repro.formulation.rows import Row
+from repro.network.network import DistributionNetwork
+
+
+def balance_rows(net: DistributionNetwork, bus_name: str) -> list[Row]:
+    """Power balance rows for all phases of one bus, owned by the bus."""
+    bus = net.buses[bus_name]
+    owner = ("bus", bus_name)
+    lines = net.lines_at(bus_name)
+    gens = net.generators_at(bus_name)
+    loads = net.loads_at(bus_name)
+    rows: list[Row] = []
+    for a, phi in enumerate(bus.phases):
+        p_coeffs: dict = {}
+        q_coeffs: dict = {}
+
+        def bump(coeffs, key, val):
+            coeffs[key] = coeffs.get(key, 0.0) + val
+
+        for line in lines:
+            if phi not in line.phases:
+                continue
+            side = "f" if line.from_bus == bus_name else "t"
+            bump(p_coeffs, (f"p{side}", line.name, phi), 1.0)
+            bump(q_coeffs, (f"q{side}", line.name, phi), 1.0)
+        for load in loads:
+            if phi in load.bus_phases:
+                bump(p_coeffs, ("pb", load.name, phi), 1.0)
+                bump(q_coeffs, ("qb", load.name, phi), 1.0)
+        bump(p_coeffs, ("w", bus_name, phi), bus.g_sh[a])
+        bump(q_coeffs, ("w", bus_name, phi), -bus.b_sh[a])
+        for gen in gens:
+            if phi in gen.phases:
+                bump(p_coeffs, ("pg", gen.name, phi), -1.0)
+                bump(q_coeffs, ("qg", gen.name, phi), -1.0)
+        rows.append(Row(p_coeffs, 0.0, owner, tag=f"balance-p:{bus_name}:{phi}"))
+        rows.append(Row(q_coeffs, 0.0, owner, tag=f"balance-q:{bus_name}:{phi}"))
+    return rows

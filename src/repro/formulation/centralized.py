@@ -1,0 +1,146 @@
+"""Centralized multi-phase linearized OPF assembly (paper eq. (7)).
+
+:func:`build_centralized_lp` turns a :class:`DistributionNetwork` into the
+abstract LP
+
+    min c^T x   s.t.   A x = b,   x_lb <= x <= x_ub
+
+with the global variable ordering of (7): generation, squared voltages, load
+variables, then directed line flows.  The produced :class:`CentralizedLP`
+also keeps the symbolic :class:`~repro.formulation.rows.Row` list with
+component ownership tags, which the decomposition package regroups into
+component subproblems without re-deriving any constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formulation.balance import balance_rows
+from repro.formulation.flow import flow_rows
+from repro.formulation.loads import load_rows
+from repro.formulation.rows import Row, rows_to_matrix
+from repro.formulation.variables import VariableIndex
+from repro.network.network import DistributionNetwork
+from repro.utils.exceptions import FormulationError
+
+
+@dataclass
+class CentralizedLP:
+    """The assembled centralized LP (7) plus its symbolic structure."""
+
+    network: DistributionNetwork
+    var_index: VariableIndex
+    rows: list[Row]
+    a_matrix: sp.csr_matrix
+    b_vector: np.ndarray
+    cost: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+
+    @property
+    def n_vars(self) -> int:
+        return self.var_index.n
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) of A — the quantity reported in Table II."""
+        return (self.n_rows, self.n_vars)
+
+    def initial_point(self) -> np.ndarray:
+        return self.var_index.initial_point()
+
+    def objective(self, x: np.ndarray) -> float:
+        return float(self.cost @ x)
+
+    def equality_violation(self, x: np.ndarray) -> float:
+        """Infinity norm of ``A x - b`` at ``x``."""
+        return float(np.max(np.abs(self.a_matrix @ x - self.b_vector))) if self.n_rows else 0.0
+
+    def bound_violation(self, x: np.ndarray) -> float:
+        return float(
+            max(
+                np.max(np.maximum(self.lb - x, 0.0), initial=0.0),
+                np.max(np.maximum(x - self.ub, 0.0), initial=0.0),
+            )
+        )
+
+
+def _register_variables(net: DistributionNetwork) -> VariableIndex:
+    """Register all global variables in the paper's ordering for (7)."""
+    vi = VariableIndex()
+    for gen in net.generators.values():
+        for a, phi in enumerate(gen.phases):
+            vi.add(("pg", gen.name, phi), gen.p_min[a], gen.p_max[a], cost=gen.cost)
+            vi.add(("qg", gen.name, phi), gen.q_min[a], gen.q_max[a])
+    for bus in net.buses.values():
+        for a, phi in enumerate(bus.phases):
+            vi.add(("w", bus.name, phi), bus.w_min[a], bus.w_max[a], is_voltage=True)
+    for load in net.loads.values():
+        for phi in load.bus_phases:
+            vi.add(("pb", load.name, phi))
+            vi.add(("qb", load.name, phi))
+        for phi in load.phases:
+            vi.add(("pd", load.name, phi))
+            vi.add(("qd", load.name, phi))
+    for line in net.lines.values():
+        for a, phi in enumerate(line.phases):
+            vi.add(("pf", line.name, phi), line.p_min[a], line.p_max[a])
+            vi.add(("qf", line.name, phi), line.q_min[a], line.q_max[a])
+            vi.add(("pt", line.name, phi), line.p_min[a], line.p_max[a])
+            vi.add(("qt", line.name, phi), line.q_min[a], line.q_max[a])
+    return vi
+
+
+def build_rows(net: DistributionNetwork) -> list[Row]:
+    """All equality rows of the model: balance (3), loads (4), flows (5)."""
+    rows: list[Row] = []
+    for bus_name in net.buses:
+        rows.extend(balance_rows(net, bus_name))
+    for load in net.loads.values():
+        rows.extend(load_rows(load))
+    for line in net.lines.values():
+        rows.extend(flow_rows(line))
+    return rows
+
+
+def build_centralized_lp(net: DistributionNetwork, validate: bool = True) -> CentralizedLP:
+    """Assemble the centralized LP (7) from a network model.
+
+    Parameters
+    ----------
+    net:
+        The network; must pass :meth:`DistributionNetwork.validate`.
+    validate:
+        Set to False to skip re-validation (e.g. inside tight loops).
+
+    Raises
+    ------
+    FormulationError
+        If the network has no generation (the LP would be trivially
+        infeasible under any positive load).
+    """
+    if validate:
+        net.validate()
+    if not net.generators:
+        raise FormulationError(f"network {net.name!r} has no generators")
+    vi = _register_variables(net)
+    rows = build_rows(net)
+    a, b = rows_to_matrix(rows, vi)
+    return CentralizedLP(
+        network=net,
+        var_index=vi,
+        rows=rows,
+        a_matrix=a,
+        b_vector=b,
+        cost=vi.costs(),
+        lb=vi.lower_bounds(),
+        ub=vi.upper_bounds(),
+    )

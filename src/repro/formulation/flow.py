@@ -1,0 +1,114 @@
+"""Linearized multi-phase power flow rows (paper eqs. (5a)-(5c)).
+
+For every line ``e = (i, j)`` and phase ``phi`` of the line:
+
+* (5a) loss-linearized real-power coupling:
+  ``p_eij + p_eji = g^s_eij w_i + g^s_eji w_j``
+* (5b) reactive counterpart with shunt susceptances,
+* (5c) voltage drop across the line, coupling all phases through the
+  rotation matrices ``M^p`` / ``M^q`` built from the series impedance.
+
+The M matrices follow the paper's closed form: diagonal entries ``-2 r`` /
+``-2 x`` and off-diagonal entries ``r ∓ √3 x`` / ``x ± √3 r`` where the sign
+alternates with the cyclic phase order (the ``∠±120°`` rotation between
+phases).  For lines carrying a subset of phases the matrices restrict to the
+present phase pairs while keeping the *absolute* phase identities for the
+sign pattern.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.formulation.rows import Row
+from repro.network.components import Line
+
+SQRT3 = math.sqrt(3.0)
+
+
+def _cyclic_next(phase: int) -> int:
+    """Phase following ``phase`` in the a->b->c->a cycle."""
+    return phase % 3 + 1
+
+
+def voltage_drop_matrices(line: Line) -> tuple[np.ndarray, np.ndarray]:
+    """The ``M^p`` and ``M^q`` matrices of (5c) for ``line``.
+
+    Returns arrays of shape ``(P, P)`` aligned with ``line.phases``.
+    """
+    phases = line.phases
+    n = len(phases)
+    mp = np.zeros((n, n))
+    mq = np.zeros((n, n))
+    for a, phi in enumerate(phases):
+        for b, psi in enumerate(phases):
+            r = line.r[a, b]
+            x = line.x[a, b]
+            if phi == psi:
+                mp[a, b] = -2.0 * r
+                mq[a, b] = -2.0 * x
+            elif psi == _cyclic_next(phi):
+                # psi leads phi by one position in the cycle (e.g. (1,2)).
+                mp[a, b] = r - SQRT3 * x
+                mq[a, b] = x + SQRT3 * r
+            else:
+                # psi trails phi (e.g. (2,1)).
+                mp[a, b] = r + SQRT3 * x
+                mq[a, b] = x - SQRT3 * r
+    return mp, mq
+
+
+def flow_rows(line: Line) -> list[Row]:
+    """All linearized flow rows (5a)-(5c) for one line, owned by the line."""
+    owner = ("line", line.name)
+    nm = line.name
+    i, j = line.from_bus, line.to_bus
+    mp, mq = voltage_drop_matrices(line)
+    rows: list[Row] = []
+    for a, phi in enumerate(line.phases):
+        # (5a): p_f + p_t - g^s_fr w_i - g^s_to w_j = 0
+        rows.append(
+            Row(
+                {
+                    ("pf", nm, phi): 1.0,
+                    ("pt", nm, phi): 1.0,
+                    ("w", i, phi): -line.g_sh_fr[a],
+                    ("w", j, phi): -line.g_sh_to[a],
+                },
+                0.0,
+                owner,
+                tag=f"flow-p:{nm}:{phi}",
+            )
+        )
+        # (5b): q_f + q_t + b^s_fr w_i + b^s_to w_j = 0
+        rows.append(
+            Row(
+                {
+                    ("qf", nm, phi): 1.0,
+                    ("qt", nm, phi): 1.0,
+                    ("w", i, phi): line.b_sh_fr[a],
+                    ("w", j, phi): line.b_sh_to[a],
+                },
+                0.0,
+                owner,
+                tag=f"flow-q:{nm}:{phi}",
+            )
+        )
+        # (5c): w_i - tau w_j + sum_psi Mp (p_f - g^s_fr w_i)
+        #                     + sum_psi Mq (q_f + b^s_fr w_i) = 0
+        coeffs: dict = {}
+
+        def bump(key, val, coeffs=coeffs):
+            coeffs[key] = coeffs.get(key, 0.0) + val
+
+        bump(("w", i, phi), 1.0)
+        bump(("w", j, phi), -line.tap[a])
+        for b, psi in enumerate(line.phases):
+            bump(("pf", nm, psi), mp[a, b])
+            bump(("w", i, psi), -mp[a, b] * line.g_sh_fr[b])
+            bump(("qf", nm, psi), mq[a, b])
+            bump(("w", i, psi), mq[a, b] * line.b_sh_fr[b])
+        rows.append(Row(coeffs, 0.0, owner, tag=f"vdrop:{nm}:{phi}"))
+    return rows

@@ -1,0 +1,256 @@
+"""Voltage-dependent load model rows (paper eqs. (4a)-(4j)).
+
+Two ingredients:
+
+1. **ZIP linearization** (4a)-(4b): consumption is affine in the squared
+   voltage magnitude applied to the load, ``w_hat``, which is the bus ``w``
+   for wye loads (4c) and ``3 w`` for delta loads (4d).
+
+2. **Connection mapping** from consumption ``(p^d, q^d)`` to bus withdrawals
+   ``(p^b, q^b)``: identity for wye (4e); for delta connections a linear map
+   derived from nominal balanced voltage phasors.  For the full three-branch
+   delta this map is algebraically identical to the paper's implicit system
+   (4f)-(4j) (verified in tests); the phasor form additionally covers partial
+   deltas (loads spanning a single phase pair), which occur in the IEEE
+   feeders.
+
+Nominal-phasor delta map
+------------------------
+With nominal phasors ``V_a = 1∠0°, V_b = 1∠-120°, V_c = 1∠120°``, a delta
+branch between phases (f, t) carrying complex consumption ``S`` draws
+
+    S_f^b = (V_f / V_ft) S        and        S_t^b = -(V_t / V_ft) S,
+
+and for every branch the complex ratios are the constants
+``c_from = (1/√3)∠-30°`` and ``c_to = (1/√3)∠30°``.  Multiplication by a
+complex constant ``a + jb`` acts on ``(p, q)`` as the rotation-scaling
+``[[a, -b], [b, a]]``, giving constant real coefficients.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+from repro.formulation.rows import Row
+from repro.network.components import Connection, Load
+from repro.network.phases import DELTA_BRANCH_PHASES
+
+SQRT3 = math.sqrt(3.0)
+
+#: Complex withdrawal ratio at the *from* phase of any delta branch.
+C_FROM = complex(0.5, -0.5 / SQRT3)
+#: Complex withdrawal ratio at the *to* phase of any delta branch.
+C_TO = complex(0.5, 0.5 / SQRT3)
+
+
+def consumption_rows(load: Load) -> list[Row]:
+    """ZIP linearization rows (4a)-(4b) for each phase/branch of ``load``.
+
+    For phase (or branch) ``phi``::
+
+        p^d - (a*alpha/2) * kappa * w = a * (1 - alpha/2)
+
+    with ``kappa = 1`` (wye, (4c)) or ``kappa = 3`` (delta, (4d)); the ``w``
+    variable is the bus voltage at the phase (for delta branches, at the
+    branch's id-aligned phase, matching the paper's index convention).
+    """
+    owner = ("bus", load.bus)
+    kappa = 3.0 if load.is_delta else 1.0
+    rows: list[Row] = []
+    for j, phi in enumerate(load.phases):
+        a = load.p_ref[j]
+        b = load.q_ref[j]
+        alpha = load.alpha[j]
+        beta = load.beta[j]
+        w_phase = DELTA_BRANCH_PHASES[phi][0] if load.is_delta else phi
+        w_key = ("w", load.bus, w_phase)
+        rows.append(
+            Row(
+                {("pd", load.name, phi): 1.0, w_key: -a * alpha / 2.0 * kappa},
+                rhs=a * (1.0 - alpha / 2.0),
+                owner=owner,
+                tag=f"load-p:{load.name}:{phi}",
+            )
+        )
+        rows.append(
+            Row(
+                {("qd", load.name, phi): 1.0, w_key: -b * beta / 2.0 * kappa},
+                rhs=b * (1.0 - beta / 2.0),
+                owner=owner,
+                tag=f"load-q:{load.name}:{phi}",
+            )
+        )
+    return rows
+
+
+def wye_link_rows(load: Load) -> list[Row]:
+    """Identity link (4e): ``p^b = p^d`` and ``q^b = q^d`` per phase."""
+    if load.connection is not Connection.WYE:
+        raise ValueError(f"load {load.name} is not wye connected")
+    owner = ("bus", load.bus)
+    rows: list[Row] = []
+    for phi in load.phases:
+        rows.append(
+            Row(
+                {("pb", load.name, phi): 1.0, ("pd", load.name, phi): -1.0},
+                0.0,
+                owner,
+                tag=f"wye-p:{load.name}:{phi}",
+            )
+        )
+        rows.append(
+            Row(
+                {("qb", load.name, phi): 1.0, ("qd", load.name, phi): -1.0},
+                0.0,
+                owner,
+                tag=f"wye-q:{load.name}:{phi}",
+            )
+        )
+    return rows
+
+
+def delta_withdrawal_map(load: Load) -> dict[int, dict[int, complex]]:
+    """Complex coefficients ``T[phase][branch]`` such that the bus withdrawal
+    at ``phase`` is ``sum_branch T[phase][branch] * S_d[branch]``."""
+    if not load.is_delta:
+        raise ValueError(f"load {load.name} is not delta connected")
+    table: dict[int, dict[int, complex]] = {p: {} for p in load.bus_phases}
+    for branch in load.phases:
+        f, t = DELTA_BRANCH_PHASES[branch]
+        table[f][branch] = table[f].get(branch, 0j) + C_FROM
+        table[t][branch] = table[t].get(branch, 0j) + C_TO
+    return table
+
+
+def delta_link_rows(load: Load) -> list[Row]:
+    """Explicit delta link rows: ``p^b/q^b`` minus the phasor map of
+    ``p^d/q^d`` equals zero, two rows per touched bus phase.
+
+    For a full three-branch delta these rows span the same solution set as
+    the paper's implicit system (4f)-(4j) (see
+    :func:`delta_link_rows_paper` and the consistency tests).
+    """
+    if not load.is_delta:
+        raise ValueError(f"load {load.name} is not delta connected")
+    owner = ("bus", load.bus)
+    table = delta_withdrawal_map(load)
+    rows: list[Row] = []
+    for phase in load.bus_phases:
+        p_coeffs: dict = {("pb", load.name, phase): 1.0}
+        q_coeffs: dict = {("qb", load.name, phase): 1.0}
+        for branch, c in table[phase].items():
+            a, b = c.real, c.imag
+            # S^b = c * S^d  =>  p^b = a p^d - b q^d,  q^b = b p^d + a q^d.
+            p_coeffs[("pd", load.name, branch)] = p_coeffs.get(("pd", load.name, branch), 0.0) - a
+            p_coeffs[("qd", load.name, branch)] = p_coeffs.get(("qd", load.name, branch), 0.0) + b
+            q_coeffs[("pd", load.name, branch)] = q_coeffs.get(("pd", load.name, branch), 0.0) - b
+            q_coeffs[("qd", load.name, branch)] = q_coeffs.get(("qd", load.name, branch), 0.0) - a
+        rows.append(Row(p_coeffs, 0.0, owner, tag=f"delta-p:{load.name}:{phase}"))
+        rows.append(Row(q_coeffs, 0.0, owner, tag=f"delta-q:{load.name}:{phase}"))
+    return rows
+
+
+def delta_link_rows_paper(load: Load) -> list[Row]:
+    """The paper's literal delta system (4f)-(4j) for a full 3-branch delta.
+
+    Provided for fidelity checks; :func:`delta_link_rows` is used in the
+    assembled model because it covers partial deltas uniformly.
+
+    Raises
+    ------
+    ValueError
+        If the load is not a full three-branch delta.
+    """
+    if not load.is_delta or load.phases != (1, 2, 3):
+        raise ValueError(f"load {load.name}: (4f)-(4j) require a full 3-branch delta")
+    owner = ("bus", load.bus)
+    nm = load.name
+
+    def pb(p):
+        return ("pb", nm, p)
+
+    def qb(p):
+        return ("qb", nm, p)
+
+    def pd(p):
+        return ("pd", nm, p)
+
+    def qd(p):
+        return ("qd", nm, p)
+
+    rows = [
+        # (4f) total real / reactive power conservation.
+        Row(
+            {pb(1): 1, pb(2): 1, pb(3): 1, pd(1): -1, pd(2): -1, pd(3): -1},
+            0.0,
+            owner,
+            tag=f"delta-4f-p:{nm}",
+        ),
+        Row(
+            {qb(1): 1, qb(2): 1, qb(3): 1, qd(1): -1, qd(2): -1, qd(3): -1},
+            0.0,
+            owner,
+            tag=f"delta-4f-q:{nm}",
+        ),
+        # (4g)
+        Row(
+            {pb(2): 1.5, qb(2): -SQRT3 / 2, pd(2): -1.0, pd(1): -0.5, qd(1): SQRT3 / 2},
+            0.0,
+            owner,
+            tag=f"delta-4g:{nm}",
+        ),
+        # (4h)
+        Row(
+            {pb(2): SQRT3 / 2, qb(2): 1.5, pd(1): -SQRT3 / 2, qd(1): -0.5, qd(2): -1.0},
+            0.0,
+            owner,
+            tag=f"delta-4h:{nm}",
+        ),
+        # (4i)
+        Row(
+            {
+                qb(2): SQRT3,
+                pb(3): 1.5,
+                qb(3): -SQRT3 / 2,
+                pd(1): -0.5,
+                qd(1): -SQRT3 / 2,
+                pd(3): -1.0,
+            },
+            0.0,
+            owner,
+            tag=f"delta-4i:{nm}",
+        ),
+        # (4j)
+        Row(
+            {
+                pb(2): -SQRT3,
+                pb(3): SQRT3 / 2,
+                qb(3): 1.5,
+                pd(1): SQRT3 / 2,
+                qd(1): -0.5,
+                qd(3): -1.0,
+            },
+            0.0,
+            owner,
+            tag=f"delta-4j:{nm}",
+        ),
+    ]
+    return rows
+
+
+def load_rows(load: Load) -> list[Row]:
+    """All model rows for one load: ZIP consumption plus connection link."""
+    rows = consumption_rows(load)
+    if load.connection is Connection.WYE:
+        rows.extend(wye_link_rows(load))
+    else:
+        rows.extend(delta_link_rows(load))
+    return rows
+
+
+def nominal_phasor(phase: int) -> complex:
+    """Nominal balanced voltage phasor of ``phase`` (1 pu, 120° apart)."""
+    if phase not in (1, 2, 3):
+        raise ValueError(f"invalid phase {phase}")
+    return cmath.exp(-1j * 2.0 * math.pi * (phase - 1) / 3.0)

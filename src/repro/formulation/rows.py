@@ -1,0 +1,82 @@
+"""Sparse constraint rows.
+
+A :class:`Row` is one linear equality ``sum coeffs[k] * x[k] = rhs`` expressed
+over symbolic variable keys, tagged with the component that *owns* it.  Row
+ownership is what makes the component-wise decomposition (Section II-B) a
+pure regrouping of the centralized constraint set: the centralized matrix A
+is the stack of all rows; each component subproblem matrix ``A_s`` is the
+stack of rows it owns, restricted to its local variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formulation.variables import VariableIndex, VarKey
+
+#: Owner handle: ("bus", bus_name) or ("line", line_name).
+Owner = tuple
+
+
+@dataclass
+class Row:
+    """One linear equality constraint over symbolic variable keys."""
+
+    coeffs: dict[VarKey, float]
+    rhs: float
+    owner: Owner
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        # Drop exact zeros so the row support matches the true sparsity.
+        self.coeffs = {k: float(v) for k, v in self.coeffs.items() if v != 0.0}
+        self.rhs = float(self.rhs)
+
+    def support(self) -> set[VarKey]:
+        return set(self.coeffs)
+
+
+def rows_to_matrix(
+    rows: list[Row], var_index: VariableIndex
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Assemble rows into a CSR matrix and RHS vector over the global index."""
+    data: list[float] = []
+    indices: list[int] = []
+    indptr: list[int] = [0]
+    b = np.empty(len(rows))
+    for i, row in enumerate(rows):
+        for key, coef in row.coeffs.items():
+            indices.append(var_index.index(key))
+            data.append(coef)
+        indptr.append(len(data))
+        b[i] = row.rhs
+    a = sp.csr_matrix(
+        (np.asarray(data), np.asarray(indices, dtype=np.int64), np.asarray(indptr, dtype=np.int64)),
+        shape=(len(rows), var_index.n),
+    )
+    return a, b
+
+
+def rows_to_dense_local(
+    rows: list[Row], local_keys: list[VarKey]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble rows into a dense matrix over a *local* key ordering.
+
+    Used for component subproblem matrices ``A_s`` (which are tiny).
+
+    Raises
+    ------
+    KeyError
+        If a row references a key absent from ``local_keys``.
+    """
+    pos = {k: j for j, k in enumerate(local_keys)}
+    a = np.zeros((len(rows), len(local_keys)))
+    b = np.empty(len(rows))
+    for i, row in enumerate(rows):
+        for key, coef in row.coeffs.items():
+            a[i, pos[key]] = coef
+        b[i] = row.rhs
+    return a, b

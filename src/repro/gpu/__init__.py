@@ -1,0 +1,45 @@
+"""Simulated GPU substrate: device specs, a roofline/occupancy cost model,
+and simulated-device execution of Algorithm 1 (see DESIGN.md for why the
+GPU is simulated in this environment)."""
+
+from repro.gpu.costmodel import (
+    UpdateTimes,
+    dual_update_time,
+    global_update_time,
+    iteration_times,
+    local_update_time_batched,
+    local_update_time_threads,
+    multi_device_iteration_times,
+)
+from repro.gpu.device import A100, XEON_CORE, DeviceSpec, xeon_node
+from repro.gpu.kernel_sim import (
+    KernelExecution,
+    KernelSpec,
+    concurrent_block_slots,
+    local_update_kernel,
+    simulate_kernel,
+    simulate_local_update,
+)
+from repro.gpu.simulated import SimulatedDeviceRun, run_on_device
+
+__all__ = [
+    "DeviceSpec",
+    "A100",
+    "XEON_CORE",
+    "xeon_node",
+    "UpdateTimes",
+    "iteration_times",
+    "multi_device_iteration_times",
+    "global_update_time",
+    "dual_update_time",
+    "local_update_time_batched",
+    "local_update_time_threads",
+    "run_on_device",
+    "KernelSpec",
+    "KernelExecution",
+    "simulate_kernel",
+    "simulate_local_update",
+    "local_update_kernel",
+    "concurrent_block_slots",
+    "SimulatedDeviceRun",
+]

@@ -1,0 +1,151 @@
+"""Analytical per-iteration cost model (roofline + occupancy).
+
+Predicts the device time of each ADMM update stage from the decomposition
+structure.  All three stages are streams of simple array kernels, so each
+stage's time is
+
+    kernel launches x launch latency
+        + max(flops / device flop rate, bytes moved / memory bandwidth).
+
+The global and dual updates (18)-(19) are pure vector kernels over the
+global (n) and stacked-local (sum n_s) dimensions and are memory-bound; the
+local update (15) is the batched per-component matvec.
+
+For the single-GPU thread study (paper Fig. 3 bottom row and Section IV-D),
+:func:`local_update_time_threads` models the paper's hand-written kernel:
+one CUDA block per component, ``T`` threads per block, each thread producing
+entries of ``x_s`` by an ``n_s``-long dot product.  Blocks execute in waves
+limited by SM count and occupancy, which is why the thread count matters
+most for the 8500-bus instance — a huge number of tiny blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decomposition.decomposed import DecomposedOPF
+from repro.gpu.device import DeviceSpec
+from repro.parallel.comm import BYTES_PER_VALUE, CommModel
+
+
+@dataclass(frozen=True)
+class UpdateTimes:
+    """Modeled seconds per iteration for each stage (Fig. 3 series)."""
+
+    global_s: float
+    local_s: float
+    dual_s: float
+    comm_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.global_s + self.local_s + self.dual_s + self.comm_s
+
+
+def _stream_time(device: DeviceSpec, flops: float, nbytes: float, kernels: int) -> float:
+    return device.kernel_launch_s * kernels + max(
+        flops / device.flops_per_s, nbytes / device.mem_bandwidth_bytes_s
+    )
+
+
+def global_update_time(device: DeviceSpec, n: int, n_local: int) -> float:
+    """Eq. (18): scatter-add of z - lam/rho, diagonal scale, clip.
+
+    Roughly three fused kernels touching the stacked vector once and the
+    global vector a handful of times.
+    """
+    nbytes = BYTES_PER_VALUE * (3.0 * n_local + 5.0 * n)
+    flops = 2.0 * n_local + 3.0 * n
+    return _stream_time(device, flops, nbytes, kernels=3)
+
+
+def dual_update_time(device: DeviceSpec, n_local: int) -> float:
+    """Eq. (19): one saxpy-style kernel over the stacked dimension."""
+    nbytes = BYTES_PER_VALUE * 4.0 * n_local
+    flops = 3.0 * n_local
+    return _stream_time(device, flops, nbytes, kernels=1)
+
+
+def local_update_time_batched(device: DeviceSpec, sizes: np.ndarray) -> float:
+    """Eq. (15) as a batched matvec: sum over components of 2 n_s^2 flops,
+    streaming each projection operator from memory once."""
+    sizes = np.asarray(sizes, dtype=float)
+    flops = float(np.sum(2.0 * sizes**2 + 2.0 * sizes))
+    nbytes = BYTES_PER_VALUE * float(np.sum(sizes**2 + 3.0 * sizes))
+    return _stream_time(device, flops, nbytes, kernels=2)
+
+
+def local_update_time_threads(
+    device: DeviceSpec, sizes: np.ndarray, threads_per_block: int
+) -> float:
+    """The paper's custom kernel: one block per component, T threads/block.
+
+    Each block needs ``ceil(n_s / T)`` rounds of ``n_s``-long dot products;
+    blocks run in waves of ``sm_count * blocks_per_sm`` where occupancy is
+    limited by both the per-SM block cap and the per-SM thread budget.
+    """
+    if threads_per_block < 1:
+        raise ValueError("threads_per_block must be at least 1")
+    sizes = np.asarray(sizes, dtype=float)
+    t = float(threads_per_block)
+    blocks_per_sm = max(1, min(device.max_blocks_per_sm, device.max_threads_per_sm // max(int(t), 1)))
+    concurrent = device.sm_count * blocks_per_sm
+    # Cycles per block: rounds x dot-product length x cycles-per-MAC (memory
+    # stalls folded into a constant for these cache-resident operands).
+    cycles_per_mac = 8.0
+    block_cycles = np.ceil(sizes / t) * sizes * cycles_per_mac
+    # Greedy wave packing of identical-priority blocks.
+    total_cycles = float(np.sum(block_cycles)) / concurrent
+    # A wave cannot be shorter than its slowest block.
+    total_cycles = max(total_cycles, float(block_cycles.max(initial=0.0)))
+    return device.kernel_launch_s + total_cycles / device.clock_hz
+
+
+def iteration_times(
+    device: DeviceSpec,
+    dec: DecomposedOPF,
+    threads_per_block: int | None = None,
+) -> UpdateTimes:
+    """Modeled single-device times of one full ADMM iteration."""
+    sizes = np.array([c.n_vars for c in dec.components], dtype=float)
+    if threads_per_block is None:
+        local = local_update_time_batched(device, sizes)
+    else:
+        local = local_update_time_threads(device, sizes, threads_per_block)
+    return UpdateTimes(
+        global_s=global_update_time(device, dec.lp.n_vars, dec.n_local),
+        local_s=local,
+        dual_s=dual_update_time(device, dec.n_local),
+    )
+
+
+def multi_device_iteration_times(
+    device: DeviceSpec,
+    dec: DecomposedOPF,
+    n_devices: int,
+    comm: CommModel,
+) -> UpdateTimes:
+    """Fig. 3 middle row: N devices each own ~S/N components; the aggregator
+    exchange (with device-host staging for GPUs over MPI) is added to the
+    local stage, and grows with N while per-device compute shrinks."""
+    if n_devices < 1:
+        raise ValueError("need at least one device")
+    sizes = np.array([c.n_vars for c in dec.components], dtype=float)
+    order = np.arange(len(sizes))
+    shares = np.array_split(order, n_devices)
+    per_dev = [local_update_time_batched(device, sizes[s]) for s in shares if len(s)]
+    local = max(per_dev)
+    comm_s = 0.0
+    if n_devices > 1:
+        per_rank_bytes = np.array(
+            [2.0 * BYTES_PER_VALUE * float(np.sum(sizes[s])) for s in shares if len(s)]
+        )
+        comm_s = comm.gather_scatter_time(per_rank_bytes)
+    return UpdateTimes(
+        global_s=global_update_time(device, dec.lp.n_vars, dec.n_local),
+        local_s=local,
+        dual_s=dual_update_time(device, dec.n_local),
+        comm_s=comm_s,
+    )

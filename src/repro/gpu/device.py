@@ -1,0 +1,87 @@
+"""Device specifications for the analytical performance model.
+
+No physical GPU is available in this environment (see DESIGN.md), so the
+GPU experiments are reproduced in two coupled halves:
+
+* the **numerics** run through the real batched NumPy kernels of
+  :mod:`repro.core.batch` — the same data-parallel computation a CUDA grid
+  performs, so iterates and residual traces are exactly those of a GPU run
+  (paper Fig. 2 shows CPU/GPU iterate equivalence);
+* the **wall time** of a device is predicted by an analytical roofline-style
+  model over these specs (kernel-launch latency, sustained FP64 throughput,
+  memory bandwidth, SM/occupancy geometry for the thread-count study).
+
+Values are taken from vendor datasheets for the hardware the paper used
+(NVIDIA A100 40GB SXM on Swing; Intel Xeon E5-2695v4 on Bebop); sustained
+figures are derated from peak by a conventional factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An execution device for the analytical cost model.
+
+    Attributes
+    ----------
+    flops_per_s:
+        Sustained FP64 rate of the whole device.
+    mem_bandwidth_bytes_s:
+        Sustained main-memory bandwidth.
+    kernel_launch_s:
+        Fixed overhead per kernel launch (zero for CPUs).
+    sm_count, max_threads_per_sm, max_blocks_per_sm, clock_hz:
+        Occupancy geometry, used only by the per-thread local-update model
+        (Fig. 3 bottom row); CPU specs leave them at defaults.
+    """
+
+    name: str
+    flops_per_s: float
+    mem_bandwidth_bytes_s: float
+    kernel_launch_s: float = 0.0
+    sm_count: int = 1
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    clock_hz: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.flops_per_s <= 0 or self.mem_bandwidth_bytes_s <= 0:
+            raise ValueError("device rates must be positive")
+        if self.sm_count < 1:
+            raise ValueError("sm_count must be at least 1")
+
+
+#: NVIDIA A100 40GB (Swing node GPU): 9.7 TFLOP/s FP64, 1.56 TB/s HBM2.
+A100 = DeviceSpec(
+    name="NVIDIA A100 40GB",
+    flops_per_s=0.6 * 9.7e12,
+    mem_bandwidth_bytes_s=0.75 * 1.555e12,
+    kernel_launch_s=4e-6,
+    sm_count=108,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    clock_hz=1.41e9,
+)
+
+#: One Intel Xeon E5-2695v4 core (Bebop): 2.1 GHz Broadwell, AVX2 FMA.
+XEON_CORE = DeviceSpec(
+    name="Xeon E5-2695v4 core",
+    flops_per_s=0.4 * 2.1e9 * 16,
+    mem_bandwidth_bytes_s=8e9,
+    kernel_launch_s=0.0,
+)
+
+
+def xeon_node(n_cores: int = 36) -> DeviceSpec:
+    """A Bebop CPU node as one aggregate device (memory bandwidth shared)."""
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    return DeviceSpec(
+        name=f"Xeon E5-2695v4 x{n_cores}",
+        flops_per_s=XEON_CORE.flops_per_s * n_cores,
+        mem_bandwidth_bytes_s=min(68e9, XEON_CORE.mem_bandwidth_bytes_s * n_cores),
+        kernel_launch_s=0.0,
+    )

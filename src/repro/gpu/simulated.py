@@ -1,0 +1,82 @@
+"""Simulated-GPU execution of Algorithm 1.
+
+Couples the real batched numerics (exact iterates) with the analytical
+device model (modeled wall time): a run on the simulated device performs the
+same computation as :class:`~repro.core.solver_free.SolverFreeADMM` — the
+residual histories are identical, which is the content of the paper's Fig. 2
+— while its reported timers come from :mod:`repro.gpu.costmodel` scaled by
+the iteration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ADMMConfig
+from repro.core.results import ADMMResult
+from repro.core.solver_free import SolverFreeADMM
+from repro.decomposition.decomposed import DecomposedOPF
+from repro.gpu.costmodel import (
+    UpdateTimes,
+    iteration_times,
+    multi_device_iteration_times,
+)
+from repro.gpu.device import DeviceSpec
+from repro.parallel.comm import GPU_CLUSTER_COMM, CommModel
+
+
+@dataclass
+class SimulatedDeviceRun:
+    """An ADMM result annotated with modeled device timing."""
+
+    result: ADMMResult
+    device: DeviceSpec
+    per_iteration: UpdateTimes
+    n_devices: int = 1
+
+    @property
+    def modeled_total_s(self) -> float:
+        return self.per_iteration.total_s * self.result.iterations
+
+    def modeled_timers(self) -> dict[str, float]:
+        it = self.result.iterations
+        timers = {
+            "global": self.per_iteration.global_s * it,
+            "local": self.per_iteration.local_s * it,
+            "dual": self.per_iteration.dual_s * it,
+        }
+        if self.per_iteration.comm_s:
+            timers["comm"] = self.per_iteration.comm_s * it
+        return timers
+
+
+def run_on_device(
+    dec: DecomposedOPF,
+    device: DeviceSpec,
+    config: ADMMConfig | None = None,
+    threads_per_block: int | None = None,
+    n_devices: int = 1,
+    comm: CommModel = GPU_CLUSTER_COMM,
+    **solve_kwargs,
+) -> SimulatedDeviceRun:
+    """Run Algorithm 1 and attach modeled per-iteration device times.
+
+    Parameters
+    ----------
+    threads_per_block:
+        If given (single device only), use the per-thread kernel model of
+        Section IV-D instead of the batched-matmul model.
+    n_devices:
+        Number of devices sharing the components (multi-GPU MPI mode).
+    """
+    if n_devices > 1 and threads_per_block is not None:
+        raise ValueError("the thread model applies to single-device runs only")
+    solver = SolverFreeADMM(dec, config)
+    result = solver.solve(**solve_kwargs)
+    if n_devices > 1:
+        per_iter = multi_device_iteration_times(device, dec, n_devices, comm)
+    else:
+        per_iter = iteration_times(device, dec, threads_per_block=threads_per_block)
+    return SimulatedDeviceRun(
+        result=result, device=device, per_iteration=per_iter, n_devices=n_devices
+    )

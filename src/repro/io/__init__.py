@@ -1,0 +1,23 @@
+"""Serialization: feeder JSON format, LP matrix export, result logging."""
+
+from repro.io.export import load_lp_npz, result_to_dict, save_lp_npz, save_result
+from repro.io.csv_feeder import load_network_csv, save_network_csv
+from repro.io.feeder_json import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+__all__ = [
+    "save_network",
+    "load_network_csv",
+    "save_network_csv",
+    "load_network",
+    "network_to_dict",
+    "network_from_dict",
+    "save_lp_npz",
+    "load_lp_npz",
+    "result_to_dict",
+    "save_result",
+]

@@ -1,0 +1,269 @@
+"""CSV feeder exchange format.
+
+A minimal, spreadsheet-friendly alternative to the JSON format: a feeder is
+a directory of four CSV files (``buses.csv``, ``lines.csv``,
+``generators.csv``, ``loads.csv``).  Per-phase columns are flattened as
+``<field>_<phase>``; impedance matrices as ``r_<i><j>`` / ``x_<i><j>`` over
+the line's own phase ordering.  Empty cells fall back to component
+defaults.
+
+This is the import path a utility engineer with planning spreadsheets would
+actually use; the JSON format remains the lossless round-trip format.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.components import Bus, Connection, Generator, Line, Load
+from repro.network.network import DistributionNetwork
+from repro.utils.exceptions import NetworkValidationError
+
+BUSES_FILE = "buses.csv"
+LINES_FILE = "lines.csv"
+GENERATORS_FILE = "generators.csv"
+LOADS_FILE = "loads.csv"
+
+
+def _phases_of(row: dict) -> tuple[int, ...]:
+    raw = (row.get("phases") or "").strip()
+    if not raw:
+        raise NetworkValidationError(f"row {row}: missing phases")
+    return tuple(int(c) for c in raw)
+
+
+def _per_phase(row: dict, field: str, phases: tuple[int, ...], default: float) -> np.ndarray:
+    out = np.full(len(phases), default)
+    for a, phi in enumerate(phases):
+        raw = (row.get(f"{field}_{phi}") or "").strip()
+        if raw:
+            out[a] = float(raw)
+    return out
+
+
+def _matrix(row: dict, field: str, phases: tuple[int, ...]) -> np.ndarray:
+    n = len(phases)
+    out = np.zeros((n, n))
+    for a, pi in enumerate(phases):
+        for b, pj in enumerate(phases):
+            raw = (row.get(f"{field}_{pi}{pj}") or "").strip()
+            if raw:
+                out[a, b] = float(raw)
+    return out
+
+
+def _read_rows(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    with path.open(newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def load_network_csv(directory: str | Path, name: str | None = None) -> DistributionNetwork:
+    """Load a feeder from a CSV directory.
+
+    Raises
+    ------
+    NetworkValidationError
+        On missing files/columns or inconsistent component data.
+    """
+    directory = Path(directory)
+    bus_rows = _read_rows(directory / BUSES_FILE)
+    if not bus_rows:
+        raise NetworkValidationError(f"no {BUSES_FILE} in {directory}")
+    meta = bus_rows[0]
+    net = DistributionNetwork(
+        name=name or directory.name,
+        mva_base=float(meta.get("mva_base") or 1.0),
+        kv_base=float(meta.get("kv_base") or 4.16),
+    )
+    for row in bus_rows:
+        phases = _phases_of(row)
+        net.add_bus(
+            Bus(
+                row["name"],
+                phases,
+                w_min=_per_phase(row, "w_min", phases, 0.81),
+                w_max=_per_phase(row, "w_max", phases, 1.21),
+                g_sh=_per_phase(row, "g_sh", phases, 0.0),
+                b_sh=_per_phase(row, "b_sh", phases, 0.0),
+            )
+        )
+        if (row.get("substation") or "").strip().lower() in ("1", "true", "yes"):
+            net.substation = row["name"]
+
+    for row in _read_rows(directory / LINES_FILE):
+        phases = _phases_of(row)
+        net.add_line(
+            Line(
+                row["name"],
+                from_bus=row["from_bus"],
+                to_bus=row["to_bus"],
+                phases=phases,
+                r=_matrix(row, "r", phases),
+                x=_matrix(row, "x", phases),
+                tap=_per_phase(row, "tap", phases, 1.0),
+                p_min=_per_phase(row, "p_min", phases, -10.0),
+                p_max=_per_phase(row, "p_max", phases, 10.0),
+                q_min=_per_phase(row, "q_min", phases, -10.0),
+                q_max=_per_phase(row, "q_max", phases, 10.0),
+                is_transformer=(row.get("is_transformer") or "").strip().lower()
+                in ("1", "true", "yes"),
+            )
+        )
+
+    for row in _read_rows(directory / GENERATORS_FILE):
+        phases = _phases_of(row)
+        net.add_generator(
+            Generator(
+                row["name"],
+                bus=row["bus"],
+                phases=phases,
+                p_min=_per_phase(row, "p_min", phases, 0.0),
+                p_max=_per_phase(row, "p_max", phases, 10.0),
+                q_min=_per_phase(row, "q_min", phases, -10.0),
+                q_max=_per_phase(row, "q_max", phases, 10.0),
+                cost=float((row.get("cost") or "1").strip() or 1.0),
+            )
+        )
+
+    for row in _read_rows(directory / LOADS_FILE):
+        phases = _phases_of(row)
+        conn = Connection((row.get("connection") or "wye").strip().lower())
+        net.add_load(
+            Load(
+                row["name"],
+                bus=row["bus"],
+                phases=phases,
+                connection=conn,
+                p_ref=_per_phase(row, "p_ref", phases, 0.0),
+                q_ref=_per_phase(row, "q_ref", phases, 0.0),
+                alpha=_per_phase(row, "alpha", phases, 0.0),
+                beta=_per_phase(row, "beta", phases, 0.0),
+            )
+        )
+    net.validate()
+    return net
+
+
+def save_network_csv(net: DistributionNetwork, directory: str | Path) -> None:
+    """Write a feeder to a CSV directory (inverse of :func:`load_network_csv`)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    def phase_cols(field: str) -> list[str]:
+        return [f"{field}_{p}" for p in (1, 2, 3)]
+
+    def put_phases(row: dict, field: str, phases, values) -> None:
+        for phi, v in zip(phases, values):
+            row[f"{field}_{phi}"] = repr(float(v))
+
+    # Buses.
+    headers = (
+        ["name", "phases", "substation", "mva_base", "kv_base"]
+        + phase_cols("w_min")
+        + phase_cols("w_max")
+        + phase_cols("g_sh")
+        + phase_cols("b_sh")
+    )
+    with (directory / BUSES_FILE).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=headers)
+        writer.writeheader()
+        for i, bus in enumerate(net.buses.values()):
+            row = {
+                "name": bus.name,
+                "phases": "".join(str(p) for p in bus.phases),
+                "substation": "1" if bus.name == net.substation else "",
+            }
+            if i == 0:
+                row["mva_base"] = repr(net.mva_base)
+                row["kv_base"] = repr(net.kv_base)
+            put_phases(row, "w_min", bus.phases, bus.w_min)
+            put_phases(row, "w_max", bus.phases, bus.w_max)
+            put_phases(row, "g_sh", bus.phases, bus.g_sh)
+            put_phases(row, "b_sh", bus.phases, bus.b_sh)
+            writer.writerow(row)
+
+    # Lines.
+    mat_cols = [f"{f}_{i}{j}" for f in ("r", "x") for i in (1, 2, 3) for j in (1, 2, 3)]
+    headers = (
+        ["name", "from_bus", "to_bus", "phases", "is_transformer"]
+        + mat_cols
+        + phase_cols("tap")
+        + phase_cols("p_min")
+        + phase_cols("p_max")
+        + phase_cols("q_min")
+        + phase_cols("q_max")
+    )
+    with (directory / LINES_FILE).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=headers)
+        writer.writeheader()
+        for line in net.lines.values():
+            row = {
+                "name": line.name,
+                "from_bus": line.from_bus,
+                "to_bus": line.to_bus,
+                "phases": "".join(str(p) for p in line.phases),
+                "is_transformer": "1" if line.is_transformer else "",
+            }
+            for a, pi in enumerate(line.phases):
+                for b, pj in enumerate(line.phases):
+                    row[f"r_{pi}{pj}"] = repr(float(line.r[a, b]))
+                    row[f"x_{pi}{pj}"] = repr(float(line.x[a, b]))
+            put_phases(row, "tap", line.phases, line.tap)
+            put_phases(row, "p_min", line.phases, line.p_min)
+            put_phases(row, "p_max", line.phases, line.p_max)
+            put_phases(row, "q_min", line.phases, line.q_min)
+            put_phases(row, "q_max", line.phases, line.q_max)
+            writer.writerow(row)
+
+    # Generators.
+    headers = (
+        ["name", "bus", "phases", "cost"]
+        + phase_cols("p_min")
+        + phase_cols("p_max")
+        + phase_cols("q_min")
+        + phase_cols("q_max")
+    )
+    with (directory / GENERATORS_FILE).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=headers)
+        writer.writeheader()
+        for gen in net.generators.values():
+            row = {
+                "name": gen.name,
+                "bus": gen.bus,
+                "phases": "".join(str(p) for p in gen.phases),
+                "cost": repr(gen.cost),
+            }
+            put_phases(row, "p_min", gen.phases, gen.p_min)
+            put_phases(row, "p_max", gen.phases, gen.p_max)
+            put_phases(row, "q_min", gen.phases, gen.q_min)
+            put_phases(row, "q_max", gen.phases, gen.q_max)
+            writer.writerow(row)
+
+    # Loads.
+    headers = (
+        ["name", "bus", "phases", "connection"]
+        + phase_cols("p_ref")
+        + phase_cols("q_ref")
+        + phase_cols("alpha")
+        + phase_cols("beta")
+    )
+    with (directory / LOADS_FILE).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=headers)
+        writer.writeheader()
+        for load in net.loads.values():
+            row = {
+                "name": load.name,
+                "bus": load.bus,
+                "phases": "".join(str(p) for p in load.phases),
+                "connection": load.connection.value,
+            }
+            put_phases(row, "p_ref", load.phases, load.p_ref)
+            put_phases(row, "q_ref", load.phases, load.q_ref)
+            put_phases(row, "alpha", load.phases, load.alpha)
+            put_phases(row, "beta", load.phases, load.beta)
+            writer.writerow(row)

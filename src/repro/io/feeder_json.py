@@ -1,0 +1,178 @@
+"""JSON serialization of :class:`DistributionNetwork`.
+
+A stable, versioned on-disk format so downstream users can exchange feeder
+models without re-running the generators.  Arrays are stored as nested
+lists; phases as lists of ints; enums by value.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.components import Bus, Connection, Generator, Line, Load
+from repro.network.network import DistributionNetwork
+from repro.utils.exceptions import NetworkValidationError
+
+FORMAT_VERSION = 1
+
+
+def _arr(a: np.ndarray) -> list:
+    return np.asarray(a).tolist()
+
+
+def network_to_dict(net: DistributionNetwork) -> dict:
+    """Serialize a network to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": net.name,
+        "mva_base": net.mva_base,
+        "kv_base": net.kv_base,
+        "substation": net.substation,
+        "buses": [
+            {
+                "name": b.name,
+                "phases": list(b.phases),
+                "w_min": _arr(b.w_min),
+                "w_max": _arr(b.w_max),
+                "g_sh": _arr(b.g_sh),
+                "b_sh": _arr(b.b_sh),
+            }
+            for b in net.buses.values()
+        ],
+        "lines": [
+            {
+                "name": l.name,
+                "from_bus": l.from_bus,
+                "to_bus": l.to_bus,
+                "phases": list(l.phases),
+                "r": _arr(l.r),
+                "x": _arr(l.x),
+                "g_sh_fr": _arr(l.g_sh_fr),
+                "b_sh_fr": _arr(l.b_sh_fr),
+                "g_sh_to": _arr(l.g_sh_to),
+                "b_sh_to": _arr(l.b_sh_to),
+                "tap": _arr(l.tap),
+                "p_min": _arr(l.p_min),
+                "p_max": _arr(l.p_max),
+                "q_min": _arr(l.q_min),
+                "q_max": _arr(l.q_max),
+                "is_transformer": l.is_transformer,
+            }
+            for l in net.lines.values()
+        ],
+        "generators": [
+            {
+                "name": g.name,
+                "bus": g.bus,
+                "phases": list(g.phases),
+                "p_min": _arr(g.p_min),
+                "p_max": _arr(g.p_max),
+                "q_min": _arr(g.q_min),
+                "q_max": _arr(g.q_max),
+                "cost": g.cost,
+            }
+            for g in net.generators.values()
+        ],
+        "loads": [
+            {
+                "name": l.name,
+                "bus": l.bus,
+                "phases": list(l.phases),
+                "connection": l.connection.value,
+                "p_ref": _arr(l.p_ref),
+                "q_ref": _arr(l.q_ref),
+                "alpha": _arr(l.alpha),
+                "beta": _arr(l.beta),
+            }
+            for l in net.loads.values()
+        ],
+    }
+
+
+def network_from_dict(data: dict) -> DistributionNetwork:
+    """Reconstruct a network from :func:`network_to_dict` output.
+
+    Raises
+    ------
+    NetworkValidationError
+        On unknown format versions or invalid component data.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise NetworkValidationError(f"unsupported feeder format version {version!r}")
+    net = DistributionNetwork(
+        name=data["name"], mva_base=data["mva_base"], kv_base=data["kv_base"]
+    )
+    for b in data["buses"]:
+        net.add_bus(
+            Bus(
+                b["name"],
+                tuple(b["phases"]),
+                w_min=np.array(b["w_min"]),
+                w_max=np.array(b["w_max"]),
+                g_sh=np.array(b["g_sh"]),
+                b_sh=np.array(b["b_sh"]),
+            )
+        )
+    for l in data["lines"]:
+        net.add_line(
+            Line(
+                l["name"],
+                from_bus=l["from_bus"],
+                to_bus=l["to_bus"],
+                phases=tuple(l["phases"]),
+                r=np.array(l["r"]),
+                x=np.array(l["x"]),
+                g_sh_fr=np.array(l["g_sh_fr"]),
+                b_sh_fr=np.array(l["b_sh_fr"]),
+                g_sh_to=np.array(l["g_sh_to"]),
+                b_sh_to=np.array(l["b_sh_to"]),
+                tap=np.array(l["tap"]),
+                p_min=np.array(l["p_min"]),
+                p_max=np.array(l["p_max"]),
+                q_min=np.array(l["q_min"]),
+                q_max=np.array(l["q_max"]),
+                is_transformer=l["is_transformer"],
+            )
+        )
+    for g in data["generators"]:
+        net.add_generator(
+            Generator(
+                g["name"],
+                bus=g["bus"],
+                phases=tuple(g["phases"]),
+                p_min=np.array(g["p_min"]),
+                p_max=np.array(g["p_max"]),
+                q_min=np.array(g["q_min"]),
+                q_max=np.array(g["q_max"]),
+                cost=g["cost"],
+            )
+        )
+    for l in data["loads"]:
+        net.add_load(
+            Load(
+                l["name"],
+                bus=l["bus"],
+                phases=tuple(l["phases"]),
+                connection=Connection(l["connection"]),
+                p_ref=np.array(l["p_ref"]),
+                q_ref=np.array(l["q_ref"]),
+                alpha=np.array(l["alpha"]),
+                beta=np.array(l["beta"]),
+            )
+        )
+    net.substation = data.get("substation")
+    return net
+
+
+def save_network(net: DistributionNetwork, path: str | Path) -> None:
+    """Write a network to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(net), indent=1))
+
+
+def load_network(path: str | Path) -> DistributionNetwork:
+    """Read a network from a JSON file produced by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,20 @@
+"""Multi-period distributed OPF with energy storage (the setting of the
+paper's comparison baseline [15]), built on the same consensus machinery."""
+
+from repro.multiperiod.model import (
+    MultiPeriodProblem,
+    Storage,
+    build_multiperiod_lp,
+)
+from repro.multiperiod.solve import (
+    MultiPeriodSolverFreeADMM,
+    decompose_multiperiod,
+)
+
+__all__ = [
+    "Storage",
+    "MultiPeriodProblem",
+    "build_multiperiod_lp",
+    "decompose_multiperiod",
+    "MultiPeriodSolverFreeADMM",
+]

@@ -1,0 +1,39 @@
+"""Multi-phase distribution network data model.
+
+This package is the paper's physical substrate: buses, lines, transformers,
+generators and wye/delta ZIP loads, with per-unit impedance handling and
+topology utilities.  See :class:`repro.network.DistributionNetwork`.
+"""
+
+from repro.network.components import Bus, Connection, Generator, Line, Load, LoadType
+from repro.network.impedance import (
+    IEEE13_CONFIGS,
+    LineConfig,
+    impedance_base_ohm,
+    line_impedance_pu,
+)
+from repro.network.network import DistributionNetwork
+from repro.network.phases import (
+    ALL_PHASES,
+    DELTA_BRANCH_PHASES,
+    phase_tuple,
+    phases_of_delta_branches,
+)
+
+__all__ = [
+    "Bus",
+    "Generator",
+    "Line",
+    "Load",
+    "Connection",
+    "LoadType",
+    "DistributionNetwork",
+    "LineConfig",
+    "IEEE13_CONFIGS",
+    "line_impedance_pu",
+    "impedance_base_ohm",
+    "ALL_PHASES",
+    "DELTA_BRANCH_PHASES",
+    "phase_tuple",
+    "phases_of_delta_branches",
+]

@@ -1,0 +1,136 @@
+"""Solution analysis: operator-facing quantities derived from an OPF result.
+
+Turns the raw solution vector of a solve into the quantities a distribution
+engineer reads: per-bus voltage profiles, feeder losses, line loadings,
+phase imbalance and substation exchange.  Used by the examples and handy
+for downstream adopters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formulation.centralized import CentralizedLP
+
+
+@dataclass(frozen=True)
+class VoltageProfile:
+    """Per-bus-phase voltage magnitudes (pu, not squared)."""
+
+    buses: list[str]
+    phases: list[int]
+    magnitudes: np.ndarray
+
+    @property
+    def v_min(self) -> float:
+        return float(self.magnitudes.min())
+
+    @property
+    def v_max(self) -> float:
+        return float(self.magnitudes.max())
+
+    def worst_bus(self) -> tuple[str, int, float]:
+        """(bus, phase, |V|) at the lowest voltage."""
+        i = int(np.argmin(self.magnitudes))
+        return self.buses[i], self.phases[i], float(self.magnitudes[i])
+
+
+def voltage_profile(lp: CentralizedLP, x: np.ndarray) -> VoltageProfile:
+    """Extract the voltage profile from a solution vector."""
+    buses: list[str] = []
+    phases: list[int] = []
+    mags: list[float] = []
+    vi = lp.var_index
+    for bus in lp.network.buses.values():
+        for phi in bus.phases:
+            w = float(x[vi.index(("w", bus.name, phi))])
+            buses.append(bus.name)
+            phases.append(phi)
+            mags.append(float(np.sqrt(max(w, 0.0))))
+    return VoltageProfile(buses=buses, phases=phases, magnitudes=np.asarray(mags))
+
+
+def substation_exchange(lp: CentralizedLP, x: np.ndarray) -> tuple[float, float]:
+    """Total (P, Q) injected by all generators at the substation bus."""
+    net = lp.network
+    if net.substation is None:
+        raise ValueError("network has no substation designated")
+    vi = lp.var_index
+    p = q = 0.0
+    for gen in net.generators_at(net.substation):
+        for phi in gen.phases:
+            p += float(x[vi.index(("pg", gen.name, phi))])
+            q += float(x[vi.index(("qg", gen.name, phi))])
+    return p, q
+
+
+def total_losses(lp: CentralizedLP, x: np.ndarray) -> float:
+    """Total real losses: sum over lines and phases of ``p_f + p_t``.
+
+    In the linearized model (5a) losses reduce to the shunt terms, so this
+    is exactly the generation-minus-consumption balance.
+    """
+    vi = lp.var_index
+    loss = 0.0
+    for line in lp.network.lines.values():
+        for phi in line.phases:
+            loss += float(x[vi.index(("pf", line.name, phi))])
+            loss += float(x[vi.index(("pt", line.name, phi))])
+    return loss
+
+
+def line_loading(lp: CentralizedLP, x: np.ndarray) -> dict[str, float]:
+    """Per-line worst-phase loading fraction ``|p| / p_max``."""
+    vi = lp.var_index
+    loading: dict[str, float] = {}
+    for line in lp.network.lines.values():
+        worst = 0.0
+        for a, phi in enumerate(line.phases):
+            limit = float(line.p_max[a])
+            if limit <= 0 or not np.isfinite(limit):
+                continue
+            for kind in ("pf", "pt"):
+                worst = max(worst, abs(float(x[vi.index((kind, line.name, phi))])) / limit)
+        loading[line.name] = worst
+    return loading
+
+
+def phase_imbalance(lp: CentralizedLP, x: np.ndarray, bus: str) -> float:
+    """Voltage imbalance at ``bus``: max deviation from the phase mean,
+    normalized by the mean (0 for balanced or single-phase buses)."""
+    net = lp.network
+    if bus not in net.buses:
+        raise KeyError(f"unknown bus {bus!r}")
+    vi = lp.var_index
+    mags = np.array(
+        [np.sqrt(max(float(x[vi.index(("w", bus, phi))]), 0.0)) for phi in net.buses[bus].phases]
+    )
+    if mags.size <= 1:
+        return 0.0
+    mean = float(mags.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(np.max(np.abs(mags - mean)) / mean)
+
+
+def solution_report(lp: CentralizedLP, x: np.ndarray) -> dict:
+    """One-call summary used by the CLI and examples."""
+    profile = voltage_profile(lp, x)
+    p_sub, q_sub = substation_exchange(lp, x)
+    loading = line_loading(lp, x)
+    worst_line = max(loading, key=loading.get) if loading else None
+    return {
+        "objective": float(lp.cost @ x),
+        "substation_p": p_sub,
+        "substation_q": q_sub,
+        "losses": total_losses(lp, x),
+        "v_min": profile.v_min,
+        "v_max": profile.v_max,
+        "worst_bus": profile.worst_bus()[0],
+        "max_loading": loading[worst_line] if worst_line else 0.0,
+        "worst_line": worst_line,
+        "equality_violation": lp.equality_violation(x),
+        "bound_violation": lp.bound_violation(x),
+    }

@@ -1,0 +1,256 @@
+"""Physical component records of a multi-phase distribution network.
+
+All electrical quantities are stored in per-unit on the network's system
+base.  Per-phase quantities are NumPy arrays aligned with the component's
+sorted ``phases`` tuple; matrix quantities (series impedance) are square
+arrays over the same ordering.
+
+The component set mirrors the paper's nomenclature (Table I):
+
+* :class:`Bus` - node with squared-voltage-magnitude bounds and shunts,
+* :class:`Generator` - dispatchable injection with box bounds (2a),
+* :class:`Load` - voltage-dependent ZIP load, wye or delta connected (4),
+* :class:`Line` - multi-phase series element (branch, transformer or
+  regulator) with the linearized flow model (5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.phases import (
+    DELTA_BRANCH_PHASES,
+    delta_branch_tuple,
+    phase_tuple,
+    phases_of_delta_branches,
+)
+
+
+class Connection(enum.Enum):
+    """Load connection type."""
+
+    WYE = "wye"
+    DELTA = "delta"
+
+
+class LoadType(enum.Enum):
+    """Named ZIP exponents: the paper labels loads as constant power,
+    constant current, or constant impedance; the linearization (4a)-(4b)
+    depends only on the exponent values ``alpha``/``beta``."""
+
+    CONSTANT_POWER = 0.0
+    CONSTANT_CURRENT = 1.0
+    CONSTANT_IMPEDANCE = 2.0
+
+
+def _per_phase(value, n: int, name: str) -> np.ndarray:
+    """Broadcast a scalar or validate an array to a length-``n`` float array."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        arr = np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise ValueError(f"{name}: expected scalar or shape ({n},), got {arr.shape}")
+    return arr.copy()
+
+
+def _square(value, n: int, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.shape != (n, n):
+        raise ValueError(f"{name}: expected shape ({n},{n}), got {arr.shape}")
+    return arr.copy()
+
+
+@dataclass
+class Bus:
+    """A network bus.
+
+    Parameters
+    ----------
+    name:
+        Unique bus identifier.
+    phases:
+        Phases present at the bus.
+    w_min, w_max:
+        Bounds on the squared voltage magnitude ``w`` per phase (2b).
+    g_sh, b_sh:
+        Per-phase shunt conductance / susceptance (used in (3)).
+    """
+
+    name: str
+    phases: tuple[int, ...]
+    w_min: np.ndarray = field(default=None)  # type: ignore[assignment]
+    w_max: np.ndarray = field(default=None)  # type: ignore[assignment]
+    g_sh: np.ndarray = field(default=None)  # type: ignore[assignment]
+    b_sh: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.phases = phase_tuple(self.phases)
+        n = len(self.phases)
+        self.w_min = _per_phase(self.w_min if self.w_min is not None else 0.81, n, "w_min")
+        self.w_max = _per_phase(self.w_max if self.w_max is not None else 1.21, n, "w_max")
+        self.g_sh = _per_phase(self.g_sh if self.g_sh is not None else 0.0, n, "g_sh")
+        self.b_sh = _per_phase(self.b_sh if self.b_sh is not None else 0.0, n, "b_sh")
+        if np.any(self.w_min > self.w_max):
+            raise ValueError(f"bus {self.name}: w_min exceeds w_max")
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+
+@dataclass
+class Generator:
+    """A dispatchable generation resource (substation head, PV inverter, ...).
+
+    Box bounds per phase correspond to (2a); ``cost`` scales the generator's
+    contribution to the linear objective (6a), which the paper takes as 1.
+    """
+
+    name: str
+    bus: str
+    phases: tuple[int, ...]
+    p_min: np.ndarray = field(default=None)  # type: ignore[assignment]
+    p_max: np.ndarray = field(default=None)  # type: ignore[assignment]
+    q_min: np.ndarray = field(default=None)  # type: ignore[assignment]
+    q_max: np.ndarray = field(default=None)  # type: ignore[assignment]
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.phases = phase_tuple(self.phases)
+        n = len(self.phases)
+        self.p_min = _per_phase(self.p_min if self.p_min is not None else 0.0, n, "p_min")
+        self.p_max = _per_phase(self.p_max if self.p_max is not None else 10.0, n, "p_max")
+        self.q_min = _per_phase(self.q_min if self.q_min is not None else -10.0, n, "q_min")
+        self.q_max = _per_phase(self.q_max if self.q_max is not None else 10.0, n, "q_max")
+        if np.any(self.p_min > self.p_max) or np.any(self.q_min > self.q_max):
+            raise ValueError(f"generator {self.name}: inconsistent bounds")
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+
+@dataclass
+class Load:
+    """A voltage-dependent (ZIP-linearized) load, wye or delta connected.
+
+    For a **wye** load, ``phases`` are the bus phases it draws from, and the
+    consumption model (4a)-(4b) is applied with ``w_hat = w`` (4c).
+
+    For a **delta** load, ``phases`` are *branch ids* (1: a-b, 2: b-c, 3: c-a)
+    and the model is applied with ``w_hat = 3 w`` (4d); the translation from
+    branch consumption ``p^d`` to bus withdrawals ``p^b`` follows (4f)-(4j)
+    for the full three-branch delta and a nominal-phasor linear map for
+    partial deltas.
+
+    Parameters
+    ----------
+    p_ref, q_ref:
+        Reference consumptions ``a`` and ``b`` in (4a)-(4b), per phase/branch.
+    alpha, beta:
+        ZIP exponents per phase/branch (0: constant power, 1: constant
+        current, 2: constant impedance).
+    """
+
+    name: str
+    bus: str
+    phases: tuple[int, ...]
+    connection: Connection = Connection.WYE
+    p_ref: np.ndarray = field(default=None)  # type: ignore[assignment]
+    q_ref: np.ndarray = field(default=None)  # type: ignore[assignment]
+    alpha: np.ndarray = field(default=None)  # type: ignore[assignment]
+    beta: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.connection is Connection.DELTA:
+            self.phases = delta_branch_tuple(self.phases)
+        else:
+            self.phases = phase_tuple(self.phases)
+        n = len(self.phases)
+        self.p_ref = _per_phase(self.p_ref if self.p_ref is not None else 0.0, n, "p_ref")
+        self.q_ref = _per_phase(self.q_ref if self.q_ref is not None else 0.0, n, "q_ref")
+        self.alpha = _per_phase(self.alpha if self.alpha is not None else 0.0, n, "alpha")
+        self.beta = _per_phase(self.beta if self.beta is not None else 0.0, n, "beta")
+        if np.any(self.alpha < 0) or np.any(self.beta < 0):
+            raise ValueError(f"load {self.name}: ZIP exponents must be nonnegative")
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def is_delta(self) -> bool:
+        return self.connection is Connection.DELTA
+
+    @property
+    def bus_phases(self) -> tuple[int, ...]:
+        """Bus phases at which the load withdraws power (``p^b`` indices)."""
+        if self.is_delta:
+            return phases_of_delta_branches(self.phases)
+        return self.phases
+
+    @property
+    def branch_phase_pairs(self) -> tuple[tuple[int, int], ...]:
+        """For delta loads, the (from, to) phase pair of each branch."""
+        if not self.is_delta:
+            raise ValueError(f"load {self.name} is not delta connected")
+        return tuple(DELTA_BRANCH_PHASES[b] for b in self.phases)
+
+
+@dataclass
+class Line:
+    """A multi-phase series element: an overhead/underground line segment, a
+    transformer, or a voltage regulator.
+
+    ``r``/``x`` are the series resistance/reactance matrices over the line's
+    phase ordering, entering the voltage-drop matrices ``M^p``/``M^q`` of
+    (5c).  ``g_sh_fr``/``b_sh_fr`` (and ``_to``) are the per-phase shunt
+    admittances used in (5a)-(5b); ``tap`` is the per-phase ratio tau in (5c)
+    (1 for plain lines).  Flow bounds per phase correspond to (2c)-(2d) and
+    apply to both flow directions.
+    """
+
+    name: str
+    from_bus: str
+    to_bus: str
+    phases: tuple[int, ...]
+    r: np.ndarray = field(default=None)  # type: ignore[assignment]
+    x: np.ndarray = field(default=None)  # type: ignore[assignment]
+    g_sh_fr: np.ndarray = field(default=None)  # type: ignore[assignment]
+    b_sh_fr: np.ndarray = field(default=None)  # type: ignore[assignment]
+    g_sh_to: np.ndarray = field(default=None)  # type: ignore[assignment]
+    b_sh_to: np.ndarray = field(default=None)  # type: ignore[assignment]
+    tap: np.ndarray = field(default=None)  # type: ignore[assignment]
+    p_min: np.ndarray = field(default=None)  # type: ignore[assignment]
+    p_max: np.ndarray = field(default=None)  # type: ignore[assignment]
+    q_min: np.ndarray = field(default=None)  # type: ignore[assignment]
+    q_max: np.ndarray = field(default=None)  # type: ignore[assignment]
+    is_transformer: bool = False
+
+    def __post_init__(self) -> None:
+        self.phases = phase_tuple(self.phases)
+        n = len(self.phases)
+        if self.from_bus == self.to_bus:
+            raise ValueError(f"line {self.name}: from_bus equals to_bus")
+        self.r = _square(self.r if self.r is not None else np.zeros((n, n)), n, "r")
+        self.x = _square(self.x if self.x is not None else np.zeros((n, n)), n, "x")
+        self.g_sh_fr = _per_phase(self.g_sh_fr if self.g_sh_fr is not None else 0.0, n, "g_sh_fr")
+        self.b_sh_fr = _per_phase(self.b_sh_fr if self.b_sh_fr is not None else 0.0, n, "b_sh_fr")
+        self.g_sh_to = _per_phase(self.g_sh_to if self.g_sh_to is not None else 0.0, n, "g_sh_to")
+        self.b_sh_to = _per_phase(self.b_sh_to if self.b_sh_to is not None else 0.0, n, "b_sh_to")
+        self.tap = _per_phase(self.tap if self.tap is not None else 1.0, n, "tap")
+        self.p_min = _per_phase(self.p_min if self.p_min is not None else -10.0, n, "p_min")
+        self.p_max = _per_phase(self.p_max if self.p_max is not None else 10.0, n, "p_max")
+        self.q_min = _per_phase(self.q_min if self.q_min is not None else -10.0, n, "q_min")
+        self.q_max = _per_phase(self.q_max if self.q_max is not None else 10.0, n, "q_max")
+        if np.any(self.p_min > self.p_max) or np.any(self.q_min > self.q_max):
+            raise ValueError(f"line {self.name}: inconsistent flow bounds")
+        if np.any(self.tap <= 0):
+            raise ValueError(f"line {self.name}: tap ratios must be positive")
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)

@@ -1,0 +1,138 @@
+"""Line impedance configurations and per-unit conversion.
+
+The IEEE distribution test feeders specify overhead/underground conductor
+*configurations* as phase-frame series impedance matrices in ohms per mile
+(Kersting's reduced Carson matrices).  :class:`LineConfig` stores one such
+configuration; :func:`line_impedance_pu` scales it by length and converts to
+per-unit on a given base.
+
+The configuration data encoded in :data:`IEEE13_CONFIGS` reproduces the
+published IEEE 13-bus feeder configurations 601-607 (values transcribed from
+the test-feeder documentation; see DESIGN.md for provenance notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.phases import phase_tuple
+
+FEET_PER_MILE = 5280.0
+
+
+@dataclass(frozen=True)
+class LineConfig:
+    """A conductor configuration: series impedance per mile over ``phases``."""
+
+    name: str
+    phases: tuple[int, ...]
+    r_per_mile: np.ndarray  # ohm/mile, (P, P)
+    x_per_mile: np.ndarray  # ohm/mile, (P, P)
+    b_sh_per_mile: np.ndarray | None = None  # total charging susceptance, uS/mile
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", phase_tuple(self.phases))
+        n = len(self.phases)
+        r = np.asarray(self.r_per_mile, dtype=float)
+        x = np.asarray(self.x_per_mile, dtype=float)
+        if r.shape != (n, n) or x.shape != (n, n):
+            raise ValueError(f"config {self.name}: impedance must be ({n},{n})")
+        object.__setattr__(self, "r_per_mile", r)
+        object.__setattr__(self, "x_per_mile", x)
+
+    def submatrix(self, phases: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
+        """Restrict the configuration to a subset of its phases."""
+        phases = phase_tuple(phases)
+        idx = [self.phases.index(p) for p in phases]
+        return (
+            self.r_per_mile[np.ix_(idx, idx)].copy(),
+            self.x_per_mile[np.ix_(idx, idx)].copy(),
+        )
+
+
+def impedance_base_ohm(kv_ll: float, mva_base: float) -> float:
+    """Impedance base (ohms) for a line-to-line kV and three-phase MVA base."""
+    if kv_ll <= 0 or mva_base <= 0:
+        raise ValueError("bases must be positive")
+    return kv_ll**2 / mva_base
+
+
+def line_impedance_pu(
+    config: LineConfig,
+    length_ft: float,
+    kv_ll: float,
+    mva_base: float,
+    phases: tuple[int, ...] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-unit series ``(r, x)`` matrices for a segment of ``length_ft`` feet.
+
+    Parameters
+    ----------
+    config:
+        Conductor configuration (ohms/mile).
+    length_ft:
+        Segment length in feet.
+    kv_ll:
+        Line-to-line voltage base in kV.
+    mva_base:
+        Three-phase power base in MVA.
+    phases:
+        Optional phase subset; defaults to the configuration's phases.
+    """
+    if length_ft < 0:
+        raise ValueError("length must be nonnegative")
+    if phases is None:
+        r_mile, x_mile = config.r_per_mile, config.x_per_mile
+    else:
+        r_mile, x_mile = config.submatrix(phases)
+    zb = impedance_base_ohm(kv_ll, mva_base)
+    scale = (length_ft / FEET_PER_MILE) / zb
+    return r_mile * scale, x_mile * scale
+
+
+def _cfg(name, phases, r, x):
+    return LineConfig(name, phases, np.array(r), np.array(x))
+
+
+#: IEEE 13-bus feeder configurations (ohms/mile).
+IEEE13_CONFIGS: dict[str, LineConfig] = {
+    "601": _cfg(
+        "601",
+        (1, 2, 3),
+        [[0.3465, 0.1560, 0.1580], [0.1560, 0.3375, 0.1535], [0.1580, 0.1535, 0.3414]],
+        [[1.0179, 0.5017, 0.4236], [0.5017, 1.0478, 0.3849], [0.4236, 0.3849, 1.0348]],
+    ),
+    "602": _cfg(
+        "602",
+        (1, 2, 3),
+        [[0.7526, 0.1580, 0.1560], [0.1580, 0.7475, 0.1535], [0.1560, 0.1535, 0.7436]],
+        [[1.1814, 0.4236, 0.5017], [0.4236, 1.2112, 0.3849], [0.5017, 0.3849, 1.2060]],
+    ),
+    # Two-phase overhead (phases b, c).
+    "603": _cfg(
+        "603",
+        (2, 3),
+        [[1.3294, 0.2066], [0.2066, 1.3238]],
+        [[1.3471, 0.4591], [0.4591, 1.3569]],
+    ),
+    # Two-phase overhead (phases a, c).
+    "604": _cfg(
+        "604",
+        (1, 3),
+        [[1.3238, 0.2066], [0.2066, 1.3294]],
+        [[1.3569, 0.4591], [0.4591, 1.3471]],
+    ),
+    # Single-phase overhead (phase c).
+    "605": _cfg("605", (3,), [[1.3292]], [[1.3475]]),
+    # Three-phase underground concentric neutral.
+    "606": _cfg(
+        "606",
+        (1, 2, 3),
+        [[0.7982, 0.3192, 0.2849], [0.3192, 0.7891, 0.3192], [0.2849, 0.3192, 0.7982]],
+        [[0.4463, 0.0328, -0.0143], [0.0328, 0.4041, 0.0328], [-0.0143, 0.0328, 0.4463]],
+    ),
+    # Single-phase underground (phase a).
+    "607": _cfg("607", (1,), [[1.3425]], [[0.5124]]),
+}

@@ -1,0 +1,60 @@
+"""Phase bookkeeping for multi-phase (unbalanced) distribution networks.
+
+Phases are identified by the integers ``1, 2, 3`` (phases a, b, c).  A phase
+set is always stored as a sorted tuple so it can be used as a dict key and
+iterated deterministically.
+
+Delta-connected loads are described by *branches* between phase pairs; branch
+``k`` connects the phase pair ``DELTA_BRANCH_PHASES[k]`` (1: a-b, 2: b-c,
+3: c-a), following the indexing convention of the paper's equations (4g)-(4j).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+ALL_PHASES: tuple[int, int, int] = (1, 2, 3)
+
+#: Delta branch id -> (from phase, to phase).
+DELTA_BRANCH_PHASES: dict[int, tuple[int, int]] = {1: (1, 2), 2: (2, 3), 3: (3, 1)}
+
+
+def phase_tuple(phases: Iterable[int]) -> tuple[int, ...]:
+    """Normalize ``phases`` to a sorted, duplicate-free tuple.
+
+    Raises
+    ------
+    ValueError
+        If any phase is outside ``{1, 2, 3}`` or the set is empty.
+    """
+    ps = tuple(sorted(set(int(p) for p in phases)))
+    if not ps:
+        raise ValueError("phase set must be non-empty")
+    if any(p not in ALL_PHASES for p in ps):
+        raise ValueError(f"phases must be in {ALL_PHASES}, got {ps}")
+    return ps
+
+
+def delta_branch_tuple(branches: Iterable[int]) -> tuple[int, ...]:
+    """Normalize delta branch ids (same domain ``{1, 2, 3}``)."""
+    return phase_tuple(branches)
+
+
+def phases_of_delta_branches(branches: Iterable[int]) -> tuple[int, ...]:
+    """Bus phases touched by the given delta branches.
+
+    A full three-branch delta touches all three phases; a single branch
+    touches the two phases it spans.
+    """
+    touched: set[int] = set()
+    for b in delta_branch_tuple(branches):
+        touched.update(DELTA_BRANCH_PHASES[b])
+    return tuple(sorted(touched))
+
+
+def phase_index(phases: tuple[int, ...], phase: int) -> int:
+    """Position of ``phase`` within the sorted phase tuple ``phases``."""
+    try:
+        return phases.index(phase)
+    except ValueError as exc:
+        raise ValueError(f"phase {phase} not in {phases}") from exc

@@ -1,0 +1,125 @@
+"""Simulated multi-rank cluster execution of the distributed ADMM.
+
+Reproduces the paper's multi-CPU (and multi-GPU) experiments on a single
+machine: the *numerics* are executed exactly once (they do not depend on the
+rank layout), while the *wall time* of a parallel deployment is derived from
+
+* measured per-component local-update costs (replayed per rank: a rank's
+  compute time is the sum of its components' costs; the iteration's compute
+  time is the slowest rank — a bulk-synchronous model), and
+* the alpha-beta communication model of :mod:`repro.parallel.comm` for the
+  aggregator exchange.
+
+This is the mechanism behind Fig. 1 (local-update wall / compute / comm vs
+number of CPUs) and the top two rows of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decomposition.decomposed import DecomposedOPF
+from repro.parallel.assignment import assign_even, assign_greedy, rank_loads
+from repro.parallel.comm import BYTES_PER_VALUE, CommModel
+
+
+@dataclass(frozen=True)
+class LocalUpdateTiming:
+    """Per-iteration local-update timing split (the Fig. 1 quantities)."""
+
+    n_ranks: int
+    compute_s: float  # max over ranks of summed component costs (Fig. 1b)
+    comm_s: float  # aggregator exchange (Fig. 1c)
+
+    @property
+    def total_s(self) -> float:  # Fig. 1a
+        return self.compute_s + self.comm_s
+
+
+@dataclass
+class SimulatedCluster:
+    """A bulk-synchronous rank layout over the components of one instance.
+
+    Parameters
+    ----------
+    dec:
+        The decomposed model (provides component sizes for message sizing).
+    component_costs:
+        Measured seconds of one local update per component (from
+        ``SolverFreeADMM.measure_local_costs`` or the benchmark's
+        equivalent).
+    n_ranks:
+        Cluster size.
+    comm:
+        Interconnect model.
+    strategy:
+        "even" (the paper's near-even split) or "greedy" (cost-balanced).
+    """
+
+    dec: DecomposedOPF
+    component_costs: np.ndarray
+    n_ranks: int
+    comm: CommModel
+    strategy: str = "even"
+
+    def __post_init__(self) -> None:
+        costs = np.asarray(self.component_costs, dtype=float)
+        if costs.shape != (self.dec.n_components,):
+            raise ValueError("component_costs must have one entry per component")
+        if self.strategy == "even":
+            self.owner = assign_even(self.dec.n_components, self.n_ranks)
+        elif self.strategy == "greedy":
+            self.owner = assign_greedy(costs, self.n_ranks)
+        else:
+            raise ValueError(f"unknown assignment strategy {self.strategy!r}")
+        self.effective_ranks = int(self.owner.max()) + 1
+        self._costs = costs
+
+    def per_rank_bytes(self) -> np.ndarray:
+        """Wire bytes exchanged with each rank per iteration direction.
+
+        A rank sends its stacked ``x_s`` and ``lambda_s`` (and receives the
+        matching ``B_s x`` slice), so the payload is proportional to the sum
+        of its components' local dimensions.
+        """
+        sizes = np.array([c.n_vars for c in self.dec.components], dtype=float)
+        per_rank = np.bincount(self.owner, weights=sizes, minlength=self.effective_ranks)
+        return per_rank * 2.0 * BYTES_PER_VALUE
+
+    def local_update_timing(self) -> LocalUpdateTiming:
+        """Simulated per-iteration local-update wall time on this layout."""
+        loads = rank_loads(self._costs, self.owner, self.effective_ranks)
+        compute = float(loads.max())
+        comm = (
+            self.comm.gather_scatter_time(self.per_rank_bytes())
+            if self.effective_ranks > 1
+            else 0.0
+        )
+        return LocalUpdateTiming(
+            n_ranks=self.effective_ranks, compute_s=compute, comm_s=comm
+        )
+
+    def iteration_time(self, global_s: float, dual_s: float) -> float:
+        """Full simulated iteration: global + local (compute+comm) + dual.
+
+        ``global_s`` and ``dual_s`` are the aggregator-side measured costs
+        (they do not parallelize across ranks in the paper's architecture).
+        """
+        t = self.local_update_timing()
+        return global_s + t.total_s + dual_s
+
+
+def sweep_ranks(
+    dec: DecomposedOPF,
+    component_costs: np.ndarray,
+    rank_counts: list[int],
+    comm: CommModel,
+    strategy: str = "even",
+) -> list[LocalUpdateTiming]:
+    """Fig. 1 sweep: local-update timing across cluster sizes."""
+    return [
+        SimulatedCluster(dec, component_costs, n, comm, strategy).local_update_timing()
+        for n in rank_counts
+    ]

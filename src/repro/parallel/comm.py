@@ -1,0 +1,78 @@
+"""Communication cost models for the simulated cluster (paper Section IV-E).
+
+Only one physical core is available in this environment, so multi-CPU and
+multi-GPU runs are *simulated*: real measured per-component compute costs are
+replayed against a standard latency-bandwidth (alpha-beta) communication
+model.  Each ADMM iteration exchanges, between the aggregator and every rank,
+
+* the relevant slice of the global iterate ``x`` (server -> ranks), and
+* the rank's stacked local solutions and duals (ranks -> server),
+
+so the bytes on the wire scale with the stacked local dimension while the
+per-message latency term scales with the number of ranks — which is exactly
+the growth the paper observes in Fig. 1(c).
+
+For GPU ranks, MPI requires staging device buffers through host memory
+(Section IV-E), adding a PCIe transfer on both sides of every message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+BYTES_PER_VALUE = 8  # float64 on the wire
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Latency-bandwidth model of one interconnect.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency alpha (seconds).
+    bandwidth_bytes_s:
+        Sustained point-to-point bandwidth beta (bytes/second).
+    staging_latency_s, staging_bandwidth_bytes_s:
+        Optional device<->host staging cost applied to every message (zero
+        for CPU ranks; PCIe-like values for GPU ranks using MPI).
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_bytes_s: float = 10e9
+    staging_latency_s: float = 0.0
+    staging_bandwidth_bytes_s: float = float("inf")
+
+    def message_time(self, nbytes: float) -> float:
+        """Time for one point-to-point message of ``nbytes``."""
+        t = self.latency_s + nbytes / self.bandwidth_bytes_s
+        if self.staging_latency_s or np.isfinite(self.staging_bandwidth_bytes_s):
+            t += self.staging_latency_s + nbytes / self.staging_bandwidth_bytes_s
+        return t
+
+    def gather_scatter_time(self, per_rank_bytes: np.ndarray) -> float:
+        """Aggregator-side time of one scatter + one gather round.
+
+        The server serializes its endpoint of the N messages in each
+        direction, giving the ``N * alpha + total_bytes / beta`` growth of
+        Fig. 1(c); both directions carry the same payload sizes.
+        """
+        per_rank_bytes = np.asarray(per_rank_bytes, dtype=float)
+        one_direction = float(
+            sum(self.message_time(b) for b in per_rank_bytes)
+        )
+        return 2.0 * one_direction
+
+
+#: Typical intra-cluster interconnect for CPU ranks (InfiniBand-class).
+CPU_CLUSTER_COMM = CommModel(latency_s=2e-6, bandwidth_bytes_s=10e9)
+
+#: GPU ranks speaking MPI: same fabric plus PCIe staging on every message.
+GPU_CLUSTER_COMM = CommModel(
+    latency_s=2e-6,
+    bandwidth_bytes_s=10e9,
+    staging_latency_s=8e-6,
+    staging_bandwidth_bytes_s=12e9,
+)

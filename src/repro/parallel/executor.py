@@ -1,0 +1,91 @@
+"""Real multi-process execution of the local update.
+
+The simulated cluster (``repro.parallel.cluster``) models wall time; this
+module actually *runs* the component projections in worker processes, to
+demonstrate (and test) that the local update is embarrassingly parallel:
+the result is bit-identical to the serial batched path regardless of the
+rank layout.
+
+Worker processes receive their chunk of precomputed ``(M_s, bbar_s)``
+operators once at pool initialization (mirroring the paper's one-time
+precomputation broadcast), and per iteration exchange only the stacked
+``v`` / ``z`` slices — the same payload the communication model charges for.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.batch import projection_data
+from repro.decomposition.decomposed import DecomposedOPF
+from repro.parallel.assignment import assign_even
+
+# Per-worker state installed by the pool initializer.
+_WORKER_CHUNKS: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+
+def _init_worker(chunks: dict[int, list[tuple[np.ndarray, np.ndarray]]]) -> None:
+    global _WORKER_CHUNKS
+    _WORKER_CHUNKS = chunks
+
+
+def _apply_chunk(args: tuple[int, list[np.ndarray]]) -> tuple[int, list[np.ndarray]]:
+    rank, v_parts = args
+    ops = _WORKER_CHUNKS[rank]
+    out = [mmat @ v + bbar for (mmat, bbar), v in zip(ops, v_parts)]
+    return rank, out
+
+
+class ProcessParallelLocalUpdate:
+    """A pool of worker processes, each owning a contiguous component chunk.
+
+    Use as a context manager::
+
+        with ProcessParallelLocalUpdate(dec, n_workers=2) as par:
+            z = par.solve(v)
+    """
+
+    def __init__(self, dec: DecomposedOPF, n_workers: int = 2):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.dec = dec
+        self.owner = assign_even(dec.n_components, n_workers)
+        self.n_workers = int(self.owner.max()) + 1
+        chunks: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
+            r: [] for r in range(self.n_workers)
+        }
+        self._rank_components: dict[int, list[int]] = {r: [] for r in range(self.n_workers)}
+        for s, comp in enumerate(dec.components):
+            r = int(self.owner[s])
+            chunks[r].append(projection_data(comp.a, comp.b))
+            self._rank_components[r].append(s)
+        ctx = mp.get_context("fork")
+        self._pool = ctx.Pool(
+            processes=self.n_workers, initializer=_init_worker, initargs=(chunks,)
+        )
+
+    def solve(self, v: np.ndarray) -> np.ndarray:
+        """Scatter ``v`` slices to workers, gather projected slices."""
+        if v.shape != (self.dec.n_local,):
+            raise ValueError("stacked vector has wrong length")
+        tasks = []
+        for r in range(self.n_workers):
+            parts = [v[self.dec.component_slice(s)] for s in self._rank_components[r]]
+            tasks.append((r, parts))
+        z = np.empty(self.dec.n_local)
+        for rank, outs in self._pool.imap_unordered(_apply_chunk, tasks):
+            for s, out in zip(self._rank_components[rank], outs):
+                z[self.dec.component_slice(s)] = out
+        return z
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "ProcessParallelLocalUpdate":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

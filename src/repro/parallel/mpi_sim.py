@@ -1,0 +1,118 @@
+"""A deterministic simulated MPI communicator.
+
+The paper's implementation exchanges iterates over MPI (Section IV-E); on
+this single-core machine we reproduce the *semantics* exactly — real data
+moves between rank-local buffers — while wall time is tracked by per-rank
+virtual clocks advanced with the alpha-beta model of
+:mod:`repro.parallel.comm` (including the GPU device-host staging penalty
+when ranks are GPUs).
+
+The API mirrors the mpi4py verbs the algorithm needs:
+
+* :meth:`SimComm.scatterv` — root sends each rank its slice (root endpoint
+  serializes its messages, which is what makes aggregator communication
+  grow with rank count, Fig. 1c);
+* :meth:`SimComm.gatherv` — the reverse;
+* :meth:`SimComm.bcast` — root to all, serialized at the root;
+* :meth:`SimComm.barrier` — clock synchronization to the slowest rank.
+
+Clocks only ever move forward; the communicator never reorders data, so a
+program driven by :class:`SimComm` is bit-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.comm import BYTES_PER_VALUE, CommModel
+
+
+@dataclass
+class SimComm:
+    """A simulated communicator over ``size`` ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (>= 1).
+    comm_model:
+        Link model applied to every point-to-point message.
+    """
+
+    size: int
+    comm_model: CommModel
+    clocks: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("need at least one rank")
+        self.clocks = np.zeros(self.size)
+
+    # ------------------------------------------------------------------
+    # Clock bookkeeping
+    # ------------------------------------------------------------------
+    def advance(self, rank: int, seconds: float) -> None:
+        """Charge ``seconds`` of local compute to ``rank``."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self.clocks[rank] += seconds
+
+    def elapsed(self) -> float:
+        """Simulated wall time so far (slowest rank)."""
+        return float(self.clocks.max())
+
+    def barrier(self) -> None:
+        """Synchronize every clock to the slowest rank."""
+        self.clocks[:] = self.clocks.max()
+
+    def _p2p(self, src: int, dst: int, n_values: int) -> None:
+        """One message src -> dst; the sender's endpoint is busy for the
+        message duration, the receiver finishes no earlier."""
+        t = self.comm_model.message_time(n_values * BYTES_PER_VALUE)
+        start = max(self.clocks[src], self.clocks[dst])
+        self.clocks[src] = start + t
+        self.clocks[dst] = start + t
+
+    # ------------------------------------------------------------------
+    # Collectives (data + time)
+    # ------------------------------------------------------------------
+    def scatterv(self, root: int, parts: list[np.ndarray]) -> list[np.ndarray]:
+        """Root sends ``parts[r]`` to each rank r; returns received buffers.
+
+        Root's endpoint serializes the sends (flat tree), so the root-side
+        cost is ``sum_r (alpha + bytes_r / beta)``.
+        """
+        if len(parts) != self.size:
+            raise ValueError("scatterv needs one part per rank")
+        out: list[np.ndarray] = [None] * self.size  # type: ignore[list-item]
+        for r in range(self.size):
+            if r == root:
+                out[r] = parts[r]
+                continue
+            self._p2p(root, r, parts[r].size)
+            out[r] = parts[r].copy()
+        return out
+
+    def gatherv(self, root: int, part: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Each rank contributes ``part[r]``; root receives them serially."""
+        if set(part) != set(range(self.size)):
+            raise ValueError("gatherv needs one part per rank")
+        out: list[np.ndarray] = [None] * self.size  # type: ignore[list-item]
+        for r in range(self.size):
+            if r == root:
+                out[r] = part[r]
+                continue
+            self._p2p(r, root, part[r].size)
+            out[r] = part[r].copy()
+        return out
+
+    def bcast(self, root: int, value: np.ndarray) -> list[np.ndarray]:
+        """Root sends the same buffer to every rank (flat tree)."""
+        out: list[np.ndarray] = [None] * self.size  # type: ignore[list-item]
+        for r in range(self.size):
+            out[r] = value if r == root else value.copy()
+            if r != root:
+                self._p2p(root, r, value.size)
+        return out

@@ -1,0 +1,6 @@
+"""Centralized LP reference solutions (HiGHS) for validating the ADMM
+algorithms."""
+
+from repro.reference.linprog import ReferenceSolution, solve_reference
+
+__all__ = ["solve_reference", "ReferenceSolution"]

@@ -1,0 +1,38 @@
+"""Branch-flow SOCP relaxation with solver-free conic consensus ADMM — the
+paper's stated future work, built on the same decomposition machinery."""
+
+from repro.socp.bfm import (
+    ConeSpec,
+    ConicProblem,
+    build_bfm_socp,
+    positive_sequence_impedance,
+)
+from repro.socp.cone import (
+    in_rotated_soc,
+    project_rotated_soc,
+    project_rotated_soc_batch,
+    project_soc,
+    project_soc_batch,
+)
+from repro.socp.solver import (
+    ConicDecomposition,
+    ConicSolverFreeADMM,
+    LinearComponent,
+    decompose_conic,
+)
+
+__all__ = [
+    "build_bfm_socp",
+    "ConicProblem",
+    "ConeSpec",
+    "positive_sequence_impedance",
+    "decompose_conic",
+    "ConicDecomposition",
+    "ConicSolverFreeADMM",
+    "LinearComponent",
+    "project_soc",
+    "project_soc_batch",
+    "project_rotated_soc",
+    "project_rotated_soc_batch",
+    "in_rotated_soc",
+]

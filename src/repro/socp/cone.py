@@ -1,0 +1,102 @@
+"""Closed-form projections onto second-order cones.
+
+The paper's stated future work is a GPU-accelerated distributed algorithm
+for the *convex relaxation* of the OPF model.  The relaxation's only
+non-linear ingredient is a rotated second-order cone; this module provides
+the exact Euclidean projection so the conic local update stays solver-free,
+in the spirit of Algorithm 1.
+
+The rotated cone is taken in its **isometric normal form**
+
+    K_rot = { (u, v, w_vec) : 2 u v >= ||w_vec||^2,  u >= 0,  v >= 0 }.
+
+The orthogonal rotation ``(u, v) -> (s, d) = ((u+v)/sqrt(2), (u-v)/sqrt(2))``
+maps it *isometrically* onto the standard cone ``||(d, w_vec)|| <= s``
+(because ``s^2 - d^2 = 2 u v``), so the textbook standard-cone projection
+formula transfers exactly.  The factor 2 matters: the variant
+``u v >= ||w||^2`` is only a *linear* (non-isometric) image of the standard
+cone and admits no such closed form — model variables should be scaled so
+their constraint takes the factor-2 form (see :mod:`repro.socp.bfm`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SQRT2 = np.sqrt(2.0)
+
+
+def project_soc(t: float, z: np.ndarray) -> tuple[float, np.ndarray]:
+    """Project ``(t, z)`` onto the standard cone ``||z|| <= t``."""
+    z = np.asarray(z, dtype=float)
+    nz = float(np.linalg.norm(z))
+    if nz <= t:
+        return float(t), z.copy()
+    if nz <= -t:
+        return 0.0, np.zeros_like(z)
+    alpha = 0.5 * (1.0 + t / nz)
+    return float(alpha * nz), alpha * z
+
+
+def project_soc_batch(t: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized standard-cone projection.
+
+    Parameters
+    ----------
+    t:
+        Shape ``(m,)``.
+    z:
+        Shape ``(m, d)``.
+    """
+    t = np.asarray(t, dtype=float)
+    z = np.asarray(z, dtype=float)
+    nz = np.linalg.norm(z, axis=1)
+    inside = nz <= t
+    polar = nz <= -t
+    boundary = ~inside & ~polar
+    t_out = np.where(inside, t, 0.0)
+    z_out = np.where(inside[:, None], z, 0.0)
+    if boundary.any():
+        alpha = 0.5 * (1.0 + t[boundary] / nz[boundary])
+        t_out[boundary] = alpha * nz[boundary]
+        z_out[boundary] = alpha[:, None] * z[boundary]
+    return t_out, z_out
+
+
+def project_rotated_soc(u: float, v: float, w: np.ndarray) -> tuple[float, float, np.ndarray]:
+    """Project ``(u, v, w)`` onto ``{2 u v >= ||w||^2, u, v >= 0}``."""
+    uu, vv, ww = project_rotated_soc_batch(
+        np.array([u]), np.array([v]), np.asarray(w, dtype=float)[None, :]
+    )
+    return float(uu[0]), float(vv[0]), ww[0]
+
+
+def project_rotated_soc_batch(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized rotated-cone projection; ``u, v`` shape (m,), ``w`` (m, d).
+
+    Exact because the (u, v) rotation is orthogonal and the tail passes
+    through unchanged — the whole map to the standard cone is an isometry.
+    """
+    u = np.asarray(u, dtype=float)
+    v = np.asarray(v, dtype=float)
+    w = np.asarray(w, dtype=float)
+    s = (u + v) / SQRT2
+    d = (u - v) / SQRT2
+    tail = np.concatenate([d[:, None], w], axis=1)
+    s_p, tail_p = project_soc_batch(s, tail)
+    d_p = tail_p[:, 0]
+    w_p = tail_p[:, 1:]
+    u_p = (s_p + d_p) / SQRT2
+    v_p = (s_p - d_p) / SQRT2
+    # Clamp the tiny negative fuzz the rotation can leave behind.
+    u_p = np.maximum(u_p, 0.0)
+    v_p = np.maximum(v_p, 0.0)
+    return u_p, v_p, w_p
+
+
+def in_rotated_soc(u: float, v: float, w: np.ndarray, tol: float = 1e-9) -> bool:
+    """Membership test for ``{2 u v >= ||w||^2, u, v >= 0}`` (with tolerance)."""
+    w = np.asarray(w, dtype=float)
+    return u >= -tol and v >= -tol and 2.0 * u * v + tol >= float(w @ w)

@@ -1,0 +1,26 @@
+"""Shared utilities: exceptions, timing instrumentation, table formatting."""
+
+from repro.utils.exceptions import (
+    ConvergenceError,
+    DecompositionError,
+    FormulationError,
+    InfeasibleError,
+    NetworkValidationError,
+    QPSolverError,
+    ReproError,
+)
+from repro.utils.tables import format_table
+from repro.utils.timing import PhaseTimer, Timer
+
+__all__ = [
+    "ReproError",
+    "NetworkValidationError",
+    "FormulationError",
+    "DecompositionError",
+    "ConvergenceError",
+    "InfeasibleError",
+    "QPSolverError",
+    "Timer",
+    "PhaseTimer",
+    "format_table",
+]

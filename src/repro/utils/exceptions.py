@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetworkValidationError(ReproError):
+    """A network model is structurally invalid (dangling references,
+    inconsistent phases, non-radial topology where radiality is required)."""
+
+
+class FormulationError(ReproError):
+    """The OPF formulation could not be assembled from the network."""
+
+
+class DecompositionError(ReproError):
+    """Component-wise decomposition failed (e.g. inconsistent local system)."""
+
+
+class InfeasibleError(ReproError):
+    """A (sub)problem was detected to be infeasible."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative method failed to converge within its iteration budget."""
+
+
+class QPSolverError(ReproError):
+    """The dense active-set QP solver failed."""

@@ -1,0 +1,87 @@
+"""Timing instrumentation.
+
+The paper's evaluation (Figs. 1 and 3) reports the per-iteration wall time
+split into *global*, *local* and *dual* update segments.  :class:`PhaseTimer`
+accumulates named segments across many iterations and exposes per-segment
+totals, means and call counts.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Simple wall-clock timer usable as a context manager.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall time under named phases (e.g. ``"global"``,
+    ``"local"``, ``"dual"``).
+
+    Use :meth:`measure` as a context manager around each phase of an
+    iteration; totals accumulate across iterations.
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, phase: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - start
+            self.totals[phase] = self.totals.get(phase, 0.0) + dt
+            self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def add(self, phase: str, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` of (possibly simulated) time under ``phase``."""
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+        self.counts[phase] = self.counts.get(phase, 0) + count
+
+    def total(self, phase: str) -> float:
+        return self.totals.get(phase, 0.0)
+
+    def mean(self, phase: str) -> float:
+        n = self.counts.get(phase, 0)
+        return self.totals.get(phase, 0.0) / n if n else 0.0
+
+    def grand_total(self) -> float:
+        return sum(self.totals.values())
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.totals)

@@ -1,0 +1,71 @@
+"""Shared fixtures: feeders and their assembled/decomposed/solved forms.
+
+Expensive artifacts (reference LP solves, decompositions) are session-scoped
+— tests must not mutate them.  Tests that need a mutable network build their
+own via the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.decomposition import decompose
+from repro.feeders import SyntheticFeederSpec, build_synthetic_feeder, ieee13
+from repro.formulation import build_centralized_lp
+from repro.reference import solve_reference
+
+
+@pytest.fixture(scope="session")
+def ieee13_net():
+    return ieee13()
+
+
+@pytest.fixture(scope="session")
+def ieee13_lp(ieee13_net):
+    return build_centralized_lp(ieee13_net)
+
+
+@pytest.fixture(scope="session")
+def ieee13_dec(ieee13_lp):
+    return decompose(ieee13_lp)
+
+
+@pytest.fixture(scope="session")
+def ieee13_ref(ieee13_lp):
+    return solve_reference(ieee13_lp)
+
+
+@pytest.fixture(scope="session")
+def ieee13_solution(ieee13_dec):
+    """A converged solver-free result on IEEE13 (paper defaults)."""
+    return SolverFreeADMM(ieee13_dec, ADMMConfig(max_iter=20000)).solve()
+
+
+@pytest.fixture(scope="session")
+def small_net():
+    """A small deterministic synthetic feeder (fast end-to-end runs)."""
+    return build_synthetic_feeder(
+        SyntheticFeederSpec(name="small", n_buses=25, seed=7, load_density=0.8)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_lp(small_net):
+    return build_centralized_lp(small_net)
+
+
+@pytest.fixture(scope="session")
+def small_dec(small_lp):
+    return decompose(small_lp)
+
+
+@pytest.fixture(scope="session")
+def small_ref(small_lp):
+    return solve_reference(small_lp)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

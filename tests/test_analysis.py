@@ -1,0 +1,100 @@
+"""Tests for the solution-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.network.analysis import (
+    line_loading,
+    phase_imbalance,
+    solution_report,
+    substation_exchange,
+    total_losses,
+    voltage_profile,
+)
+
+
+class TestVoltageProfile:
+    def test_profile_covers_all_bus_phases(self, ieee13_lp, ieee13_ref):
+        profile = voltage_profile(ieee13_lp, ieee13_ref.x)
+        n_expected = sum(b.n_phases for b in ieee13_lp.network.buses.values())
+        assert len(profile.buses) == n_expected
+        assert profile.magnitudes.shape == (n_expected,)
+
+    def test_magnitudes_are_sqrt_of_w(self, ieee13_lp, ieee13_ref):
+        profile = voltage_profile(ieee13_lp, ieee13_ref.x)
+        vi = ieee13_lp.var_index
+        i = profile.buses.index("632")
+        w = ieee13_ref.x[vi.index(("w", "632", profile.phases[i]))]
+        assert profile.magnitudes[i] == pytest.approx(np.sqrt(w))
+
+    def test_bounds_consistent(self, ieee13_lp, ieee13_ref):
+        profile = voltage_profile(ieee13_lp, ieee13_ref.x)
+        assert profile.v_min <= profile.v_max
+        assert 0.9 - 1e-6 <= profile.v_min <= profile.v_max <= 1.1 + 1e-6
+
+    def test_worst_bus(self, ieee13_lp, ieee13_ref):
+        profile = voltage_profile(ieee13_lp, ieee13_ref.x)
+        bus, phase, mag = profile.worst_bus()
+        assert mag == pytest.approx(profile.v_min)
+        assert bus in ieee13_lp.network.buses
+
+
+class TestPowerQuantities:
+    def test_substation_matches_objective(self, ieee13_lp, ieee13_ref):
+        """With unit cost on the single source, substation P equals the
+        objective."""
+        p, q = substation_exchange(ieee13_lp, ieee13_ref.x)
+        assert p == pytest.approx(ieee13_ref.objective, rel=1e-9)
+
+    def test_substation_requires_designation(self, ieee13_lp, ieee13_ref):
+        net = ieee13_lp.network.copy()
+        net.substation = None
+        from repro.formulation import build_centralized_lp
+
+        lp = build_centralized_lp(net)
+        with pytest.raises(ValueError, match="no substation"):
+            substation_exchange(lp, ieee13_ref.x)
+
+    def test_losses_equal_generation_minus_withdrawals(self, ieee13_lp, ieee13_ref):
+        """Summing the balance equations: generation = losses + shunt +
+        bus withdrawals, so losses stay small and well below generation."""
+        loss = total_losses(ieee13_lp, ieee13_ref.x)
+        assert abs(loss) < 0.1 * ieee13_ref.objective
+
+    def test_line_loading_in_unit_range(self, ieee13_lp, ieee13_ref):
+        loading = line_loading(ieee13_lp, ieee13_ref.x)
+        assert set(loading) == set(ieee13_lp.network.lines)
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in loading.values())
+
+
+class TestImbalance:
+    def test_single_phase_bus_zero(self, ieee13_lp, ieee13_ref):
+        assert phase_imbalance(ieee13_lp, ieee13_ref.x, "611") == 0.0
+
+    def test_unknown_bus(self, ieee13_lp, ieee13_ref):
+        with pytest.raises(KeyError):
+            phase_imbalance(ieee13_lp, ieee13_ref.x, "nope")
+
+    def test_unbalanced_feeder_nonzero(self, ieee13_lp, ieee13_ref):
+        """IEEE13 is famously unbalanced; 675 carries very different
+        per-phase loads."""
+        assert phase_imbalance(ieee13_lp, ieee13_ref.x, "675") > 1e-4
+
+
+class TestReport:
+    def test_report_fields(self, ieee13_lp, ieee13_solution):
+        report = solution_report(ieee13_lp, ieee13_solution.x)
+        for key in (
+            "objective",
+            "substation_p",
+            "losses",
+            "v_min",
+            "v_max",
+            "worst_bus",
+            "max_loading",
+            "equality_violation",
+            "bound_violation",
+        ):
+            assert key in report
+        assert report["bound_violation"] == 0.0
+        assert report["v_min"] <= report["v_max"]

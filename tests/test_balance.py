@@ -1,0 +1,67 @@
+"""Tests for the nodal power balance rows (3a)-(3b)."""
+
+import numpy as np
+import pytest
+
+from repro.formulation.balance import balance_rows
+from repro.network import Bus, DistributionNetwork, Generator, Line, Load
+
+
+def star_net() -> DistributionNetwork:
+    """Center bus with two lines, one generator, one load, and a shunt."""
+    net = DistributionNetwork()
+    net.add_bus(Bus("mid", (1, 2), g_sh=np.array([0.01, 0.0]), b_sh=np.array([0.0, 0.02])))
+    net.add_bus(Bus("up", (1, 2)))
+    net.add_bus(Bus("down", (1,)))
+    net.add_line(Line("up_mid", "up", "mid", (1, 2), r=np.eye(2) * 0.1, x=np.eye(2) * 0.1))
+    net.add_line(Line("mid_down", "mid", "down", (1,), r=[[0.1]], x=[[0.1]]))
+    net.add_generator(Generator("gen", "mid", (1,)))
+    net.add_load(Load("ld", "mid", (1, 2), p_ref=0.1))
+    return net
+
+
+class TestBalanceRows:
+    def test_two_rows_per_phase(self):
+        rows = balance_rows(star_net(), "mid")
+        assert len(rows) == 4  # phases {1,2} x {p,q}
+
+    def test_phase1_real_row_contents(self):
+        net = star_net()
+        row = next(r for r in balance_rows(net, "mid") if r.tag == "balance-p:mid:1")
+        # to-side of up_mid, from-side of mid_down.
+        assert row.coeffs[("pt", "up_mid", 1)] == 1.0
+        assert row.coeffs[("pf", "mid_down", 1)] == 1.0
+        assert row.coeffs[("pb", "ld", 1)] == 1.0
+        assert row.coeffs[("w", "mid", 1)] == pytest.approx(0.01)
+        assert row.coeffs[("pg", "gen", 1)] == -1.0
+        assert row.rhs == 0.0
+
+    def test_phase2_has_no_generator_or_downstream_line(self):
+        net = star_net()
+        row = next(r for r in balance_rows(net, "mid") if r.tag == "balance-p:mid:2")
+        assert ("pg", "gen", 2) not in row.coeffs
+        assert ("pf", "mid_down", 2) not in row.coeffs
+        assert row.coeffs[("pb", "ld", 2)] == 1.0
+
+    def test_reactive_shunt_sign(self):
+        """(3b): the shunt susceptance enters with -b^sh * w."""
+        net = star_net()
+        row = next(r for r in balance_rows(net, "mid") if r.tag == "balance-q:mid:2")
+        assert row.coeffs[("w", "mid", 2)] == pytest.approx(-0.02)
+
+    def test_leaf_bus_row_only_line_side(self):
+        net = star_net()
+        row = next(r for r in balance_rows(net, "down") if r.tag == "balance-p:down:1")
+        assert set(row.coeffs) == {("pt", "mid_down", 1)}
+
+    def test_delta_load_withdrawal_phases(self):
+        """A delta load on branch 1 (a-b) withdraws on phases 1 and 2."""
+        net = star_net()
+        from repro.network.components import Connection
+
+        net.add_load(Load("d", "mid", (1,), connection=Connection.DELTA, p_ref=0.1))
+        rows = balance_rows(net, "mid")
+        p1 = next(r for r in rows if r.tag == "balance-p:mid:1")
+        p2 = next(r for r in rows if r.tag == "balance-p:mid:2")
+        assert ("pb", "d", 1) in p1.coeffs
+        assert ("pb", "d", 2) in p2.coeffs

@@ -1,0 +1,93 @@
+"""Tests for the solver-based benchmark ADMM."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, BenchmarkADMM, SolverFreeADMM
+
+
+class TestLocalModes:
+    def test_interior_point_and_projection_agree(self, small_dec, rng):
+        """Both local solvers compute the same box-constrained projection, so
+        the iterate sequences coincide."""
+        cfg = ADMMConfig(max_iter=8)
+        ri = BenchmarkADMM(small_dec, cfg, local_mode="interior_point").solve()
+        rp = BenchmarkADMM(small_dec, cfg, local_mode="projection").solve()
+        np.testing.assert_allclose(ri.z, rp.z, atol=1e-6)
+        np.testing.assert_allclose(ri.x, rp.x, atol=1e-6)
+
+    def test_unknown_mode_rejected(self, small_dec):
+        with pytest.raises(ValueError, match="unknown local_mode"):
+            BenchmarkADMM(small_dec, local_mode="magic")
+
+    def test_local_solutions_feasible(self, small_dec, rng):
+        b = BenchmarkADMM(small_dec, ADMMConfig(), local_mode="projection")
+        v = rng.standard_normal(small_dec.n_local)
+        lam = np.zeros(small_dec.n_local)
+        z = b.local_update(v, lam, 100.0)
+        for s, comp in enumerate(small_dec.components):
+            sl = small_dec.component_slice(s)
+            np.testing.assert_allclose(comp.a @ z[sl], comp.b, atol=1e-6)
+            assert np.all(z[sl] >= comp.lb - 1e-7)
+            assert np.all(z[sl] <= comp.ub + 1e-7)
+
+
+class TestGlobalUpdate:
+    def test_unclipped(self, small_dec, rng):
+        """The benchmark keeps bounds local: its global update must NOT clip
+        (model (8)), unlike Algorithm 1's (model (9))."""
+        bench = BenchmarkADMM(small_dec)
+        free = SolverFreeADMM(small_dec)
+        z = 100.0 * rng.standard_normal(small_dec.n_local)
+        lam = rng.standard_normal(small_dec.n_local)
+        xb = bench.global_update(z, lam, 100.0)
+        xf = free.global_update(z, lam, 100.0)
+        lp = small_dec.lp
+        # The clipped version differs wherever bounds are active.
+        active = (xb < lp.lb) | (xb > lp.ub)
+        assert np.any(active)
+        np.testing.assert_allclose(xf, np.clip(xb, lp.lb, lp.ub))
+
+
+class TestConvergence:
+    def test_converges_to_reference(self, small_dec, small_ref):
+        res = BenchmarkADMM(
+            small_dec, ADMMConfig(max_iter=30000), local_mode="projection"
+        ).solve()
+        assert res.converged
+        assert small_ref.compare_objective(res.objective) < 2e-2
+
+    def test_iterations_comparable_to_solver_free(self, small_dec):
+        """Paper Table V: similar iteration counts on small instances."""
+        cfg = ADMMConfig(max_iter=30000)
+        rb = BenchmarkADMM(small_dec, cfg, local_mode="projection").solve()
+        rf = SolverFreeADMM(small_dec, cfg).solve()
+        assert rb.converged and rf.converged
+        ratio = rb.iterations / rf.iterations
+        assert 0.2 < ratio < 5.0
+
+    def test_solver_free_local_update_much_faster(self, small_dec):
+        """The paper's core claim at the smallest scale: per-iteration local
+        update cost of the benchmark (solver calls) dwarfs Algorithm 1's
+        closed form."""
+        cfg = ADMMConfig(max_iter=5)
+        rb = BenchmarkADMM(small_dec, cfg, local_mode="interior_point").solve()
+        rf = SolverFreeADMM(small_dec, cfg).solve()
+        assert rb.timers["local"] > 10 * rf.timers["local"]
+
+    def test_warm_start(self, small_dec):
+        cfg = ADMMConfig(max_iter=30000)
+        first = BenchmarkADMM(small_dec, cfg, local_mode="projection").solve()
+        again = BenchmarkADMM(small_dec, cfg, local_mode="projection").solve(
+            x0=first.x, z0=first.z, lam0=first.lam
+        )
+        assert again.converged
+        assert again.iterations <= 3
+
+
+class TestMeasurement:
+    def test_measure_local_costs_shape(self, small_dec):
+        b = BenchmarkADMM(small_dec)
+        costs = b.measure_local_costs(repeats=1)
+        assert costs.shape == (small_dec.n_components,)
+        assert np.all(costs > 0)

@@ -1,0 +1,97 @@
+"""Tests for centralized LP assembly (7) on real feeders."""
+
+import numpy as np
+import pytest
+
+from repro.formulation import build_centralized_lp
+from repro.network import Bus, DistributionNetwork
+from repro.utils.exceptions import FormulationError
+
+
+class TestAssembly:
+    def test_ieee13_shape_consistency(self, ieee13_lp):
+        m, n = ieee13_lp.shape
+        assert ieee13_lp.a_matrix.shape == (m, n)
+        assert ieee13_lp.b_vector.shape == (m,)
+        assert ieee13_lp.cost.shape == (n,)
+        assert len(ieee13_lp.rows) == m
+
+    def test_objective_only_on_generation(self, ieee13_lp):
+        nz = np.nonzero(ieee13_lp.cost)[0]
+        kinds = {ieee13_lp.var_index.key_of(i)[0] for i in nz}
+        assert kinds == {"pg"}
+
+    def test_every_row_has_known_owner(self, ieee13_lp):
+        net = ieee13_lp.network
+        for row in ieee13_lp.rows:
+            kind, name = row.owner
+            assert (name in net.buses) if kind == "bus" else (name in net.lines)
+
+    def test_variable_ordering_follows_paper(self, ieee13_lp):
+        """(7): generation block first, then w, then loads, then flows."""
+        kinds = [k[0] for k in ieee13_lp.var_index.keys]
+        first_w = kinds.index("w")
+        first_flow = kinds.index("pf")
+        assert all(k in ("pg", "qg") for k in kinds[:first_w])
+        assert all(k in ("pf", "qf", "pt", "qt") for k in kinds[first_flow:])
+
+    def test_no_generator_raises(self):
+        net = DistributionNetwork()
+        net.add_bus(Bus("a", (1,)))
+        with pytest.raises(FormulationError, match="no generators"):
+            build_centralized_lp(net)
+
+    def test_initial_point_respects_bounds(self, ieee13_lp):
+        x0 = ieee13_lp.initial_point()
+        assert np.all(x0 >= ieee13_lp.lb - 1e-12)
+        assert np.all(x0 <= ieee13_lp.ub + 1e-12)
+
+
+class TestReferenceSolution:
+    def test_reference_feasible(self, ieee13_lp, ieee13_ref):
+        assert ieee13_lp.equality_violation(ieee13_ref.x) < 1e-7
+        assert ieee13_lp.bound_violation(ieee13_ref.x) < 1e-9
+
+    def test_objective_covers_load_plus_losses(self, ieee13_lp, ieee13_ref):
+        """Total generation must exceed total constant-power reference load
+        scaled down by voltage dependence, and be of the same magnitude."""
+        total_ref_load = ieee13_lp.network.total_load_p
+        assert 0.5 * total_ref_load < ieee13_ref.objective < 1.5 * total_ref_load
+
+    def test_voltages_within_bounds(self, ieee13_lp, ieee13_ref):
+        vi = ieee13_lp.var_index
+        w_idx = vi.indices_of_kind("w")
+        w = ieee13_ref.x[w_idx]
+        assert np.all(w >= 0.81 - 1e-9)
+        assert np.all(w <= 1.21 + 1e-9)
+
+    def test_substation_voltage_fixed(self, ieee13_lp, ieee13_ref):
+        vi = ieee13_lp.var_index
+        for phi in (1, 2, 3):
+            assert ieee13_ref.x[vi.index(("w", "650", phi))] == pytest.approx(1.0)
+
+    def test_regulator_boost_visible(self, ieee13_lp, ieee13_ref):
+        """rg60 sits above the source voltage thanks to the ideal regulator."""
+        vi = ieee13_lp.var_index
+        w_rg = ieee13_ref.x[vi.index(("w", "rg60", 1))]
+        assert w_rg == pytest.approx(1.0625**2, rel=1e-6)
+
+    def test_compare_objective_helper(self, ieee13_ref):
+        assert ieee13_ref.compare_objective(ieee13_ref.objective) == 0.0
+        assert ieee13_ref.compare_objective(ieee13_ref.objective * 1.1) == pytest.approx(0.1)
+
+
+class TestInfeasibleDetection:
+    def test_infeasible_lp_raises(self, small_net):
+        from repro.reference import solve_reference
+        from repro.utils.exceptions import InfeasibleError
+
+        net = small_net.copy()
+        # Force an impossible voltage band at the substation neighbour.
+        for bus in net.buses.values():
+            if bus.name != net.substation:
+                bus.w_min[:] = 1.5
+                bus.w_max[:] = 1.6
+        lp = build_centralized_lp(net)
+        with pytest.raises(InfeasibleError):
+            solve_reference(lp)

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_feeder
+
+
+class TestResolveFeeder:
+    def test_builtin(self):
+        net = resolve_feeder("ieee13")
+        assert net.name == "ieee13"
+
+    def test_json_file(self, ieee13_net, tmp_path):
+        from repro.io import save_network
+
+        path = tmp_path / "net.json"
+        save_network(ieee13_net, path)
+        assert resolve_feeder(str(path)).n_buses == ieee13_net.n_buses
+
+    def test_csv_directory(self, ieee13_net, tmp_path):
+        from repro.io.csv_feeder import save_network_csv
+
+        save_network_csv(ieee13_net, tmp_path / "f")
+        assert resolve_feeder(str(tmp_path / "f")).n_buses == ieee13_net.n_buses
+
+    def test_unknown_raises_systemexit(self):
+        with pytest.raises(SystemExit, match="unknown feeder"):
+            resolve_feeder("nope")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--feeder", "ieee13"]) == 0
+        out = capsys.readouterr().out
+        assert "S = 21" in out
+        assert "250 x 253" in out
+
+    def test_solve_converges(self, capsys, tmp_path):
+        out_file = tmp_path / "res.json"
+        code = main(
+            [
+                "solve",
+                "--feeder",
+                "ieee13",
+                "--max-iter",
+                "20000",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        data = json.loads(out_file.read_text())
+        assert data["converged"] is True
+
+    def test_solve_nonconverged_exit_code(self, capsys):
+        assert main(["solve", "--feeder", "ieee13", "--max-iter", "5"]) == 2
+
+    def test_solve_benchmark_algorithm(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--feeder",
+                "ieee13",
+                "--algorithm",
+                "benchmark",
+                "--max-iter",
+                "5",
+            ]
+        )
+        assert code == 2  # budget too small to converge, but runs
+
+    def test_export_json_and_npz(self, capsys, tmp_path):
+        assert main(["export", "--feeder", "ieee13", "--format", "json",
+                     "--output", str(tmp_path / "n.json")]) == 0
+        assert (tmp_path / "n.json").exists()
+        assert main(["export", "--feeder", "ieee13", "--format", "npz",
+                     "--output", str(tmp_path / "lp.npz")]) == 0
+        assert (tmp_path / "lp.npz").exists()
+
+    def test_bench_iteration(self, capsys):
+        assert main(["bench-iteration", "--feeder", "ieee13",
+                     "--iterations", "20", "--cpus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled A100" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,97 @@
+"""Unit tests for the component dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.network.components import Bus, Connection, Generator, Line, Load
+
+
+class TestBus:
+    def test_defaults(self):
+        bus = Bus("b", (1, 3))
+        assert bus.phases == (1, 3)
+        assert bus.n_phases == 2
+        np.testing.assert_allclose(bus.w_min, [0.81, 0.81])
+        np.testing.assert_allclose(bus.w_max, [1.21, 1.21])
+        np.testing.assert_allclose(bus.g_sh, 0.0)
+
+    def test_scalar_broadcast(self):
+        bus = Bus("b", (1, 2, 3), w_min=0.9, w_max=1.1)
+        np.testing.assert_allclose(bus.w_min, 0.9)
+        assert bus.w_min.shape == (3,)
+
+    def test_array_shape_validation(self):
+        with pytest.raises(ValueError, match="w_min"):
+            Bus("b", (1, 2), w_min=np.array([0.9, 0.9, 0.9]))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="w_min exceeds"):
+            Bus("b", (1,), w_min=1.2, w_max=0.8)
+
+    def test_phase_normalization(self):
+        assert Bus("b", [2, 1]).phases == (1, 2)
+
+
+class TestGenerator:
+    def test_defaults_consistent(self):
+        gen = Generator("g", "b", (1, 2, 3))
+        assert gen.n_phases == 3
+        assert np.all(gen.p_min <= gen.p_max)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError, match="inconsistent bounds"):
+            Generator("g", "b", (1,), p_min=2.0, p_max=1.0)
+
+    def test_per_phase_bounds(self):
+        gen = Generator("g", "b", (1, 2), p_max=np.array([0.5, 0.7]))
+        np.testing.assert_allclose(gen.p_max, [0.5, 0.7])
+
+
+class TestLoad:
+    def test_wye_bus_phases(self):
+        load = Load("l", "b", (1, 3), p_ref=0.1)
+        assert load.bus_phases == (1, 3)
+        assert not load.is_delta
+
+    def test_delta_branches_and_bus_phases(self):
+        load = Load("l", "b", (2,), connection=Connection.DELTA)
+        assert load.phases == (2,)
+        assert load.bus_phases == (2, 3)
+        assert load.branch_phase_pairs == ((2, 3),)
+
+    def test_full_delta(self):
+        load = Load("l", "b", (1, 2, 3), connection=Connection.DELTA)
+        assert load.bus_phases == (1, 2, 3)
+        assert len(load.branch_phase_pairs) == 3
+
+    def test_wye_rejects_branch_pairs_query(self):
+        with pytest.raises(ValueError, match="not delta"):
+            _ = Load("l", "b", (1,)).branch_phase_pairs
+
+    def test_negative_zip_exponent_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            Load("l", "b", (1,), alpha=-1.0)
+
+
+class TestLine:
+    def test_defaults(self):
+        line = Line("ln", "a", "b", (1, 2, 3))
+        assert line.n_phases == 3
+        assert line.r.shape == (3, 3)
+        np.testing.assert_allclose(line.tap, 1.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="from_bus equals"):
+            Line("ln", "a", "a", (1,))
+
+    def test_impedance_shape_validated(self):
+        with pytest.raises(ValueError, match="r:"):
+            Line("ln", "a", "b", (1, 2), r=np.zeros((3, 3)))
+
+    def test_nonpositive_tap_rejected(self):
+        with pytest.raises(ValueError, match="tap"):
+            Line("ln", "a", "b", (1,), tap=0.0)
+
+    def test_flow_bound_validation(self):
+        with pytest.raises(ValueError, match="flow bounds"):
+            Line("ln", "a", "b", (1,), p_min=1.0, p_max=-1.0)

@@ -1,0 +1,151 @@
+"""Tests for lossy communication compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.parallel import (
+    CompressedSolverFreeADMM,
+    ErrorFeedback,
+    TopKCompressor,
+    UniformQuantizer,
+)
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        msg = TopKCompressor(0.5).compress(np.array([1.0, -5.0, 0.1, 3.0]))
+        np.testing.assert_array_equal(msg.values, [0.0, -5.0, 0.0, 3.0])
+
+    def test_fraction_one_is_identity(self, rng):
+        v = rng.standard_normal(20)
+        msg = TopKCompressor(1.0).compress(v)
+        np.testing.assert_array_equal(msg.values, v)
+        assert msg.nbytes == 8 * 20
+
+    def test_bytes_counted_per_kept_entry(self):
+        msg = TopKCompressor(0.25).compress(np.arange(16.0))
+        assert msg.nbytes == 12 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(0.0)
+        with pytest.raises(ValueError):
+            TopKCompressor(1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, 32, elements=st.floats(-10, 10, allow_nan=False)))
+    def test_contraction_property(self, v):
+        """Top-k is a contraction: ||v - C(v)|| <= ||v||."""
+        msg = TopKCompressor(0.3).compress(v)
+        assert np.linalg.norm(v - msg.values) <= np.linalg.norm(v) + 1e-12
+
+
+class TestQuantizer:
+    def test_constant_vector_exact(self):
+        v = np.full(7, 3.3)
+        msg = UniformQuantizer(4).compress(v)
+        np.testing.assert_allclose(msg.values, v)
+
+    def test_endpoints_exact(self, rng):
+        v = rng.uniform(-2, 5, 50)
+        msg = UniformQuantizer(8).compress(v)
+        assert msg.values.min() == pytest.approx(v.min())
+        assert msg.values.max() == pytest.approx(v.max())
+
+    def test_error_bounded_by_step(self, rng):
+        v = rng.uniform(0, 1, 100)
+        bits = 6
+        msg = UniformQuantizer(bits).compress(v)
+        step = (v.max() - v.min()) / ((1 << bits) - 1)
+        assert np.max(np.abs(msg.values - v)) <= step / 2 + 1e-12
+
+    def test_bytes(self):
+        msg = UniformQuantizer(4).compress(np.zeros(100))
+        assert msg.nbytes == (4 * 100 + 7) // 8 + 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(17)
+
+
+class TestErrorFeedback:
+    def test_residual_reinjected(self):
+        ef = ErrorFeedback(TopKCompressor(0.5))
+        v = np.array([10.0, 1.0])
+        first = ef.compress(v)
+        np.testing.assert_array_equal(first.values, [10.0, 0.0])
+        # The dropped entry returns in the next round's memory.
+        second = ef.compress(np.zeros(2))
+        assert second.values[1] == pytest.approx(1.0)
+
+    def test_reset_clears_memory(self):
+        ef = ErrorFeedback(TopKCompressor(0.5))
+        ef.compress(np.array([10.0, 1.0]))
+        ef.reset()
+        msg = ef.compress(np.zeros(2))
+        np.testing.assert_array_equal(msg.values, 0.0)
+
+    def test_cumulative_error_bounded(self, rng):
+        """With EF the *cumulative* transmitted signal tracks the cumulative
+        input (memory holds the difference)."""
+        ef = ErrorFeedback(TopKCompressor(0.25))
+        total_in = np.zeros(16)
+        total_out = np.zeros(16)
+        for _ in range(50):
+            v = rng.standard_normal(16)
+            total_in += v
+            total_out += ef.compress(v).values
+        np.testing.assert_allclose(total_in, total_out + ef._memory, atol=1e-9)
+
+
+class TestCompressedSolve:
+    def test_identity_compressor_matches_plain(self, small_dec):
+        cfg = ADMMConfig(max_iter=200)
+        plain = SolverFreeADMM(small_dec, cfg).solve()
+        comp = CompressedSolverFreeADMM(small_dec, TopKCompressor(1.0), cfg)
+        res = comp.solve()
+        np.testing.assert_allclose(res.x, plain.x, atol=1e-12)
+        assert comp.compression_ratio == pytest.approx(1.0)
+
+    def test_quantized_converges_with_savings(self, small_dec, small_ref):
+        comp = CompressedSolverFreeADMM(
+            small_dec,
+            ErrorFeedback(UniformQuantizer(6)),
+            ADMMConfig(max_iter=60000, record_history=False),
+        )
+        res = comp.solve()
+        assert res.converged
+        assert small_ref.compare_objective(res.objective) < 2e-2
+        assert comp.compression_ratio > 5.0
+
+    def test_topk_converges_with_more_iterations(self, small_dec):
+        cfg = ADMMConfig(max_iter=120000, record_history=False)
+        plain = SolverFreeADMM(small_dec, cfg).solve()
+        comp = CompressedSolverFreeADMM(
+            small_dec, ErrorFeedback(TopKCompressor(0.4)), cfg
+        )
+        res = comp.solve()
+        assert res.converged
+        assert res.iterations >= plain.iterations  # compression costs rounds
+        assert comp.compression_ratio > 1.3
+
+    def test_bytes_accounting_reset_between_solves(self, small_dec):
+        comp = CompressedSolverFreeADMM(
+            small_dec, TopKCompressor(0.5), ADMMConfig(max_iter=10)
+        )
+        comp.solve()
+        first = comp.bytes_sent
+        comp.solve()
+        assert comp.bytes_sent == first
+
+    def test_rejects_balancing(self, small_dec):
+        with pytest.raises(ValueError, match="fixed rho"):
+            CompressedSolverFreeADMM(
+                small_dec, TopKCompressor(0.5), ADMMConfig(residual_balancing=True)
+            )

@@ -1,0 +1,72 @@
+"""Tests for the CSV feeder exchange format."""
+
+import numpy as np
+import pytest
+
+from repro.formulation import build_centralized_lp
+from repro.io.csv_feeder import load_network_csv, save_network_csv
+from repro.utils.exceptions import NetworkValidationError
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, ieee13_net, tmp_path):
+        save_network_csv(ieee13_net, tmp_path / "f")
+        restored = load_network_csv(tmp_path / "f", name="ieee13")
+        assert list(restored.buses) == list(ieee13_net.buses)
+        assert list(restored.lines) == list(ieee13_net.lines)
+        assert list(restored.loads) == list(ieee13_net.loads)
+        assert restored.substation == ieee13_net.substation
+        assert restored.mva_base == ieee13_net.mva_base
+
+    def test_numerics_preserved(self, ieee13_net, tmp_path):
+        save_network_csv(ieee13_net, tmp_path / "f")
+        restored = load_network_csv(tmp_path / "f")
+        for name, line in ieee13_net.lines.items():
+            np.testing.assert_allclose(restored.lines[name].r, line.r)
+            np.testing.assert_allclose(restored.lines[name].x, line.x)
+            np.testing.assert_allclose(restored.lines[name].tap, line.tap)
+        for name, load in ieee13_net.loads.items():
+            np.testing.assert_allclose(restored.loads[name].p_ref, load.p_ref)
+            assert restored.loads[name].connection == load.connection
+            np.testing.assert_allclose(restored.loads[name].alpha, load.alpha)
+
+    def test_same_lp_after_round_trip(self, ieee13_net, ieee13_lp, tmp_path):
+        save_network_csv(ieee13_net, tmp_path / "f")
+        lp2 = build_centralized_lp(load_network_csv(tmp_path / "f"))
+        assert lp2.shape == ieee13_lp.shape
+        np.testing.assert_allclose(lp2.b_vector, ieee13_lp.b_vector)
+        np.testing.assert_allclose(
+            lp2.a_matrix.toarray(), ieee13_lp.a_matrix.toarray()
+        )
+
+    def test_synthetic_round_trip(self, small_net, tmp_path):
+        save_network_csv(small_net, tmp_path / "s")
+        restored = load_network_csv(tmp_path / "s")
+        assert restored.n_buses == small_net.n_buses
+        assert restored.total_load_p == pytest.approx(small_net.total_load_p)
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(NetworkValidationError, match="no buses.csv"):
+            load_network_csv(tmp_path / "nope")
+
+    def test_missing_phases_column(self, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        (d / "buses.csv").write_text("name,phases\nb1,\n")
+        with pytest.raises(NetworkValidationError, match="missing phases"):
+            load_network_csv(d)
+
+    def test_defaults_applied(self, tmp_path):
+        d = tmp_path / "mini"
+        d.mkdir()
+        (d / "buses.csv").write_text("name,phases,substation\nroot,123,1\n")
+        (d / "generators.csv").write_text("name,bus,phases\ng,root,123\n")
+        net = load_network_csv(d)
+        assert net.substation == "root"
+        bus = net.buses["root"]
+        np.testing.assert_allclose(bus.w_min, 0.81)
+        gen = net.generators["g"]
+        assert gen.cost == 1.0
+        np.testing.assert_allclose(gen.p_max, 10.0)

@@ -1,0 +1,122 @@
+"""Failure-injection tests: the library must fail loudly and specifically
+when fed inconsistent or degenerate problems, not produce silent garbage."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.core.batch import BatchedLocalSolver
+from repro.decomposition import decompose
+from repro.decomposition.subproblems import build_subproblem
+from repro.formulation import Row, build_centralized_lp
+from repro.network import Bus, DistributionNetwork, Generator, Line, Load
+from repro.utils.exceptions import (
+    DecompositionError,
+    InfeasibleError,
+)
+
+
+def tiny_net():
+    net = DistributionNetwork(name="tiny")
+    net.add_bus(Bus("a", (1,), w_min=1.0, w_max=1.0))
+    net.add_bus(Bus("b", (1,)))
+    net.add_line(Line("ab", "a", "b", (1,), r=[[0.01]], x=[[0.02]]))
+    net.add_generator(Generator("g", "a", (1,)))
+    net.add_load(Load("l", "b", (1,), p_ref=0.1))
+    net.substation = "a"
+    return net
+
+
+class TestInconsistentLocalSystems:
+    def test_contradictory_rows_raise(self):
+        """Two rows fixing the same variable to different values must be
+        caught at decomposition time, not at solve time."""
+        net = tiny_net()
+        lp = build_centralized_lp(net)
+        bad = Row({("w", "b", 1): 1.0}, 0.9, ("bus", "b"), tag="pin-low")
+        worse = Row({("w", "b", 1): 1.0}, 1.1, ("bus", "b"), tag="pin-high")
+        lp.rows.extend([bad, worse])
+        with pytest.raises(InfeasibleError, match="inconsistent"):
+            decompose(lp)
+
+    def test_foreign_variable_in_row_raises(self):
+        net = tiny_net()
+        lp = build_centralized_lp(net)
+        # A bus-b row referencing bus-a-only generator variables violates
+        # the consensus structure.
+        alien = Row({("pg", "g", 1): 1.0}, 0.0, ("bus", "b"), tag="alien")
+        lp.rows.append(alien)
+        with pytest.raises(DecompositionError, match="foreign"):
+            decompose(lp)
+
+    def test_unknown_owner_raises(self):
+        net = tiny_net()
+        lp = build_centralized_lp(net)
+        lp.rows.append(Row({("w", "b", 1): 1.0}, 1.0, ("bus", "nope"), tag="lost"))
+        with pytest.raises(DecompositionError, match="unknown owner"):
+            decompose(lp)
+
+
+class TestDegenerateSolves:
+    def test_infeasible_bounds_admm_does_not_converge(self):
+        """With an impossible voltage band the termination criterion (16)
+        must not fire — ADMM reports non-convergence rather than a fake
+        solution."""
+        net = tiny_net()
+        net.buses["b"].w_min[:] = 1.5
+        net.buses["b"].w_max[:] = 1.6
+        lp = build_centralized_lp(net)
+        dec = decompose(lp)
+        res = SolverFreeADMM(dec, ADMMConfig(max_iter=3000)).solve()
+        assert not res.converged
+        # The consensus gap betrays the infeasibility.
+        assert res.pres > 1e-3
+
+    def test_tiny_network_without_loads(self):
+        net = DistributionNetwork(name="bare")
+        net.add_bus(Bus("a", (1,), w_min=1.0, w_max=1.0))
+        net.add_bus(Bus("b", (1,)))
+        net.add_line(Line("ab", "a", "b", (1,), r=[[0.01]], x=[[0.02]]))
+        net.add_generator(Generator("g", "a", (1,)))
+        net.substation = "a"
+        lp = build_centralized_lp(net)
+        res = SolverFreeADMM(decompose(lp), ADMMConfig(max_iter=20000)).solve()
+        assert res.converged
+        # Nothing to serve: optimal generation is ~0.
+        assert abs(res.objective) < 1e-3
+
+
+class TestBatchDegeneracy:
+    def test_wide_flat_component(self, rng):
+        """A component with a single row over many variables (m << n)."""
+        a = rng.standard_normal((1, 12))
+        b = np.array([0.7])
+
+        class Comp:
+            n_vars = 12
+
+        comp = Comp()
+        comp.a = a
+        comp.b = b
+        solver = BatchedLocalSolver.from_parts([comp], np.array([0, 12]))
+        v = rng.standard_normal(12)
+        z = solver.solve(v)
+        np.testing.assert_allclose(a @ z, b, atol=1e-10)
+
+    def test_square_full_rank_component_is_point(self, rng):
+        """m == n: the feasible set is a single point; the projection must
+        return it regardless of the input."""
+        a = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        x_star = rng.standard_normal(5)
+        b = a @ x_star
+
+        class Comp:
+            n_vars = 5
+
+        comp = Comp()
+        comp.a = a
+        comp.b = b
+        solver = BatchedLocalSolver.from_parts([comp], np.array([0, 5]))
+        for _ in range(3):
+            z = solver.solve(rng.standard_normal(5))
+            np.testing.assert_allclose(z, x_star, atol=1e-8)

@@ -1,0 +1,126 @@
+"""Tests for the feeder library (hand-coded IEEE13 and synthetic feeders)."""
+
+import numpy as np
+import pytest
+
+from repro.feeders import (
+    SyntheticFeederSpec,
+    build_synthetic_feeder,
+    ieee13,
+    ieee123,
+    ieee8500,
+)
+from repro.network.components import Connection
+
+
+class TestIEEE13:
+    def test_structure(self, ieee13_net):
+        assert ieee13_net.n_buses == 14  # 13 named buses + regulator output
+        assert ieee13_net.n_lines == 13
+        assert ieee13_net.is_radial()
+        assert ieee13_net.substation == "650"
+
+    def test_phase_mix(self, ieee13_net):
+        assert ieee13_net.buses["611"].phases == (3,)
+        assert ieee13_net.buses["652"].phases == (1,)
+        assert ieee13_net.buses["645"].phases == (2, 3)
+        assert ieee13_net.buses["684"].phases == (1, 3)
+
+    def test_load_connection_mix(self, ieee13_net):
+        conns = {l.connection for l in ieee13_net.loads.values()}
+        assert conns == {Connection.WYE, Connection.DELTA}
+        zips = {float(l.alpha[0]) for l in ieee13_net.loads.values()}
+        assert zips == {0.0, 1.0, 2.0}  # PQ, I, Z all present
+
+    def test_full_delta_load_at_671(self, ieee13_net):
+        ld = ieee13_net.loads["ld671"]
+        assert ld.is_delta and ld.phases == (1, 2, 3)
+
+    def test_regulator_taps(self, ieee13_net):
+        reg = ieee13_net.lines["reg_650_rg60"]
+        assert reg.is_transformer
+        np.testing.assert_allclose(
+            reg.tap, [1 / 1.0625**2, 1 / 1.05**2, 1 / 1.0687**2]
+        )
+
+    def test_capacitors_modeled_as_shunts(self, ieee13_net):
+        assert np.all(ieee13_net.buses["675"].b_sh > 0)
+        assert ieee13_net.buses["611"].b_sh[0] > 0
+
+    def test_total_load_magnitude(self, ieee13_net):
+        """IEEE13 serves roughly 3.5 MW -> 0.7 pu on the 5 MVA base."""
+        assert 0.6 < ieee13_net.total_load_p < 0.8
+
+    def test_flow_limit_parameter(self):
+        net = ieee13(flow_limit=3.0)
+        line = net.lines["l_632_671"]
+        np.testing.assert_allclose(line.p_max, 3.0)
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_given_seed(self):
+        spec = SyntheticFeederSpec(n_buses=40, seed=5)
+        n1 = build_synthetic_feeder(spec)
+        n2 = build_synthetic_feeder(spec)
+        assert list(n1.buses) == list(n2.buses)
+        assert list(n1.lines) == list(n2.lines)
+        for a, b in zip(n1.lines.values(), n2.lines.values()):
+            np.testing.assert_array_equal(a.r, b.r)
+
+    def test_different_seeds_differ(self):
+        n1 = build_synthetic_feeder(SyntheticFeederSpec(n_buses=40, seed=1))
+        n2 = build_synthetic_feeder(SyntheticFeederSpec(n_buses=40, seed=2))
+        assert any(
+            l1.to_bus != l2.to_bus or not np.array_equal(l1.r, l2.r)
+            for l1, l2 in zip(n1.lines.values(), n2.lines.values())
+        )
+
+    def test_radial_and_validated(self):
+        net = build_synthetic_feeder(SyntheticFeederSpec(n_buses=60, seed=9))
+        assert net.is_radial()
+        assert net.n_buses == 60
+        assert net.n_lines == 59
+
+    def test_child_phases_subset_of_parent(self):
+        net = build_synthetic_feeder(SyntheticFeederSpec(n_buses=80, seed=3))
+        for line in net.lines.values():
+            assert set(line.phases) <= set(net.buses[line.from_bus].phases)
+            assert set(line.phases) <= set(net.buses[line.to_bus].phases)
+
+    def test_source_capacity_exceeds_load(self):
+        net = build_synthetic_feeder(SyntheticFeederSpec(n_buses=50, seed=4))
+        src = net.generators["source"]
+        assert float(np.sum(src.p_max)) > net.total_load_p
+
+    def test_der_fraction(self):
+        spec = SyntheticFeederSpec(n_buses=80, seed=11, der_fraction=0.5)
+        net = build_synthetic_feeder(spec)
+        ders = [g for g in net.generators.values() if g.name.startswith("der")]
+        assert ders, "expected at least one DER"
+        assert all(g.cost == 0.0 for g in ders)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticFeederSpec(n_buses=1)
+        with pytest.raises(ValueError):
+            SyntheticFeederSpec(depth_bias=1.0)
+
+    def test_lp_feasible(self, small_lp, small_ref):
+        """The generator's tuning must keep the linearized model feasible."""
+        assert small_ref.objective > 0
+
+
+class TestInstanceClasses:
+    def test_ieee123_scale(self):
+        net = ieee123()
+        assert net.n_buses == 147
+        assert net.is_radial()
+        conns = {l.connection for l in net.loads.values()}
+        assert Connection.DELTA in conns
+
+    def test_ieee8500_scale_small_subproblems(self):
+        """Spot-check a downscaled 8500-style instance: mostly 1-2 phase
+        buses (the paper's Table IV signature)."""
+        net = ieee8500(n_buses=400)
+        hist = net.phase_counts()
+        assert hist[1] + hist[2] > hist[3]

@@ -1,0 +1,124 @@
+"""Tests for the linearized flow rows (5a)-(5c) and the M matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.formulation.flow import flow_rows, voltage_drop_matrices
+from repro.network.components import Line
+
+SQRT3 = math.sqrt(3.0)
+
+
+def three_phase_line(**kw):
+    r = np.array([[0.3, 0.1, 0.11], [0.1, 0.33, 0.12], [0.11, 0.12, 0.31]])
+    x = np.array([[1.0, 0.5, 0.42], [0.5, 1.04, 0.38], [0.42, 0.38, 1.03]])
+    return Line("e", "i", "j", (1, 2, 3), r=r, x=x, **kw)
+
+
+class TestVoltageDropMatrices:
+    def test_paper_closed_form_3phase(self):
+        """M^p and M^q must match the explicit matrices in Section II-A.4."""
+        line = three_phase_line()
+        mp, mq = voltage_drop_matrices(line)
+        r, x = line.r, line.x
+        mp_expected = np.array(
+            [
+                [-2 * r[0, 0], r[0, 1] - SQRT3 * x[0, 1], r[0, 2] + SQRT3 * x[0, 2]],
+                [r[1, 0] + SQRT3 * x[1, 0], -2 * r[1, 1], r[1, 2] - SQRT3 * x[1, 2]],
+                [r[2, 0] - SQRT3 * x[2, 0], r[2, 1] + SQRT3 * x[2, 1], -2 * r[2, 2]],
+            ]
+        )
+        mq_expected = np.array(
+            [
+                [-2 * x[0, 0], x[0, 1] + SQRT3 * r[0, 1], x[0, 2] - SQRT3 * r[0, 2]],
+                [x[1, 0] - SQRT3 * r[1, 0], -2 * x[1, 1], x[1, 2] + SQRT3 * r[1, 2]],
+                [x[2, 0] + SQRT3 * r[2, 0], x[2, 1] - SQRT3 * r[2, 1], -2 * x[2, 2]],
+            ]
+        )
+        np.testing.assert_allclose(mp, mp_expected)
+        np.testing.assert_allclose(mq, mq_expected)
+
+    def test_two_phase_restriction_keeps_absolute_identity(self):
+        """The (2,3) submatrix must use the sign pattern of phases 2 and 3,
+        not of positions 0 and 1."""
+        full = three_phase_line()
+        mp_full, mq_full = voltage_drop_matrices(full)
+        sub = Line(
+            "e23",
+            "i",
+            "j",
+            (2, 3),
+            r=full.r[np.ix_([1, 2], [1, 2])],
+            x=full.x[np.ix_([1, 2], [1, 2])],
+        )
+        mp_sub, mq_sub = voltage_drop_matrices(sub)
+        np.testing.assert_allclose(mp_sub, mp_full[np.ix_([1, 2], [1, 2])])
+        np.testing.assert_allclose(mq_sub, mq_full[np.ix_([1, 2], [1, 2])])
+
+    def test_single_phase_diagonal(self):
+        line = Line("e", "i", "j", (2,), r=[[0.5]], x=[[0.8]])
+        mp, mq = voltage_drop_matrices(line)
+        np.testing.assert_allclose(mp, [[-1.0]])
+        np.testing.assert_allclose(mq, [[-1.6]])
+
+
+class TestFlowRows:
+    def test_row_count_three_per_phase(self):
+        assert len(flow_rows(three_phase_line())) == 9
+        line = Line("e", "i", "j", (1, 3), r=np.eye(2) * 0.1, x=np.eye(2) * 0.2)
+        assert len(flow_rows(line)) == 6
+
+    def test_loss_row_with_shunts(self):
+        line = Line(
+            "e", "i", "j", (1,), r=[[0.1]], x=[[0.2]],
+            g_sh_fr=0.03, g_sh_to=0.04, b_sh_fr=0.05, b_sh_to=0.06,
+        )
+        rows = flow_rows(line)
+        p_row = next(r for r in rows if r.tag.startswith("flow-p"))
+        assert p_row.coeffs[("pf", "e", 1)] == 1.0
+        assert p_row.coeffs[("pt", "e", 1)] == 1.0
+        assert p_row.coeffs[("w", "i", 1)] == pytest.approx(-0.03)
+        assert p_row.coeffs[("w", "j", 1)] == pytest.approx(-0.04)
+        q_row = next(r for r in rows if r.tag.startswith("flow-q"))
+        assert q_row.coeffs[("w", "i", 1)] == pytest.approx(0.05)
+        assert q_row.coeffs[("w", "j", 1)] == pytest.approx(0.06)
+
+    def test_lossless_line_without_shunts(self):
+        rows = flow_rows(three_phase_line())
+        p_row = next(r for r in rows if r.tag == "flow-p:e:1")
+        # No shunt: w coefficients vanish entirely.
+        assert all(k[0] != "w" for k in p_row.coeffs)
+
+    def test_voltage_drop_row_structure(self):
+        line = Line("e", "i", "j", (1,), r=[[0.1]], x=[[0.2]])
+        rows = flow_rows(line)
+        v_row = next(r for r in rows if r.tag.startswith("vdrop"))
+        assert v_row.coeffs[("w", "i", 1)] == pytest.approx(1.0)
+        assert v_row.coeffs[("w", "j", 1)] == pytest.approx(-1.0)
+        assert v_row.coeffs[("pf", "e", 1)] == pytest.approx(-0.2)  # -2r
+        assert v_row.coeffs[("qf", "e", 1)] == pytest.approx(-0.4)  # -2x
+        # Only from-side flows enter (5c).
+        assert ("pt", "e", 1) not in v_row.coeffs
+
+    def test_tap_enters_voltage_drop(self):
+        line = Line("e", "i", "j", (1,), tap=0.9)
+        v_row = next(r for r in flow_rows(line) if r.tag.startswith("vdrop"))
+        assert v_row.coeffs[("w", "j", 1)] == pytest.approx(-0.9)
+
+    def test_balanced_voltage_satisfies_drop_row_at_no_flow(self):
+        """With zero flow and flat voltage (w=1 everywhere, tap=1), the
+        voltage-drop rows must be satisfied exactly."""
+        rows = flow_rows(three_phase_line())
+        for row in rows:
+            if not row.tag.startswith("vdrop"):
+                continue
+            residual = -row.rhs
+            for key, coef in row.coeffs.items():
+                value = 1.0 if key[0] == "w" else 0.0
+                residual += coef * value
+            assert residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_owner_is_line(self):
+        assert all(r.owner == ("line", "e") for r in flow_rows(three_phase_line()))

@@ -1,0 +1,113 @@
+"""Cross-cutting formulation invariants (physics-level property tests).
+
+These tests check aggregate identities that must hold for *any* feeder the
+generator can emit — the kind of invariant that catches sign errors in the
+balance/flow/load row builders long before an end-to-end solve would.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.feeders import SyntheticFeederSpec, build_synthetic_feeder
+from repro.formulation import build_centralized_lp
+from repro.reference import solve_reference
+
+
+def _aggregate_balance(lp, x):
+    """Sum all real balance rows: total line-withdrawals + total pb +
+    shunt - total generation = 0 at any feasible point."""
+    total = 0.0
+    for row in lp.rows:
+        if row.tag.startswith("balance-p:"):
+            total += sum(c * x[lp.var_index.index(k)] for k, c in row.coeffs.items())
+            total -= row.rhs
+    return total
+
+
+class TestAggregateIdentities:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_flow_pairs_cancel_in_aggregate(self, seed):
+        """Summing every real balance row over the whole feeder leaves
+        generation = withdrawals + shunts: the same (pf + pt) pair appears
+        once at each terminal, so per-line contributions reduce to the loss
+        rows' shunt terms.  Verified at the centralized optimum."""
+        net = build_synthetic_feeder(
+            SyntheticFeederSpec(n_buses=14, seed=seed, load_density=0.9)
+        )
+        lp = build_centralized_lp(net)
+        ref = solve_reference(lp)
+        assert abs(_aggregate_balance(lp, ref.x)) < 1e-7
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_generation_covers_constant_power_fraction(self, seed):
+        """At the optimum the substation serves roughly the feeder's
+        reference demand (the ZIP linearization shifts it by the voltage
+        deviation, bounded by the voltage band)."""
+        net = build_synthetic_feeder(
+            SyntheticFeederSpec(n_buses=14, seed=seed, load_density=0.9)
+        )
+        lp = build_centralized_lp(net)
+        ref = solve_reference(lp)
+        demand = net.total_load_p
+        if demand > 1e-6:
+            assert 0.5 * demand < ref.objective < 1.6 * demand
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_load_variables_match_zip_at_solution(self, seed):
+        """pd variables at the optimum equal the ZIP law evaluated at the
+        bus voltage."""
+        net = build_synthetic_feeder(
+            SyntheticFeederSpec(n_buses=12, seed=seed, load_density=0.9)
+        )
+        lp = build_centralized_lp(net)
+        ref = solve_reference(lp)
+        vi = lp.var_index
+        from repro.network.phases import DELTA_BRANCH_PHASES
+
+        for load in net.loads.values():
+            kappa = 3.0 if load.is_delta else 1.0
+            for j, phi in enumerate(load.phases):
+                w_phase = DELTA_BRANCH_PHASES[phi][0] if load.is_delta else phi
+                w = ref.x[vi.index(("w", load.bus, w_phase))]
+                expected = (
+                    load.p_ref[j] * load.alpha[j] / 2.0 * (kappa * w - 1.0)
+                    + load.p_ref[j]
+                )
+                pd = ref.x[vi.index(("pd", load.name, phi))]
+                assert pd == pytest.approx(expected, abs=1e-7)
+
+
+class TestDecompositionInvariantsAcrossSeeds:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_stack_equivalence_random_feeders(self, seed):
+        from repro.decomposition import decompose
+
+        net = build_synthetic_feeder(SyntheticFeederSpec(n_buses=12, seed=seed))
+        lp = build_centralized_lp(net)
+        dec = decompose(lp)
+        a_stack, b_stack = dec.stacked_raw_system()
+        d1 = np.hstack([a_stack.toarray(), b_stack[:, None]])
+        d2 = np.hstack([lp.a_matrix.toarray(), lp.b_vector[:, None]])
+        np.testing.assert_allclose(
+            d1[np.lexsort(d1.T)], d2[np.lexsort(d2.T)], atol=1e-12
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_reference_satisfies_every_local_system(self, seed):
+        from repro.decomposition import decompose
+
+        net = build_synthetic_feeder(SyntheticFeederSpec(n_buses=12, seed=seed))
+        lp = build_centralized_lp(net)
+        ref = solve_reference(lp)
+        dec = decompose(lp)
+        for comp in dec.components:
+            np.testing.assert_allclose(
+                comp.a @ ref.x[comp.global_cols], comp.b, atol=1e-6
+            )

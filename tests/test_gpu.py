@@ -1,0 +1,129 @@
+"""Tests for the device specs, cost model, and simulated-GPU execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.gpu import (
+    A100,
+    XEON_CORE,
+    DeviceSpec,
+    dual_update_time,
+    global_update_time,
+    iteration_times,
+    local_update_time_batched,
+    local_update_time_threads,
+    multi_device_iteration_times,
+    run_on_device,
+    xeon_node,
+)
+from repro.parallel import GPU_CLUSTER_COMM
+
+
+class TestDeviceSpecs:
+    def test_a100_faster_than_core(self):
+        assert A100.flops_per_s > 100 * XEON_CORE.flops_per_s
+        assert A100.mem_bandwidth_bytes_s > 10 * XEON_CORE.mem_bandwidth_bytes_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", flops_per_s=0.0, mem_bandwidth_bytes_s=1.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", flops_per_s=1.0, mem_bandwidth_bytes_s=1.0, sm_count=0)
+
+    def test_xeon_node_aggregates(self):
+        node = xeon_node(36)
+        assert node.flops_per_s == pytest.approx(36 * XEON_CORE.flops_per_s)
+        with pytest.raises(ValueError):
+            xeon_node(0)
+
+
+class TestCostModel:
+    def test_monotone_in_problem_size(self):
+        small = np.full(10, 8.0)
+        large = np.full(1000, 8.0)
+        assert local_update_time_batched(A100, large) > local_update_time_batched(
+            A100, small
+        )
+        assert global_update_time(A100, 100, 300) < global_update_time(A100, 10000, 30000)
+        assert dual_update_time(A100, 100) < dual_update_time(A100, 100000)
+
+    def test_gpu_beats_cpu_core_on_large_batch(self):
+        sizes = np.full(25000, 7.0)
+        assert local_update_time_batched(A100, sizes) < local_update_time_batched(
+            XEON_CORE, sizes
+        )
+
+    def test_kernel_launch_floor(self):
+        """Tiny problems on the GPU are launch-latency bound."""
+        t = local_update_time_batched(A100, np.array([4.0]))
+        assert t >= A100.kernel_launch_s
+
+    def test_thread_scaling_monotone_until_saturation(self):
+        """Within the paper's sweep range T in 1..64, more threads never
+        hurt; past the component size the benefit saturates.  (Beyond 64
+        threads occupancy drops and the model legitimately degrades.)"""
+        sizes = np.full(5000, 7.0)
+        times = [local_update_time_threads(A100, sizes, t) for t in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(a >= b - 1e-15 for a, b in zip(times, times[1:]))
+        assert local_update_time_threads(A100, sizes, 32) == pytest.approx(
+            local_update_time_threads(A100, sizes, 64)
+        )
+
+    def test_thread_count_validation(self):
+        with pytest.raises(ValueError):
+            local_update_time_threads(A100, np.array([4.0]), 0)
+
+    def test_iteration_times_composition(self, ieee13_dec):
+        times = iteration_times(A100, ieee13_dec)
+        assert times.total_s == pytest.approx(
+            times.global_s + times.local_s + times.dual_s
+        )
+        assert times.comm_s == 0.0
+
+    def test_multi_device_adds_comm(self, ieee13_dec):
+        t1 = multi_device_iteration_times(A100, ieee13_dec, 1, GPU_CLUSTER_COMM)
+        t4 = multi_device_iteration_times(A100, ieee13_dec, 4, GPU_CLUSTER_COMM)
+        assert t1.comm_s == 0.0
+        assert t4.comm_s > 0.0
+        assert t4.local_s <= t1.local_s
+
+    def test_multi_device_validation(self, ieee13_dec):
+        with pytest.raises(ValueError):
+            multi_device_iteration_times(A100, ieee13_dec, 0, GPU_CLUSTER_COMM)
+
+
+class TestSimulatedRun:
+    def test_same_iterates_as_plain_solver(self, ieee13_dec):
+        """Fig. 2: CPU and (simulated) GPU runs have identical residuals."""
+        cfg = ADMMConfig(max_iter=200)
+        plain = SolverFreeADMM(ieee13_dec, cfg).solve()
+        gpu = run_on_device(ieee13_dec, A100, cfg)
+        np.testing.assert_array_equal(plain.history.pres, gpu.result.history.pres)
+        np.testing.assert_array_equal(plain.history.dres, gpu.result.history.dres)
+        np.testing.assert_array_equal(plain.x, gpu.result.x)
+
+    def test_modeled_timers(self, ieee13_dec):
+        run = run_on_device(ieee13_dec, A100, ADMMConfig(max_iter=50))
+        timers = run.modeled_timers()
+        assert set(timers) == {"global", "local", "dual"}
+        assert run.modeled_total_s == pytest.approx(
+            run.per_iteration.total_s * run.result.iterations
+        )
+
+    def test_thread_model_run(self, ieee13_dec):
+        run = run_on_device(
+            ieee13_dec, A100, ADMMConfig(max_iter=10), threads_per_block=16
+        )
+        assert run.per_iteration.local_s > 0
+
+    def test_threads_with_multi_device_rejected(self, ieee13_dec):
+        with pytest.raises(ValueError, match="single-device"):
+            run_on_device(
+                ieee13_dec, A100, ADMMConfig(max_iter=5),
+                threads_per_block=8, n_devices=2,
+            )
+
+    def test_multi_device_run_has_comm(self, ieee13_dec):
+        run = run_on_device(ieee13_dec, A100, ADMMConfig(max_iter=10), n_devices=4)
+        assert "comm" in run.modeled_timers()

@@ -1,0 +1,73 @@
+"""Unit tests for line configurations and per-unit conversion."""
+
+import numpy as np
+import pytest
+
+from repro.network.impedance import (
+    FEET_PER_MILE,
+    IEEE13_CONFIGS,
+    LineConfig,
+    impedance_base_ohm,
+    line_impedance_pu,
+)
+
+
+class TestConfigs:
+    def test_all_published_configs_present(self):
+        assert set(IEEE13_CONFIGS) == {"601", "602", "603", "604", "605", "606", "607"}
+
+    def test_phase_sets(self):
+        assert IEEE13_CONFIGS["603"].phases == (2, 3)
+        assert IEEE13_CONFIGS["604"].phases == (1, 3)
+        assert IEEE13_CONFIGS["605"].phases == (3,)
+        assert IEEE13_CONFIGS["607"].phases == (1,)
+
+    def test_matrices_symmetric(self):
+        for cfg in IEEE13_CONFIGS.values():
+            np.testing.assert_allclose(cfg.r_per_mile, cfg.r_per_mile.T)
+            np.testing.assert_allclose(cfg.x_per_mile, cfg.x_per_mile.T)
+
+    def test_positive_diagonals(self):
+        for cfg in IEEE13_CONFIGS.values():
+            assert np.all(np.diag(cfg.r_per_mile) > 0)
+            assert np.all(np.diag(cfg.x_per_mile) > 0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="impedance must be"):
+            LineConfig("bad", (1, 2), np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_submatrix(self):
+        cfg = IEEE13_CONFIGS["601"]
+        r, x = cfg.submatrix((1, 3))
+        assert r.shape == (2, 2)
+        assert r[0, 1] == pytest.approx(cfg.r_per_mile[0, 2])
+
+
+class TestPerUnit:
+    def test_impedance_base(self):
+        assert impedance_base_ohm(4.16, 5.0) == pytest.approx(4.16**2 / 5.0)
+
+    def test_nonpositive_base_rejected(self):
+        with pytest.raises(ValueError):
+            impedance_base_ohm(0.0, 5.0)
+
+    def test_scaling_linear_in_length(self):
+        cfg = IEEE13_CONFIGS["601"]
+        r1, _ = line_impedance_pu(cfg, 1000.0, 4.16, 5.0)
+        r2, _ = line_impedance_pu(cfg, 2000.0, 4.16, 5.0)
+        np.testing.assert_allclose(r2, 2 * r1)
+
+    def test_one_mile_unit_base(self):
+        cfg = IEEE13_CONFIGS["605"]
+        r, x = line_impedance_pu(cfg, FEET_PER_MILE, 1.0, 1.0)
+        np.testing.assert_allclose(r, cfg.r_per_mile)
+        np.testing.assert_allclose(x, cfg.x_per_mile)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            line_impedance_pu(IEEE13_CONFIGS["601"], -1.0, 4.16, 5.0)
+
+    def test_phase_subset(self):
+        cfg = IEEE13_CONFIGS["601"]
+        r, x = line_impedance_pu(cfg, 1000.0, 4.16, 5.0, phases=(2,))
+        assert r.shape == (1, 1)

@@ -1,0 +1,123 @@
+"""Cross-module integration tests: the full pipeline on multiple feeders,
+dynamic topology changes with warm starts, and algorithm cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, BenchmarkADMM, SolverFreeADMM
+from repro.decomposition import decompose
+from repro.feeders import SyntheticFeederSpec, build_synthetic_feeder
+from repro.formulation import build_centralized_lp
+from repro.network import Generator
+from repro.reference import solve_reference
+
+
+def pipeline(net, max_iter=40000, **cfg):
+    lp = build_centralized_lp(net)
+    dec = decompose(lp)
+    res = SolverFreeADMM(dec, ADMMConfig(max_iter=max_iter, **cfg)).solve()
+    ref = solve_reference(lp)
+    return lp, dec, res, ref
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_synthetic_feeders_converge_to_optimum(self, seed):
+        net = build_synthetic_feeder(
+            SyntheticFeederSpec(n_buses=30, seed=seed, load_density=0.7)
+        )
+        lp, dec, res, ref = pipeline(net)
+        assert res.converged
+        assert ref.compare_objective(res.objective) < 2e-2
+
+    def test_both_algorithms_agree(self, small_dec, small_ref):
+        cfg = ADMMConfig(max_iter=40000)
+        free = SolverFreeADMM(small_dec, cfg).solve()
+        bench = BenchmarkADMM(small_dec, cfg, local_mode="projection").solve()
+        assert free.converged and bench.converged
+        assert abs(free.objective - bench.objective) < 2e-2 * max(
+            abs(small_ref.objective), 1.0
+        )
+
+    def test_leaf_merge_ablation_same_optimum(self, ieee13_lp, ieee13_ref):
+        dec_plain = decompose(ieee13_lp, merge_leaves=False)
+        res = SolverFreeADMM(dec_plain, ADMMConfig(max_iter=30000)).solve()
+        assert res.converged
+        assert ieee13_ref.compare_objective(res.objective) < 1e-2
+
+
+class TestDynamicTopology:
+    def test_line_removal_and_warm_start(self):
+        """The paper's motivating use case: a topology change (leaf spur
+        drops off) re-solved with a warm start from the previous solution."""
+        net = build_synthetic_feeder(
+            SyntheticFeederSpec(n_buses=30, seed=12, load_density=0.7)
+        )
+        lp1 = build_centralized_lp(net)
+        dec1 = decompose(lp1)
+        res1 = SolverFreeADMM(dec1, ADMMConfig(max_iter=40000)).solve()
+        assert res1.converged
+
+        # Drop a leaf bus and everything attached to it.
+        leaf = net.leaf_buses()[0]
+        for load in list(net.loads_at(leaf)):
+            net.remove_load(load.name)
+        for gen in list(net.generators_at(leaf)):
+            net.remove_generator(gen.name)
+        line = net.lines_at(leaf)[0]
+        net.remove_line(line.name)
+        del net.buses[leaf]
+        net._invalidate()
+        net.validate(require_radial=True)
+
+        lp2 = build_centralized_lp(net)
+        dec2 = decompose(lp2)
+        # Warm start: map surviving variables from the old solution.
+        x0 = lp2.initial_point()
+        for i, key in enumerate(lp2.var_index.keys):
+            if key in lp1.var_index:
+                x0[i] = res1.x[lp1.var_index.index(key)]
+        cold = SolverFreeADMM(dec2, ADMMConfig(max_iter=60000)).solve()
+        warm = SolverFreeADMM(dec2, ADMMConfig(max_iter=60000)).solve(x0=x0)
+        assert cold.converged and warm.converged
+        assert warm.iterations <= cold.iterations
+        ref2 = solve_reference(lp2)
+        assert ref2.compare_objective(warm.objective) < 2e-2
+
+    def test_adding_der_lowers_substation_cost(self):
+        """Adding a zero-cost DER must reduce the (cost-1) substation
+        objective at the optimum."""
+        net = build_synthetic_feeder(
+            SyntheticFeederSpec(n_buses=30, seed=21, load_density=0.8)
+        )
+        ref_before = solve_reference(build_centralized_lp(net))
+        bus = [b for b in net.buses.values() if b.n_phases == 3][1]
+        net.add_generator(
+            Generator(
+                "pv", bus=bus.name, phases=bus.phases,
+                p_min=0.0, p_max=0.05, q_min=-0.05, q_max=0.05, cost=0.0,
+            )
+        )
+        ref_after = solve_reference(build_centralized_lp(net))
+        assert ref_after.objective < ref_before.objective
+
+
+class TestConsensusQuality:
+    def test_converged_consensus_is_tight(self, ieee13_solution, ieee13_dec):
+        """At convergence, global and local copies agree to the tolerance."""
+        bx = ieee13_solution.x[ieee13_dec.global_cols]
+        gap = np.abs(bx - ieee13_solution.z)
+        assert gap.max() < 1e-2
+        assert np.linalg.norm(gap) == pytest.approx(ieee13_solution.pres)
+
+    def test_duals_zero_on_singleton_copies(self, ieee13_solution, ieee13_dec):
+        """Variables with a single local copy reach exact consensus quickly;
+        their lambdas absorb the full reduced cost but pres contribution is
+        dominated by shared variables."""
+        counts = ieee13_dec.counts[ieee13_dec.global_cols]
+        bx = ieee13_solution.x[ieee13_dec.global_cols]
+        singles = counts == 1
+        # Consensus gap concentrates on shared copies.
+        assert np.abs(bx - ieee13_solution.z)[singles].max() <= (
+            np.abs(bx - ieee13_solution.z).max() + 1e-12
+        )

@@ -1,0 +1,91 @@
+"""Tests for JSON/NPZ serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.formulation import build_centralized_lp
+from repro.io import (
+    load_lp_npz,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    result_to_dict,
+    save_lp_npz,
+    save_network,
+    save_result,
+)
+from repro.utils.exceptions import NetworkValidationError
+
+
+class TestFeederJson:
+    def test_round_trip_preserves_structure(self, ieee13_net, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(ieee13_net, path)
+        restored = load_network(path)
+        assert list(restored.buses) == list(ieee13_net.buses)
+        assert list(restored.lines) == list(ieee13_net.lines)
+        assert restored.substation == ieee13_net.substation
+        assert restored.mva_base == ieee13_net.mva_base
+
+    def test_round_trip_preserves_numbers(self, ieee13_net, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(ieee13_net, path)
+        restored = load_network(path)
+        for name, line in ieee13_net.lines.items():
+            np.testing.assert_allclose(restored.lines[name].r, line.r)
+            np.testing.assert_allclose(restored.lines[name].tap, line.tap)
+        for name, load in ieee13_net.loads.items():
+            assert restored.loads[name].connection == load.connection
+            np.testing.assert_allclose(restored.loads[name].p_ref, load.p_ref)
+
+    def test_round_trip_builds_identical_lp(self, ieee13_net, ieee13_lp, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(ieee13_net, path)
+        lp2 = build_centralized_lp(load_network(path))
+        assert lp2.shape == ieee13_lp.shape
+        np.testing.assert_allclose(
+            lp2.a_matrix.toarray(), ieee13_lp.a_matrix.toarray()
+        )
+        np.testing.assert_allclose(lp2.b_vector, ieee13_lp.b_vector)
+
+    def test_unknown_version_rejected(self, ieee13_net):
+        data = network_to_dict(ieee13_net)
+        data["format_version"] = 99
+        with pytest.raises(NetworkValidationError, match="format version"):
+            network_from_dict(data)
+
+
+class TestLpNpz:
+    def test_round_trip(self, small_lp, tmp_path):
+        path = tmp_path / "lp.npz"
+        save_lp_npz(small_lp, path)
+        loaded = load_lp_npz(path)
+        np.testing.assert_allclose(
+            loaded["a"].toarray(), small_lp.a_matrix.toarray()
+        )
+        np.testing.assert_allclose(loaded["b"], small_lp.b_vector)
+        np.testing.assert_allclose(loaded["lb"], small_lp.lb)
+
+
+class TestResultExport:
+    def test_result_dict_fields(self, small_dec):
+        res = SolverFreeADMM(small_dec, ADMMConfig(max_iter=10)).solve()
+        d = result_to_dict(res)
+        assert d["iterations"] == 10
+        assert "history" in d and len(d["history"]["pres"]) == 10
+        assert "x" not in d
+
+    def test_result_dict_with_vectors(self, small_dec):
+        res = SolverFreeADMM(small_dec, ADMMConfig(max_iter=5)).solve()
+        d = result_to_dict(res, include_vectors=True)
+        assert len(d["x"]) == small_dec.lp.n_vars
+
+    def test_save_result_is_json(self, small_dec, tmp_path):
+        import json
+
+        res = SolverFreeADMM(small_dec, ADMMConfig(max_iter=5)).solve()
+        path = tmp_path / "res.json"
+        save_result(res, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["algorithm"] == res.algorithm

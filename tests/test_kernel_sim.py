@@ -1,0 +1,117 @@
+"""Tests for the discrete kernel scheduler and its agreement with the
+closed-form occupancy model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100, DeviceSpec, local_update_time_threads
+from repro.gpu.kernel_sim import (
+    KernelSpec,
+    concurrent_block_slots,
+    local_update_kernel,
+    simulate_kernel,
+    simulate_local_update,
+)
+
+TINY = DeviceSpec(
+    name="tiny",
+    flops_per_s=1e9,
+    mem_bandwidth_bytes_s=1e9,
+    kernel_launch_s=0.0,
+    sm_count=2,
+    max_threads_per_sm=64,
+    max_blocks_per_sm=2,
+    clock_hz=1e6,
+)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", 0, np.ones(3))
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", 1, np.zeros(0))
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", 1, np.array([1.0, -2.0]))
+
+
+class TestSlots:
+    def test_block_cap(self):
+        # 64 threads/SM budget, cap 2 blocks/SM, 2 SMs.
+        assert concurrent_block_slots(TINY, 1) == 4
+        assert concurrent_block_slots(TINY, 32) == 4
+        assert concurrent_block_slots(TINY, 64) == 2
+
+    def test_at_least_one_block(self):
+        assert concurrent_block_slots(TINY, 10_000) == TINY.sm_count
+
+
+class TestScheduler:
+    def test_single_wave(self):
+        spec = KernelSpec("k", 1, np.array([10.0, 20.0, 5.0]))
+        ex = simulate_kernel(TINY, spec)
+        assert ex.makespan_cycles == 20.0
+
+    def test_two_waves_uniform(self):
+        spec = KernelSpec("k", 1, np.full(8, 10.0))  # 4 slots -> 2 waves
+        ex = simulate_kernel(TINY, spec)
+        assert ex.makespan_cycles == 20.0
+
+    def test_skewed_blocks_dominate(self):
+        cycles = np.array([100.0] + [1.0] * 7)
+        ex = simulate_kernel(TINY, KernelSpec("k", 1, cycles))
+        assert ex.makespan_cycles == pytest.approx(100.0)
+
+    def test_time_includes_launch(self):
+        dev = DeviceSpec(
+            name="l", flops_per_s=1e9, mem_bandwidth_bytes_s=1e9,
+            kernel_launch_s=1e-5, sm_count=1, clock_hz=1e6,
+        )
+        ex = simulate_kernel(dev, KernelSpec("k", 1, np.array([100.0])))
+        assert ex.time_s == pytest.approx(1e-5 + 100.0 / 1e6)
+
+    def test_utilization_bounds(self):
+        ex = simulate_kernel(TINY, KernelSpec("k", 1, np.arange(1.0, 30.0)))
+        assert 0.0 < ex.utilization <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(1.0, 100.0), min_size=1, max_size=60),
+        st.sampled_from([1, 2, 8, 64]),
+    )
+    def test_makespan_bounds(self, cycles, threads):
+        """List scheduling: max(mean load, max block) <= makespan <= sum."""
+        spec = KernelSpec("k", threads, np.array(cycles))
+        ex = simulate_kernel(TINY, spec)
+        lower = max(float(np.max(cycles)), float(np.sum(cycles)) / ex.concurrent_blocks)
+        assert ex.makespan_cycles >= lower - 1e-9
+        assert ex.makespan_cycles <= float(np.sum(cycles)) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(1.0, 50.0), min_size=4, max_size=40))
+    def test_more_threads_never_slower(self, sizes):
+        t1 = simulate_local_update(TINY, np.array(sizes), 1).time_s
+        t8 = simulate_local_update(TINY, np.array(sizes), 8).time_s
+        assert t8 <= t1 + 1e-12
+
+
+class TestAgainstAnalyticModel:
+    def test_local_update_agreement(self, ieee13_dec):
+        """Discrete schedule and closed-form wave model agree within the
+        wave-quantization error (factor ~2)."""
+        sizes = np.array([c.n_vars for c in ieee13_dec.components], dtype=float)
+        for threads in (1, 8, 64):
+            analytic = local_update_time_threads(A100, sizes, threads)
+            discrete = simulate_local_update(A100, sizes, threads).time_s
+            assert discrete <= 2.5 * analytic
+            assert analytic <= 2.5 * discrete
+
+    def test_kernel_from_decomposition(self, ieee13_dec):
+        spec = local_update_kernel(ieee13_dec, 16)
+        assert spec.n_blocks == ieee13_dec.n_components

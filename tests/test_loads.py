@@ -1,0 +1,168 @@
+"""Tests for the load model rows (4a)-(4j), including the consistency of the
+nominal-phasor delta map with the paper's literal equations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formulation.loads import (
+    C_FROM,
+    C_TO,
+    consumption_rows,
+    delta_link_rows,
+    delta_link_rows_paper,
+    delta_withdrawal_map,
+    load_rows,
+    nominal_phasor,
+    wye_link_rows,
+)
+from repro.formulation.rows import rows_to_dense_local
+from repro.network.components import Connection, Load
+
+
+def _solve_pb_from_rows(rows, load, pd, qd):
+    """Solve the link rows for (pb, qb) given consumption values."""
+    pb_keys = [("pb", load.name, p) for p in load.bus_phases]
+    qb_keys = [("qb", load.name, p) for p in load.bus_phases]
+    pd_keys = [("pd", load.name, p) for p in load.phases]
+    qd_keys = [("qd", load.name, p) for p in load.phases]
+    keys = pb_keys + qb_keys + pd_keys + qd_keys
+    a, b = rows_to_dense_local(rows, keys)
+    nb = len(pb_keys) + len(qb_keys)
+    a_b, a_d = a[:, :nb], a[:, nb:]
+    rhs = b - a_d @ np.concatenate([pd, qd])
+    sol, *_ = np.linalg.lstsq(a_b, rhs, rcond=None)
+    return sol[: len(pb_keys)], sol[len(pb_keys) :]
+
+
+class TestConsumptionRows:
+    def test_constant_power_independent_of_voltage(self):
+        load = Load("l", "b", (1,), p_ref=0.5, q_ref=0.2, alpha=0.0, beta=0.0)
+        rows = consumption_rows(load)
+        assert len(rows) == 2
+        # alpha = 0 removes the w coupling entirely.
+        assert ("w", "b", 1) not in rows[0].coeffs
+        assert rows[0].rhs == pytest.approx(0.5)
+
+    def test_constant_impedance_linearization(self):
+        """alpha=2: p^d = a*w, i.e. p^d - a*w = 0."""
+        load = Load("l", "b", (2,), p_ref=0.4, alpha=2.0)
+        row = consumption_rows(load)[0]
+        assert row.coeffs[("pd", "l", 2)] == pytest.approx(1.0)
+        assert row.coeffs[("w", "b", 2)] == pytest.approx(-0.4)
+        assert row.rhs == pytest.approx(0.0)
+
+    def test_constant_current_at_nominal_voltage(self):
+        """At w = 1 every ZIP type must consume exactly the reference."""
+        for alpha in (0.0, 1.0, 2.0):
+            load = Load("l", "b", (1,), p_ref=0.3, alpha=alpha)
+            row = consumption_rows(load)[0]
+            w_coef = row.coeffs.get(("w", "b", 1), 0.0)
+            pd_at_w1 = row.rhs - w_coef * 1.0
+            assert pd_at_w1 == pytest.approx(0.3), f"alpha={alpha}"
+
+    def test_delta_uses_tripled_voltage(self):
+        """(4d): w_hat = 3w for delta branches."""
+        wye = Load("l1", "b", (1,), p_ref=0.3, alpha=1.0)
+        delta = Load("l2", "b", (1,), connection=Connection.DELTA, p_ref=0.3, alpha=1.0)
+        wc = consumption_rows(wye)[0].coeffs[("w", "b", 1)]
+        dc = consumption_rows(delta)[0].coeffs[("w", "b", 1)]
+        assert dc == pytest.approx(3.0 * wc)
+
+
+class TestWyeLink:
+    def test_identity_rows(self):
+        load = Load("l", "b", (1, 3))
+        rows = wye_link_rows(load)
+        assert len(rows) == 4
+        row = rows[0]
+        assert row.coeffs[("pb", "l", 1)] == 1.0
+        assert row.coeffs[("pd", "l", 1)] == -1.0
+
+    def test_rejects_delta(self):
+        with pytest.raises(ValueError, match="not wye"):
+            wye_link_rows(Load("l", "b", (1,), connection=Connection.DELTA))
+
+
+class TestDeltaMap:
+    def test_ratio_constants(self):
+        """c_from + c_to = 1 guarantees power conservation (4f)."""
+        assert C_FROM + C_TO == pytest.approx(1.0)
+        assert abs(C_FROM) == pytest.approx(1 / np.sqrt(3))
+
+    def test_phasor_definition(self):
+        va, vb = nominal_phasor(1), nominal_phasor(2)
+        assert va / (va - vb) == pytest.approx(C_FROM)
+        assert -vb / (va - vb) == pytest.approx(C_TO)
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            nominal_phasor(4)
+
+    def test_map_requires_delta(self):
+        with pytest.raises(ValueError, match="not delta"):
+            delta_withdrawal_map(Load("l", "b", (1,)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pd=st.lists(st.floats(-1, 1), min_size=3, max_size=3),
+        qd=st.lists(st.floats(-1, 1), min_size=3, max_size=3),
+    )
+    def test_full_delta_matches_paper_equations(self, pd, qd):
+        """Property: the phasor-map solution satisfies the paper's implicit
+        system (4f)-(4j) for any branch consumptions."""
+        load = Load("l", "b", (1, 2, 3), connection=Connection.DELTA)
+        pd = np.array(pd)
+        qd = np.array(qd)
+        pb, qb = _solve_pb_from_rows(delta_link_rows(load), load, pd, qd)
+        paper = delta_link_rows_paper(load)
+        keys = (
+            [("pb", "l", p) for p in (1, 2, 3)]
+            + [("qb", "l", p) for p in (1, 2, 3)]
+            + [("pd", "l", p) for p in (1, 2, 3)]
+            + [("qd", "l", p) for p in (1, 2, 3)]
+        )
+        a, b = rows_to_dense_local(paper, keys)
+        xfull = np.concatenate([pb, qb, pd, qd])
+        np.testing.assert_allclose(a @ xfull, b, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        branch=st.sampled_from([1, 2, 3]),
+        pd=st.floats(-1, 1),
+        qd=st.floats(-1, 1),
+    )
+    def test_partial_delta_conserves_power(self, branch, pd, qd):
+        """(4f) holds for single-branch deltas too."""
+        load = Load("l", "b", (branch,), connection=Connection.DELTA)
+        pb, qb = _solve_pb_from_rows(
+            delta_link_rows(load), load, np.array([pd]), np.array([qd])
+        )
+        assert np.sum(pb) == pytest.approx(pd, abs=1e-9)
+        assert np.sum(qb) == pytest.approx(qd, abs=1e-9)
+
+    def test_paper_rows_require_full_delta(self):
+        with pytest.raises(ValueError, match="full 3-branch"):
+            delta_link_rows_paper(Load("l", "b", (1,), connection=Connection.DELTA))
+
+    def test_row_counts_match_paper(self):
+        """Full delta: 6 link rows in both formulations (Table IV parity)."""
+        load = Load("l", "b", (1, 2, 3), connection=Connection.DELTA)
+        assert len(delta_link_rows(load)) == len(delta_link_rows_paper(load)) == 6
+
+
+class TestLoadRows:
+    def test_wye_total_row_count(self):
+        load = Load("l", "b", (1, 2), p_ref=0.1)
+        # 2 consumption + 2 link per phase.
+        assert len(load_rows(load)) == 8
+
+    def test_single_branch_delta_row_count(self):
+        load = Load("l", "b", (2,), connection=Connection.DELTA, p_ref=0.1)
+        # 2 consumption (one branch) + 2 link rows per touched phase (2).
+        assert len(load_rows(load)) == 6
+
+    def test_all_rows_owned_by_bus(self):
+        load = Load("l", "busX", (1, 2, 3), connection=Connection.DELTA)
+        assert all(r.owner == ("bus", "busX") for r in load_rows(load))

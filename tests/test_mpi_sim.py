@@ -1,0 +1,144 @@
+"""Tests for the simulated MPI communicator and the distributed runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.parallel import (
+    CPU_CLUSTER_COMM,
+    GPU_CLUSTER_COMM,
+    CommModel,
+    DistributedADMMRunner,
+    SimComm,
+)
+
+
+class TestSimComm:
+    def make(self, size=3):
+        return SimComm(size, CommModel(latency_s=1e-6, bandwidth_bytes_s=8e9))
+
+    def test_initial_clocks_zero(self):
+        comm = self.make()
+        assert comm.elapsed() == 0.0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SimComm(0, CPU_CLUSTER_COMM)
+
+    def test_advance_and_barrier(self):
+        comm = self.make()
+        comm.advance(1, 5e-3)
+        assert comm.elapsed() == pytest.approx(5e-3)
+        comm.barrier()
+        np.testing.assert_allclose(comm.clocks, 5e-3)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().advance(0, -1.0)
+
+    def test_scatterv_delivers_data(self):
+        comm = self.make()
+        parts = [np.full(4, float(r)) for r in range(3)]
+        out = comm.scatterv(0, parts)
+        for r in range(3):
+            np.testing.assert_array_equal(out[r], parts[r])
+
+    def test_scatterv_serializes_at_root(self):
+        """Root endpoint busy for each message: its clock accumulates the
+        per-message time times (size - 1)."""
+        comm = self.make()
+        msg = comm.comm_model.message_time(4 * 8)
+        comm.scatterv(0, [np.zeros(4) for _ in range(3)])
+        assert comm.clocks[0] == pytest.approx(2 * msg)
+        # Last receiver finishes after both sends.
+        assert comm.clocks[2] == pytest.approx(2 * msg)
+
+    def test_scatterv_needs_all_parts(self):
+        with pytest.raises(ValueError, match="one part per rank"):
+            self.make().scatterv(0, [np.zeros(1)])
+
+    def test_gatherv_roundtrip(self):
+        comm = self.make()
+        part = {r: np.full(2, float(r)) for r in range(3)}
+        out = comm.gatherv(0, part)
+        for r in range(3):
+            np.testing.assert_array_equal(out[r], part[r])
+        assert comm.clocks[0] > 0
+
+    def test_gatherv_validates_keys(self):
+        with pytest.raises(ValueError, match="one part per rank"):
+            self.make().gatherv(0, {0: np.zeros(1)})
+
+    def test_bcast(self):
+        comm = self.make()
+        value = np.arange(5.0)
+        out = comm.bcast(0, value)
+        for r in range(3):
+            np.testing.assert_array_equal(out[r], value)
+        # Non-root copies are independent buffers.
+        out[1][0] = 99.0
+        assert value[0] == 0.0
+
+    def test_gpu_staging_costs_more(self):
+        cpu = SimComm(2, CPU_CLUSTER_COMM)
+        gpu = SimComm(2, GPU_CLUSTER_COMM)
+        cpu.bcast(0, np.zeros(1000))
+        gpu.bcast(0, np.zeros(1000))
+        assert gpu.elapsed() > cpu.elapsed()
+
+    def test_determinism(self):
+        c1, c2 = self.make(), self.make()
+        for c in (c1, c2):
+            c.scatterv(0, [np.zeros(3)] * 3)
+            c.gatherv(0, {r: np.zeros(2) for r in range(3)})
+        np.testing.assert_array_equal(c1.clocks, c2.clocks)
+
+
+class TestDistributedRunner:
+    def test_parity_with_serial(self, ieee13_dec):
+        cfg = ADMMConfig(max_iter=300)
+        serial = SolverFreeADMM(ieee13_dec, cfg).solve()
+        run = DistributedADMMRunner(ieee13_dec, 4, CPU_CLUSTER_COMM, cfg).solve()
+        np.testing.assert_allclose(run.result.x, serial.x, atol=1e-12)
+        np.testing.assert_allclose(run.result.z, serial.z, atol=1e-12)
+        np.testing.assert_allclose(run.result.lam, serial.lam, atol=1e-9)
+        assert run.result.iterations == serial.iterations
+
+    def test_parity_across_rank_counts(self, small_dec):
+        cfg = ADMMConfig(max_iter=100)
+        runs = [
+            DistributedADMMRunner(small_dec, n, CPU_CLUSTER_COMM, cfg).solve()
+            for n in (1, 2, 5)
+        ]
+        for run in runs[1:]:
+            np.testing.assert_allclose(run.result.x, runs[0].result.x, atol=1e-12)
+
+    def test_converges_and_reports_timeline(self, small_dec, small_ref):
+        run = DistributedADMMRunner(
+            small_dec, 3, CPU_CLUSTER_COMM, ADMMConfig(max_iter=40000)
+        ).solve()
+        assert run.result.converged
+        assert small_ref.compare_objective(run.result.objective) < 2e-2
+        assert len(run.timeline.total_s) == run.result.iterations
+        assert run.simulated_total_s == pytest.approx(sum(run.timeline.total_s), rel=1e-6)
+        assert run.timeline.mean_comm_s > 0
+
+    def test_more_ranks_more_comm(self, ieee13_dec):
+        """With a latency-dominated link the aggregator's serialized
+        endpoint makes per-iteration comm grow with rank count (Fig. 1c);
+        the slow link drowns out measurement jitter."""
+        cfg = ADMMConfig(max_iter=50)
+        slow = CommModel(latency_s=1e-4, bandwidth_bytes_s=1e9)
+        r2 = DistributedADMMRunner(ieee13_dec, 2, slow, cfg).solve()
+        r8 = DistributedADMMRunner(ieee13_dec, 8, slow, cfg).solve()
+        assert r8.timeline.mean_comm_s > r2.timeline.mean_comm_s
+
+    def test_rejects_extensions(self, small_dec):
+        with pytest.raises(ValueError, match="plain Algorithm 1"):
+            DistributedADMMRunner(
+                small_dec, 2, CPU_CLUSTER_COMM, ADMMConfig(relaxation=1.5)
+            )
+        with pytest.raises(ValueError, match="plain Algorithm 1"):
+            DistributedADMMRunner(
+                small_dec, 2, CPU_CLUSTER_COMM, ADMMConfig(residual_balancing=True)
+            )

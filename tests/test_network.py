@@ -1,0 +1,129 @@
+"""Unit tests for the DistributionNetwork container."""
+
+import numpy as np
+import pytest
+
+from repro.network import Bus, DistributionNetwork, Generator, Line, Load
+from repro.utils.exceptions import NetworkValidationError
+
+
+def three_bus() -> DistributionNetwork:
+    net = DistributionNetwork(name="tiny")
+    net.add_bus(Bus("a", (1, 2, 3), w_min=1.0, w_max=1.0))
+    net.add_bus(Bus("b", (1, 2, 3)))
+    net.add_bus(Bus("c", (1,)))
+    net.add_line(Line("ab", "a", "b", (1, 2, 3), r=np.eye(3) * 0.01, x=np.eye(3) * 0.02))
+    net.add_line(Line("bc", "b", "c", (1,), r=[[0.01]], x=[[0.02]]))
+    net.add_generator(Generator("src", "a", (1, 2, 3)))
+    net.add_load(Load("ld", "c", (1,), p_ref=0.1, q_ref=0.05))
+    net.substation = "a"
+    return net
+
+
+class TestMutation:
+    def test_duplicate_bus_rejected(self):
+        net = three_bus()
+        with pytest.raises(NetworkValidationError, match="duplicate bus"):
+            net.add_bus(Bus("a", (1,)))
+
+    def test_duplicate_line_rejected(self):
+        net = three_bus()
+        with pytest.raises(NetworkValidationError, match="duplicate line"):
+            net.add_line(Line("ab", "a", "b", (1,)))
+
+    def test_line_unknown_bus_rejected(self):
+        net = three_bus()
+        with pytest.raises(NetworkValidationError, match="unknown bus"):
+            net.add_line(Line("xz", "x", "z", (1,)))
+
+    def test_line_phase_mismatch_rejected(self):
+        net = three_bus()
+        with pytest.raises(NetworkValidationError, match="absent at bus"):
+            net.add_line(Line("ac", "a", "c", (1, 2)))
+
+    def test_load_phase_mismatch_rejected(self):
+        net = three_bus()
+        with pytest.raises(NetworkValidationError, match="absent at bus"):
+            net.add_load(Load("bad", "c", (2,)))
+
+    def test_remove_line_returns_it(self):
+        net = three_bus()
+        line = net.remove_line("bc")
+        assert line.name == "bc"
+        assert "bc" not in net.lines
+
+    def test_remove_missing_raises(self):
+        net = three_bus()
+        with pytest.raises(NetworkValidationError, match="no line"):
+            net.remove_line("zz")
+        with pytest.raises(NetworkValidationError, match="no load"):
+            net.remove_load("zz")
+        with pytest.raises(NetworkValidationError, match="no generator"):
+            net.remove_generator("zz")
+
+
+class TestTopology:
+    def test_is_radial(self):
+        net = three_bus()
+        assert net.is_radial()
+        net.add_line(Line("ab2", "a", "b", (1,)))
+        assert not net.is_radial()
+
+    def test_validate_disconnected(self):
+        net = three_bus()
+        net.remove_line("bc")
+        with pytest.raises(NetworkValidationError, match="disconnected"):
+            net.validate()
+
+    def test_validate_radial_flag(self):
+        net = three_bus()
+        net.add_line(Line("ab2", "a", "b", (1,)))
+        net.validate()  # connected, fine
+        with pytest.raises(NetworkValidationError, match="not radial"):
+            net.validate(require_radial=True)
+
+    def test_leaf_buses_exclude_substation(self):
+        net = three_bus()
+        assert net.leaf_buses() == ["c"]
+
+    def test_incidence_queries(self):
+        net = three_bus()
+        assert {l.name for l in net.lines_at("b")} == {"ab", "bc"}
+        assert [g.name for g in net.generators_at("a")] == ["src"]
+        assert [l.name for l in net.loads_at("c")] == ["ld"]
+
+    def test_adjacency_cache_invalidation(self):
+        net = three_bus()
+        assert len(net.lines_at("b")) == 2
+        net.remove_line("bc")
+        assert len(net.lines_at("b")) == 1
+        net.add_line(Line("bc2", "b", "c", (1,)))
+        assert len(net.lines_at("b")) == 2
+
+    def test_parallel_lines_not_leaves(self):
+        net = three_bus()
+        net.add_line(Line("bc2", "b", "c", (1,)))
+        assert "c" not in net.leaf_buses()
+
+
+class TestStats:
+    def test_counts(self):
+        net = three_bus()
+        assert net.n_buses == 3
+        assert net.n_lines == 2
+        assert net.total_load_p == pytest.approx(0.1)
+
+    def test_phase_counts(self):
+        hist = three_bus().phase_counts()
+        assert hist == {1: 1, 2: 0, 3: 2}
+
+    def test_copy_is_deep(self):
+        net = three_bus()
+        clone = net.copy()
+        clone.remove_line("bc")
+        assert "bc" in net.lines
+        clone.buses["b"].w_max[0] = 2.0
+        assert net.buses["b"].w_max[0] == pytest.approx(1.21)
+
+    def test_summary_mentions_counts(self):
+        assert "3 buses" in three_bus().summary()

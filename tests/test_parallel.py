@@ -1,0 +1,140 @@
+"""Tests for the simulated cluster and the real process-parallel executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverFreeADMM
+from repro.parallel import (
+    CPU_CLUSTER_COMM,
+    GPU_CLUSTER_COMM,
+    CommModel,
+    ProcessParallelLocalUpdate,
+    SimulatedCluster,
+    assign_even,
+    assign_greedy,
+    rank_loads,
+    sweep_ranks,
+)
+
+
+class TestAssignment:
+    def test_even_partition_sizes(self):
+        owner = assign_even(10, 3)
+        sizes = np.bincount(owner)
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_even_contiguous_blocks(self):
+        owner = assign_even(7, 2)
+        assert list(owner) == sorted(owner)
+
+    def test_more_ranks_than_components(self):
+        owner = assign_even(3, 10)
+        assert owner.max() == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            assign_even(5, 0)
+        with pytest.raises(ValueError):
+            assign_even(0, 2)
+        with pytest.raises(ValueError):
+            assign_greedy(np.ones(3), 0)
+
+    def test_greedy_beats_even_on_skewed_costs(self):
+        costs = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        even_max = rank_loads(costs, assign_even(8, 2), 2).max()
+        greedy_max = rank_loads(costs, assign_greedy(costs, 2), 2).max()
+        assert greedy_max <= even_max
+
+    def test_rank_loads_total_preserved(self):
+        costs = np.arange(1.0, 9.0)
+        loads = rank_loads(costs, assign_even(8, 3), 3)
+        assert loads.sum() == pytest.approx(costs.sum())
+
+
+class TestCommModel:
+    def test_message_time_affine(self):
+        m = CommModel(latency_s=1e-6, bandwidth_bytes_s=1e9)
+        assert m.message_time(0) == pytest.approx(1e-6)
+        assert m.message_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_staging_adds_cost(self):
+        assert GPU_CLUSTER_COMM.message_time(8000) > CPU_CLUSTER_COMM.message_time(8000)
+
+    def test_gather_scatter_grows_with_ranks(self):
+        m = CPU_CLUSTER_COMM
+        t2 = m.gather_scatter_time(np.full(2, 1000.0))
+        t8 = m.gather_scatter_time(np.full(8, 250.0))
+        # Same total bytes, more messages -> more time (latency term).
+        assert t8 > t2
+
+
+class TestSimulatedCluster:
+    def test_compute_decreases_comm_increases(self, ieee13_dec):
+        solver = SolverFreeADMM(ieee13_dec)
+        costs = solver.measure_local_costs(repeats=1)
+        timings = sweep_ranks(ieee13_dec, costs, [1, 2, 4, 8], CPU_CLUSTER_COMM)
+        computes = [t.compute_s for t in timings]
+        comms = [t.comm_s for t in timings]
+        assert computes == sorted(computes, reverse=True)
+        assert comms == sorted(comms)
+        assert comms[0] == 0.0  # single rank: no aggregator exchange
+
+    def test_single_rank_equals_total_cost(self, ieee13_dec):
+        costs = np.random.default_rng(0).uniform(1e-6, 1e-5, ieee13_dec.n_components)
+        t = SimulatedCluster(ieee13_dec, costs, 1, CPU_CLUSTER_COMM).local_update_timing()
+        assert t.compute_s == pytest.approx(costs.sum())
+
+    def test_cost_shape_validated(self, ieee13_dec):
+        with pytest.raises(ValueError, match="one entry per component"):
+            SimulatedCluster(ieee13_dec, np.ones(3), 2, CPU_CLUSTER_COMM)
+
+    def test_unknown_strategy(self, ieee13_dec):
+        costs = np.ones(ieee13_dec.n_components)
+        with pytest.raises(ValueError, match="unknown assignment"):
+            SimulatedCluster(ieee13_dec, costs, 2, CPU_CLUSTER_COMM, strategy="zz")
+
+    def test_greedy_no_worse_than_even(self, ieee13_dec):
+        rng = np.random.default_rng(3)
+        costs = rng.lognormal(-12, 1.0, ieee13_dec.n_components)
+        even = SimulatedCluster(ieee13_dec, costs, 4, CPU_CLUSTER_COMM, "even")
+        greedy = SimulatedCluster(ieee13_dec, costs, 4, CPU_CLUSTER_COMM, "greedy")
+        assert (
+            greedy.local_update_timing().compute_s
+            <= even.local_update_timing().compute_s + 1e-12
+        )
+
+    def test_iteration_time_adds_global_and_dual(self, ieee13_dec):
+        costs = np.full(ieee13_dec.n_components, 1e-6)
+        cluster = SimulatedCluster(ieee13_dec, costs, 2, CPU_CLUSTER_COMM)
+        t_local = cluster.local_update_timing().total_s
+        assert cluster.iteration_time(1e-4, 2e-4) == pytest.approx(t_local + 3e-4)
+
+    def test_bytes_proportional_to_local_dims(self, ieee13_dec):
+        costs = np.ones(ieee13_dec.n_components)
+        cluster = SimulatedCluster(ieee13_dec, costs, 2, CPU_CLUSTER_COMM)
+        per_rank = cluster.per_rank_bytes()
+        assert per_rank.sum() == pytest.approx(2 * 8 * ieee13_dec.n_local)
+
+
+class TestProcessParallel:
+    def test_parity_with_serial(self, ieee13_dec, rng):
+        solver = SolverFreeADMM(ieee13_dec)
+        v = rng.standard_normal(ieee13_dec.n_local)
+        z_serial = solver.local_solver.solve(v)
+        with ProcessParallelLocalUpdate(ieee13_dec, n_workers=2) as par:
+            z_par = par.solve(v)
+        np.testing.assert_allclose(z_par, z_serial, atol=1e-12)
+
+    def test_worker_count_capped_by_components(self, small_dec, rng):
+        with ProcessParallelLocalUpdate(small_dec, n_workers=3) as par:
+            assert par.n_workers == 3
+            v = rng.standard_normal(small_dec.n_local)
+            assert par.solve(v).shape == (small_dec.n_local,)
+
+    def test_invalid_inputs(self, small_dec):
+        with pytest.raises(ValueError, match="at least one worker"):
+            ProcessParallelLocalUpdate(small_dec, n_workers=0)
+        with ProcessParallelLocalUpdate(small_dec, n_workers=2) as par:
+            with pytest.raises(ValueError, match="wrong length"):
+                par.solve(np.zeros(3))

@@ -1,0 +1,83 @@
+"""Tests for the component partition (Section V-A rules, Table III)."""
+
+import pytest
+
+from repro.decomposition.partition import partition_components
+from repro.network import Bus, DistributionNetwork, Line
+from repro.utils.exceptions import DecompositionError
+
+
+def path_net(n: int) -> DistributionNetwork:
+    net = DistributionNetwork()
+    for i in range(n):
+        net.add_bus(Bus(f"b{i}", (1,)))
+    for i in range(n - 1):
+        net.add_line(Line(f"l{i}", f"b{i}", f"b{i+1}", (1,)))
+    return net
+
+
+class TestCounts:
+    def test_table3_identity(self, ieee13_net):
+        _, counts = partition_components(ieee13_net)
+        assert counts.n_components == counts.n_nodes + counts.n_lines - counts.n_leaves
+        assert counts.n_nodes == ieee13_net.n_buses
+        assert counts.n_lines == ieee13_net.n_lines
+
+    def test_ieee13_leaf_count(self, ieee13_net):
+        """IEEE13 leaves (non-substation, degree one): 634, 646, 680, 611,
+        652, 675."""
+        _, counts = partition_components(ieee13_net)
+        assert counts.n_leaves == 6
+
+    def test_every_owner_covered_once(self, ieee13_net):
+        specs, _ = partition_components(ieee13_net)
+        owners = [o for spec in specs for o in spec.owners()]
+        assert len(owners) == len(set(owners))
+        assert len(owners) == ieee13_net.n_buses + ieee13_net.n_lines
+
+
+class TestLeafMerging:
+    def test_path_merges_far_end(self):
+        net = path_net(3)
+        net.substation = "b0"
+        specs, counts = partition_components(net)
+        kinds = sorted(s.kind for s in specs)
+        assert counts.n_leaves == 1
+        assert kinds == ["bus", "bus", "leaf", "line"]
+
+    def test_no_substation_both_ends_leaves(self):
+        """A 2-bus network: only one endpoint may absorb the line."""
+        net = path_net(2)
+        specs, counts = partition_components(net)
+        assert counts.n_leaves == 1
+        assert sorted(s.kind for s in specs) == ["bus", "leaf"]
+
+    def test_merge_disabled(self):
+        net = path_net(4)
+        specs, counts = partition_components(net, merge_leaves=False)
+        assert counts.n_leaves == 0
+        assert len(specs) == 4 + 3
+
+    def test_leaf_component_contains_bus_and_line(self):
+        net = path_net(3)
+        net.substation = "b0"
+        specs, _ = partition_components(net)
+        leaf = next(s for s in specs if s.kind == "leaf")
+        assert leaf.buses == ("b2",)
+        assert leaf.lines == ("l1",)
+
+
+class TestErrors:
+    def test_multi_bus_no_lines(self):
+        net = DistributionNetwork()
+        net.add_bus(Bus("a", (1,)))
+        net.add_bus(Bus("b", (1,)))
+        with pytest.raises(DecompositionError, match="without lines"):
+            partition_components(net)
+
+    def test_single_bus_ok(self):
+        net = DistributionNetwork()
+        net.add_bus(Bus("a", (1,)))
+        specs, counts = partition_components(net)
+        assert len(specs) == 1
+        assert counts.n_components == 1

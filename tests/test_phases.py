@@ -1,0 +1,59 @@
+"""Unit tests for phase bookkeeping."""
+
+import pytest
+
+from repro.network.phases import (
+    DELTA_BRANCH_PHASES,
+    delta_branch_tuple,
+    phase_index,
+    phase_tuple,
+    phases_of_delta_branches,
+)
+
+
+class TestPhaseTuple:
+    def test_sorts_and_dedups(self):
+        assert phase_tuple([3, 1, 1]) == (1, 3)
+
+    def test_accepts_full_set(self):
+        assert phase_tuple((1, 2, 3)) == (1, 2, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            phase_tuple([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="phases must be"):
+            phase_tuple([0, 1])
+        with pytest.raises(ValueError, match="phases must be"):
+            phase_tuple([4])
+
+    def test_coerces_to_int(self):
+        assert phase_tuple(["2", 3.0]) == (2, 3)
+
+
+class TestDeltaBranches:
+    def test_branch_pairs_cycle(self):
+        assert DELTA_BRANCH_PHASES == {1: (1, 2), 2: (2, 3), 3: (3, 1)}
+
+    def test_full_delta_touches_all_phases(self):
+        assert phases_of_delta_branches((1, 2, 3)) == (1, 2, 3)
+
+    def test_single_branch_touches_its_pair(self):
+        assert phases_of_delta_branches((2,)) == (2, 3)
+        assert phases_of_delta_branches((3,)) == (1, 3)
+
+    def test_two_branches(self):
+        assert phases_of_delta_branches((1, 2)) == (1, 2, 3)
+
+    def test_normalization(self):
+        assert delta_branch_tuple([3, 3, 1]) == (1, 3)
+
+
+class TestPhaseIndex:
+    def test_position(self):
+        assert phase_index((1, 3), 3) == 1
+
+    def test_missing_phase_raises(self):
+        with pytest.raises(ValueError, match="not in"):
+            phase_index((1, 2), 3)

@@ -1,0 +1,116 @@
+"""Tests for the differentially private consensus extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ADMMConfig,
+    PrivacyAccountant,
+    PrivacyConfig,
+    PrivateSolverFreeADMM,
+    SolverFreeADMM,
+)
+
+
+class TestPrivacyConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyConfig(clip=0.0)
+        with pytest.raises(ValueError):
+            PrivacyConfig(sigma=-1.0)
+
+    def test_rho_per_release(self):
+        cfg = PrivacyConfig(clip=2.0, sigma=1.0)
+        assert cfg.rho_zcdp_per_release() == pytest.approx(2.0)
+
+    def test_zero_sigma_infinite_cost(self):
+        assert math.isinf(PrivacyConfig(clip=1.0, sigma=0.0).rho_zcdp_per_release())
+
+
+class TestAccountant:
+    def test_composition_additive(self):
+        acc = PrivacyAccountant(rho_per_release=0.01)
+        acc.record(10)
+        acc.record(5)
+        assert acc.rho_total == pytest.approx(0.15)
+
+    def test_epsilon_conversion(self):
+        acc = PrivacyAccountant(rho_per_release=0.5, releases=1)
+        eps = acc.epsilon(delta=1e-6)
+        assert eps == pytest.approx(0.5 + 2 * math.sqrt(0.5 * math.log(1e6)))
+
+    def test_epsilon_validates_delta(self):
+        acc = PrivacyAccountant(rho_per_release=0.1, releases=1)
+        with pytest.raises(ValueError):
+            acc.epsilon(delta=0.0)
+
+    def test_epsilon_monotone_in_releases(self):
+        a1 = PrivacyAccountant(0.01, releases=10)
+        a2 = PrivacyAccountant(0.01, releases=100)
+        assert a2.epsilon() > a1.epsilon()
+
+
+class TestPrivateSolve:
+    def test_zero_noise_huge_clip_matches_plain(self, small_dec):
+        """With sigma=0 and a non-binding clip, the private solver must
+        reproduce Algorithm 1 exactly."""
+        cfg = ADMMConfig(max_iter=200)
+        plain = SolverFreeADMM(small_dec, cfg).solve()
+        private = PrivateSolverFreeADMM(
+            small_dec, PrivacyConfig(clip=1e6, sigma=0.0), cfg
+        ).solve()
+        np.testing.assert_allclose(private.x, plain.x, atol=1e-12)
+        np.testing.assert_allclose(private.z, plain.z, atol=1e-12)
+
+    def test_noise_floor_degrades_gracefully(self, small_dec, small_ref):
+        """More noise -> worse objective, but small noise stays close."""
+        gaps = []
+        for sigma in (1e-5, 1e-3):
+            res = PrivateSolverFreeADMM(
+                small_dec,
+                PrivacyConfig(clip=1.0, sigma=sigma, seed=1),
+                ADMMConfig(max_iter=15000, record_history=False),
+            ).solve()
+            gaps.append(small_ref.compare_objective(res.objective))
+        assert gaps[0] < gaps[1]
+        assert gaps[0] < 5e-3
+
+    def test_accountant_tracks_releases(self, small_dec):
+        solver = PrivateSolverFreeADMM(
+            small_dec,
+            PrivacyConfig(clip=1.0, sigma=1e-4),
+            ADMMConfig(max_iter=50, record_history=False),
+        )
+        solver.solve()
+        assert solver.accountant.releases == 50 * small_dec.n_components
+
+    def test_reproducible_given_seed(self, small_dec):
+        def run():
+            return PrivateSolverFreeADMM(
+                small_dec,
+                PrivacyConfig(clip=1.0, sigma=1e-4, seed=7),
+                ADMMConfig(max_iter=100, record_history=False),
+            ).solve()
+
+        np.testing.assert_array_equal(run().x, run().x)
+
+    def test_clipping_bounds_update_norm(self, small_dec, rng):
+        solver = PrivateSolverFreeADMM(
+            small_dec, PrivacyConfig(clip=0.05, sigma=0.0), ADMMConfig()
+        )
+        z_prev = rng.standard_normal(small_dec.n_local)
+        z_new = z_prev + rng.standard_normal(small_dec.n_local)
+        out = solver._privatize(z_new, z_prev)
+        for s in range(small_dec.n_components):
+            sl = small_dec.component_slice(s)
+            assert np.linalg.norm(out[sl] - z_prev[sl]) <= 0.05 + 1e-12
+
+    def test_rejects_balancing(self, small_dec):
+        with pytest.raises(ValueError, match="fixed rho"):
+            PrivateSolverFreeADMM(
+                small_dec,
+                PrivacyConfig(),
+                ADMMConfig(residual_balancing=True),
+            )

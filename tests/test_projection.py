@@ -1,0 +1,98 @@
+"""Tests for the exact box-affine projection (semismooth Newton + fallback)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.decomposition.rowreduce import reduced_row_echelon
+from repro.qp import project_box_affine, solve_qp_box_eq
+
+
+class TestBasics:
+    def test_no_equalities_is_clip(self):
+        v = np.array([-2.0, 0.5, 3.0])
+        lb = np.array([-1.0, -1.0, -1.0])
+        ub = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(
+            project_box_affine(v, np.zeros((0, 3)), np.zeros(0), lb, ub),
+            [-1.0, 0.5, 1.0],
+        )
+
+    def test_interior_affine_projection(self):
+        """When the box is inactive the result is the plain affine projection."""
+        a = np.array([[1.0, 1.0]])
+        b = np.array([1.0])
+        v = np.array([0.8, 0.8])
+        lb = np.full(2, -10.0)
+        ub = np.full(2, 10.0)
+        x = project_box_affine(v, a, b, lb, ub)
+        p_affine = v - a.T @ np.linalg.solve(a @ a.T, a @ v - b)
+        np.testing.assert_allclose(x, p_affine, atol=1e-8)
+
+    def test_known_corner_solution(self):
+        """Projection forced onto a box face."""
+        a = np.array([[1.0, 1.0]])
+        b = np.array([2.0])
+        v = np.array([5.0, -5.0])
+        lb = np.array([0.0, 0.0])
+        ub = np.array([1.5, 1.5])
+        x = project_box_affine(v, a, b, lb, ub)
+        np.testing.assert_allclose(x, [1.5, 0.5], atol=1e-7)
+
+
+@st.composite
+def feasible_projection(draw):
+    n = draw(st.integers(2, 8))
+    m = draw(st.integers(1, 4))
+    a = draw(arrays(np.float64, (m, n), elements=st.floats(-2, 2, allow_nan=False)))
+    x_feas = draw(arrays(np.float64, (n,), elements=st.floats(-1, 1, allow_nan=False)))
+    lb = x_feas - draw(arrays(np.float64, (n,), elements=st.floats(0.05, 2, allow_nan=False)))
+    ub = x_feas + draw(arrays(np.float64, (n,), elements=st.floats(0.05, 2, allow_nan=False)))
+    v = draw(arrays(np.float64, (n,), elements=st.floats(-4, 4, allow_nan=False)))
+    ar, br, _ = reduced_row_echelon(a, a @ x_feas)
+    return v, ar, br, lb, ub
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(feasible_projection())
+    def test_feasibility(self, prob):
+        v, a, b, lb, ub = prob
+        x = project_box_affine(v, a, b, lb, ub)
+        if a.shape[0]:
+            assert np.abs(a @ x - b).max() < 1e-6
+        assert np.all(x >= lb - 1e-8) and np.all(x <= ub + 1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(feasible_projection())
+    def test_idempotency(self, prob):
+        """Projecting a projected point is a no-op."""
+        v, a, b, lb, ub = prob
+        x = project_box_affine(v, a, b, lb, ub)
+        x2 = project_box_affine(x, a, b, lb, ub)
+        np.testing.assert_allclose(x2, x, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(feasible_projection())
+    def test_matches_interior_point(self, prob):
+        """Both exact methods agree (they solve the same strictly convex QP)."""
+        v, a, b, lb, ub = prob
+        x_newton = project_box_affine(v, a, b, lb, ub)
+        r = solve_qp_box_eq(np.eye(len(v)), -v, a, b, lb, ub)
+        assert r.converged
+        # Interior-point accuracy degrades to O(sqrt(tol)) on degenerate
+        # active sets, hence the loose comparison.
+        np.testing.assert_allclose(x_newton, r.x, atol=2e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(feasible_projection())
+    def test_firm_nonexpansiveness(self, prob):
+        """Projections onto convex sets are nonexpansive."""
+        v, a, b, lb, ub = prob
+        rng = np.random.default_rng(1)
+        u = v + rng.standard_normal(len(v))
+        xu = project_box_affine(u, a, b, lb, ub)
+        xv = project_box_affine(v, a, b, lb, ub)
+        assert np.linalg.norm(xu - xv) <= np.linalg.norm(u - v) + 1e-8

@@ -1,0 +1,54 @@
+"""Public API surface tests: the package exposes what the README promises."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim (small iteration cap to
+        stay fast; convergence is covered elsewhere)."""
+        net = repro.ieee13()
+        lp = repro.build_centralized_lp(net)
+        dec = repro.decompose(lp)
+        result = repro.SolverFreeADMM(dec, repro.ADMMConfig(max_iter=50)).solve()
+        assert result.iterations == 50
+
+    def test_subpackages_importable(self):
+        import repro.core
+        import repro.decomposition
+        import repro.feeders
+        import repro.formulation
+        import repro.gpu
+        import repro.io
+        import repro.multiperiod
+        import repro.network
+        import repro.parallel
+        import repro.qp
+        import repro.reference
+        import repro.socp
+        import repro.utils
+
+        for mod in (
+            repro.core,
+            repro.decomposition,
+            repro.feeders,
+            repro.formulation,
+            repro.gpu,
+            repro.io,
+            repro.multiperiod,
+            repro.network,
+            repro.parallel,
+            repro.qp,
+            repro.reference,
+            repro.socp,
+            repro.utils,
+        ):
+            assert mod.__doc__, f"{mod.__name__} missing module docstring"
+            assert hasattr(mod, "__all__") or mod.__name__ == "repro.utils"

@@ -1,0 +1,69 @@
+"""Tests for the termination criterion (16): the stacked-norm shortcuts must
+equal the paper's explicit per-component sums."""
+
+import numpy as np
+import pytest
+
+from repro.core.residuals import compute_residuals
+
+
+def explicit_residuals(dec, x, z, z_prev, lam, rho, eps_rel):
+    """Direct implementation of (16) as written in the paper, component by
+    component, scattering through B_s^T."""
+    n = dec.lp.n_vars
+    pres2 = dres2 = bx2 = z2 = lam2 = 0.0
+    for s, comp in enumerate(dec.components):
+        sl = dec.component_slice(s)
+        bsx = x[comp.global_cols]
+        pres2 += float(np.sum((bsx - z[sl]) ** 2))
+        dz = np.zeros(n)
+        np.add.at(dz, comp.global_cols, z[sl] - z_prev[sl])
+        dres2 += float(np.sum(dz**2))
+        bx2 += float(np.sum(bsx**2))
+        z2 += float(np.sum(z[sl] ** 2))
+        lam_scatter = np.zeros(n)
+        np.add.at(lam_scatter, comp.global_cols, lam[sl])
+        lam2 += float(np.sum(lam_scatter**2))
+    return (
+        np.sqrt(pres2),
+        rho * np.sqrt(dres2),
+        eps_rel * max(np.sqrt(bx2), np.sqrt(z2)),
+        eps_rel * np.sqrt(lam2),
+    )
+
+
+class TestAgainstPaperFormulas:
+    def test_matches_explicit_component_sums(self, ieee13_dec, rng):
+        x = rng.standard_normal(ieee13_dec.lp.n_vars)
+        z = rng.standard_normal(ieee13_dec.n_local)
+        z_prev = rng.standard_normal(ieee13_dec.n_local)
+        lam = rng.standard_normal(ieee13_dec.n_local)
+        rho, eps = 100.0, 1e-3
+        bx = x[ieee13_dec.global_cols]
+        res = compute_residuals(bx, z, z_prev, lam, rho, eps)
+        pres, dres, ep, ed = explicit_residuals(
+            ieee13_dec, x, z, z_prev, lam, rho, eps
+        )
+        assert res.pres == pytest.approx(pres)
+        assert res.dres == pytest.approx(dres)
+        assert res.eps_prim == pytest.approx(ep)
+        assert res.eps_dual == pytest.approx(ed)
+
+    def test_converged_flag(self):
+        z = np.ones(4)
+        res = compute_residuals(z, z, z, np.zeros(4), 100.0, 1e-3)
+        assert res.pres == 0.0 and res.dres == 0.0
+        assert res.converged
+
+    def test_not_converged_on_large_pres(self):
+        bx = np.ones(4)
+        z = np.zeros(4)
+        res = compute_residuals(bx, z, z, np.zeros(4), 100.0, 1e-3)
+        assert not res.converged
+
+    def test_dual_residual_scales_with_rho(self, rng):
+        z = rng.standard_normal(5)
+        z_prev = rng.standard_normal(5)
+        r1 = compute_residuals(z, z, z_prev, z, 1.0, 1e-3)
+        r2 = compute_residuals(z, z, z_prev, z, 10.0, 1e-3)
+        assert r2.dres == pytest.approx(10 * r1.dres)

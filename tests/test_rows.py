@@ -1,0 +1,56 @@
+"""Unit tests for constraint rows and assembly."""
+
+import numpy as np
+import pytest
+
+from repro.formulation.rows import Row, rows_to_dense_local, rows_to_matrix
+from repro.formulation.variables import VariableIndex
+
+
+def vi3():
+    vi = VariableIndex()
+    vi.add(("w", "a", 1))
+    vi.add(("w", "b", 1))
+    vi.add(("pf", "e", 1))
+    return vi
+
+
+class TestRow:
+    def test_zero_coefficients_dropped(self):
+        row = Row({("w", "a", 1): 0.0, ("w", "b", 1): 2.0}, 1.0, ("bus", "a"))
+        assert row.support() == {("w", "b", 1)}
+
+    def test_rhs_coerced_to_float(self):
+        row = Row({("w", "a", 1): 1}, 2, ("bus", "a"))
+        assert isinstance(row.rhs, float)
+        assert isinstance(row.coeffs[("w", "a", 1)], float)
+
+
+class TestMatrixAssembly:
+    def test_sparse_assembly(self):
+        vi = vi3()
+        rows = [
+            Row({("w", "a", 1): 1.0, ("pf", "e", 1): -2.0}, 3.0, ("bus", "a")),
+            Row({("w", "b", 1): 4.0}, 5.0, ("bus", "b")),
+        ]
+        a, b = rows_to_matrix(rows, vi)
+        assert a.shape == (2, 3)
+        np.testing.assert_allclose(a.toarray(), [[1, 0, -2], [0, 4, 0]])
+        np.testing.assert_allclose(b, [3, 5])
+
+    def test_empty_rows(self):
+        a, b = rows_to_matrix([], vi3())
+        assert a.shape == (0, 3)
+        assert b.shape == (0,)
+
+    def test_dense_local_assembly(self):
+        keys = [("w", "a", 1), ("pf", "e", 1)]
+        rows = [Row({("pf", "e", 1): 2.0}, 1.0, ("line", "e"))]
+        a, b = rows_to_dense_local(rows, keys)
+        np.testing.assert_allclose(a, [[0.0, 2.0]])
+        np.testing.assert_allclose(b, [1.0])
+
+    def test_dense_local_foreign_key_raises(self):
+        rows = [Row({("w", "zz", 1): 1.0}, 0.0, ("bus", "zz"))]
+        with pytest.raises(KeyError):
+            rows_to_dense_local(rows, [("w", "a", 1)])

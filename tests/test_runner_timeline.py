@@ -1,0 +1,104 @@
+"""Additional coverage for the distributed runner's timeline accounting and
+the simulated cluster's edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig
+from repro.parallel import (
+    CPU_CLUSTER_COMM,
+    CommModel,
+    DistributedADMMRunner,
+    SimulatedCluster,
+)
+from repro.parallel.runner import IterationTimeline
+
+
+class TestIterationTimeline:
+    def test_empty_timeline_means(self):
+        tl = IterationTimeline()
+        assert tl.mean_iteration_s == 0.0
+        assert tl.mean_comm_s == 0.0
+
+    def test_means(self):
+        tl = IterationTimeline()
+        tl.append(2.0, 1.5)
+        tl.append(4.0, 2.5)
+        assert tl.mean_iteration_s == pytest.approx(3.0)
+        assert tl.mean_comm_s == pytest.approx(1.0)
+
+
+class TestRunnerAccounting:
+    def test_simulated_time_monotone_in_iterations(self, small_dec):
+        r10 = DistributedADMMRunner(
+            small_dec, 2, CPU_CLUSTER_COMM, ADMMConfig(max_iter=10)
+        ).solve()
+        r50 = DistributedADMMRunner(
+            small_dec, 2, CPU_CLUSTER_COMM, ADMMConfig(max_iter=50)
+        ).solve()
+        assert r50.simulated_total_s > r10.simulated_total_s
+
+    def test_single_rank_runs(self, small_dec):
+        run = DistributedADMMRunner(
+            small_dec, 1, CPU_CLUSTER_COMM, ADMMConfig(max_iter=20)
+        ).solve()
+        assert run.n_ranks == 1
+        assert run.result.iterations == 20
+
+    def test_ranks_capped_by_components(self, small_dec):
+        run = DistributedADMMRunner(
+            small_dec, 10_000, CPU_CLUSTER_COMM, ADMMConfig(max_iter=3)
+        ).solve()
+        assert run.n_ranks <= small_dec.n_components
+
+    def test_history_recorded(self, small_dec):
+        run = DistributedADMMRunner(
+            small_dec, 2, CPU_CLUSTER_COMM, ADMMConfig(max_iter=7)
+        ).solve()
+        assert len(run.result.history) == 7
+
+
+class TestClusterEdgeCases:
+    def test_zero_latency_comm_still_counts_bandwidth(self, small_dec):
+        costs = np.full(small_dec.n_components, 1e-6)
+        free_latency = CommModel(latency_s=0.0, bandwidth_bytes_s=1e6)
+        t = SimulatedCluster(small_dec, costs, 4, free_latency).local_update_timing()
+        assert t.comm_s > 0.0
+
+    def test_single_component_network(self):
+        """A one-bus network decomposes into a single component and the
+        cluster degenerates gracefully."""
+        from repro.decomposition import decompose
+        from repro.formulation import build_centralized_lp
+        from repro.network import Bus, DistributionNetwork, Generator, Load
+
+        net = DistributionNetwork(name="island")
+        net.add_bus(Bus("a", (1, 2, 3), w_min=1.0, w_max=1.0))
+        net.add_generator(Generator("g", "a", (1, 2, 3)))
+        net.add_load(Load("l", "a", (1, 2, 3), p_ref=0.1, q_ref=0.05))
+        lp = build_centralized_lp(net)
+        dec = decompose(lp)
+        assert dec.n_components == 1
+        cluster = SimulatedCluster(
+            dec, np.array([1e-6]), 8, CPU_CLUSTER_COMM
+        )
+        t = cluster.local_update_timing()
+        assert t.n_ranks == 1
+        assert t.comm_s == 0.0
+
+    def test_island_network_solves(self):
+        from repro.core import SolverFreeADMM
+        from repro.decomposition import decompose
+        from repro.formulation import build_centralized_lp
+        from repro.network import Bus, DistributionNetwork, Generator, Load
+        from repro.reference import solve_reference
+
+        net = DistributionNetwork(name="island")
+        net.add_bus(Bus("a", (1, 2, 3), w_min=1.0, w_max=1.0))
+        net.add_generator(Generator("g", "a", (1, 2, 3)))
+        net.add_load(Load("l", "a", (1, 2, 3), p_ref=0.1, q_ref=0.05))
+        lp = build_centralized_lp(net)
+        res = SolverFreeADMM(decompose(lp), ADMMConfig(max_iter=20000)).solve()
+        ref = solve_reference(lp)
+        assert res.converged
+        assert ref.compare_objective(res.objective) < 1e-2

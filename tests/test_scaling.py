@@ -1,0 +1,79 @@
+"""Tests for column equilibration: the scaled problem must be the same
+problem in different units."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import decompose
+from repro.formulation.scaling import ScaledLP, column_scales, scale_lp
+from repro.reference import solve_reference
+
+
+class TestColumnScales:
+    def test_shape_and_positivity(self, ieee13_lp):
+        d = column_scales(ieee13_lp)
+        assert d.shape == (ieee13_lp.n_vars,)
+        assert np.all(d > 0)
+
+    def test_clip_respected(self, ieee13_lp):
+        d = column_scales(ieee13_lp, clip=3.0)
+        assert d.max() <= 3.0 + 1e-12
+        assert d.min() >= 1.0 / 3.0 - 1e-12
+
+    def test_uniform_columns_unscaled(self, ieee13_lp):
+        """A column whose entries are all ~1 gets a scale of ~1."""
+        d = column_scales(ieee13_lp, clip=1e6)
+        vi = ieee13_lp.var_index
+        # pb variables appear with coefficient 1 in balance and +-1 in the
+        # wye/delta link rows.
+        j = vi.index(("pb", "ld634", 1))
+        assert d[j] == pytest.approx(1.0, rel=0.3)
+
+
+class TestScaleLP:
+    def test_reference_optimum_maps_across(self, ieee13_lp, ieee13_ref):
+        scaled = scale_lp(ieee13_lp)
+        ref_s = solve_reference(scaled.lp)
+        x_back = scaled.unscale(ref_s.x)
+        # Same optimum value and a feasible original-units solution.
+        assert ref_s.objective == pytest.approx(ieee13_ref.objective, rel=1e-6)
+        assert ieee13_lp.equality_violation(x_back) < 1e-6
+        assert ieee13_lp.bound_violation(x_back) < 1e-8
+
+    def test_feasible_points_correspond(self, ieee13_lp, ieee13_ref):
+        scaled = scale_lp(ieee13_lp)
+        x_s = scaled.scale_point(ieee13_ref.x)
+        assert scaled.lp.equality_violation(x_s) < 1e-6
+        assert scaled.lp.bound_violation(x_s) < 1e-8
+        np.testing.assert_allclose(scaled.unscale(x_s), ieee13_ref.x)
+
+    def test_objective_equivalence_on_random_points(self, ieee13_lp, rng):
+        scaled = scale_lp(ieee13_lp)
+        for _ in range(5):
+            x = rng.standard_normal(ieee13_lp.n_vars)
+            assert float(scaled.lp.cost @ scaled.scale_point(x)) == pytest.approx(
+                float(ieee13_lp.cost @ x), rel=1e-9, abs=1e-12
+            )
+
+    def test_rows_keep_owners(self, ieee13_lp):
+        scaled = scale_lp(ieee13_lp)
+        assert [r.owner for r in scaled.lp.rows] == [r.owner for r in ieee13_lp.rows]
+
+    def test_decomposable(self, ieee13_lp):
+        scaled = scale_lp(ieee13_lp)
+        dec = decompose(scaled.lp)
+        assert dec.n_components == decompose(ieee13_lp).n_components
+
+    def test_bad_scale_vector_rejected(self, ieee13_lp):
+        with pytest.raises(ValueError, match="positive"):
+            scale_lp(ieee13_lp, np.zeros(ieee13_lp.n_vars))
+        with pytest.raises(ValueError, match="one entry per column"):
+            scale_lp(ieee13_lp, np.ones(3))
+
+    def test_identity_scale_is_noop(self, ieee13_lp):
+        scaled = scale_lp(ieee13_lp, np.ones(ieee13_lp.n_vars))
+        np.testing.assert_allclose(
+            scaled.lp.a_matrix.toarray(), ieee13_lp.a_matrix.toarray()
+        )
+        np.testing.assert_allclose(scaled.lp.lb, ieee13_lp.lb)
+        np.testing.assert_allclose(scaled.lp.cost, ieee13_lp.cost)

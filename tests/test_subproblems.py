@@ -1,0 +1,130 @@
+"""Tests for component subproblem assembly and the consensus structure."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import decompose
+from repro.decomposition.subproblems import component_variable_keys
+from repro.formulation import build_centralized_lp
+
+
+class TestLocalKeys:
+    def test_bus_component_key_families(self, ieee13_net, ieee13_dec):
+        spec = next(s for s in ieee13_dec.specs if s.name == "bus:671")
+        keys = component_variable_keys(ieee13_net, spec)
+        kinds = {k[0] for k in keys}
+        # 671 has loads and incident lines but no generator.
+        assert "w" in kinds and "pb" in kinds and "pd" in kinds
+        assert "pg" not in kinds
+        # Incident-line flows appear only on the 671 side.
+        flow_keys = [k for k in keys if k[0] in ("pf", "qf", "pt", "qt")]
+        assert flow_keys, "bus component must own its incident flows"
+
+    def test_line_component_keys(self, ieee13_net, ieee13_dec):
+        spec = next(s for s in ieee13_dec.specs if s.kind == "line")
+        keys = component_variable_keys(ieee13_net, spec)
+        kinds = {k[0] for k in keys}
+        assert kinds <= {"w", "pf", "qf", "pt", "qt"}
+        line = ieee13_net.lines[spec.lines[0]]
+        n_expected = 2 * len(line.phases) + 4 * len(line.phases)
+        assert len(keys) == n_expected
+
+    def test_leaf_component_dedups_shared_keys(self, ieee13_net, ieee13_dec):
+        spec = next(s for s in ieee13_dec.specs if s.kind == "leaf")
+        keys = component_variable_keys(ieee13_net, spec)
+        assert len(keys) == len(set(keys))
+
+
+class TestConsensusStructure:
+    def test_b_matrix_row_sums_one(self, ieee13_dec):
+        b = ieee13_dec.consensus_matrix()
+        np.testing.assert_allclose(np.asarray(b.sum(axis=1)).ravel(), 1.0)
+
+    def test_per_component_column_sums_binary(self, ieee13_dec):
+        """Within one component, each global variable is copied at most once
+        (the paper's B_s column-sum condition)."""
+        for comp in ieee13_dec.components:
+            assert len(np.unique(comp.global_cols)) == comp.n_vars
+
+    def test_counts_match_consensus_matrix(self, ieee13_dec):
+        b = ieee13_dec.consensus_matrix()
+        col_counts = np.asarray(b.sum(axis=0)).ravel()
+        np.testing.assert_allclose(col_counts, ieee13_dec.counts)
+
+    def test_every_variable_covered(self, ieee13_dec):
+        assert np.all(ieee13_dec.counts >= 1)
+
+    def test_shared_variable_counts(self, ieee13_net, ieee13_dec):
+        """Flows are shared by exactly 2 components (bus side + line);
+        voltages by 1 + number of incident lines carrying the phase."""
+        vi = ieee13_dec.lp.var_index
+        counts = ieee13_dec.counts
+        # A flow variable on a non-leaf-merged line.
+        spec = next(s for s in ieee13_dec.specs if s.kind == "line")
+        line = ieee13_net.lines[spec.lines[0]]
+        phi = line.phases[0]
+        assert counts[vi.index(("pf", line.name, phi))] == 2
+        # Substation voltage: bus + its incident lines at that phase.
+        inc = sum(1 for l in ieee13_net.lines_at("650") if 1 in l.phases)
+        assert counts[vi.index(("w", "650", 1))] == 1 + inc
+
+    def test_offsets_partition_stacked_vector(self, ieee13_dec):
+        sizes = [c.n_vars for c in ieee13_dec.components]
+        assert ieee13_dec.offsets[0] == 0
+        np.testing.assert_array_equal(np.diff(ieee13_dec.offsets), sizes)
+        assert ieee13_dec.n_local == sum(sizes)
+
+
+class TestStackEquivalence:
+    def test_raw_stack_equals_centralized(self, ieee13_lp, ieee13_dec):
+        """The decomposed model (9) is the centralized model (7) regrouped:
+        vstack(A_s^raw B_s) equals A up to a row permutation."""
+        a_stack, b_stack = ieee13_dec.stacked_raw_system()
+        assert a_stack.shape == ieee13_lp.a_matrix.shape
+        # Compare as multisets of rows via sorted dense representations.
+        d1 = np.hstack([a_stack.toarray(), b_stack[:, None]])
+        d2 = np.hstack([ieee13_lp.a_matrix.toarray(), ieee13_lp.b_vector[:, None]])
+        order1 = np.lexsort(d1.T)
+        order2 = np.lexsort(d2.T)
+        np.testing.assert_allclose(d1[order1], d2[order2], atol=1e-12)
+
+    def test_sum_ms_close_to_centralized_rows(self, ieee13_lp, ieee13_dec):
+        """Table IV: sum m_s (after reduction) is at most the raw row count
+        and within a few rows of it."""
+        ms_stats, _ = ieee13_dec.size_stats()
+        assert ms_stats.total <= ieee13_lp.n_rows
+        assert ms_stats.total >= ieee13_lp.n_rows - ieee13_dec.n_components
+
+    def test_reference_solution_satisfies_all_local_systems(
+        self, ieee13_dec, ieee13_ref
+    ):
+        for comp in ieee13_dec.components:
+            x_s = ieee13_ref.x[comp.global_cols]
+            np.testing.assert_allclose(comp.a @ x_s, comp.b, atol=1e-6)
+
+    def test_local_bounds_gather_global(self, ieee13_lp, ieee13_dec):
+        for comp in ieee13_dec.components[:5]:
+            np.testing.assert_array_equal(comp.lb, ieee13_lp.lb[comp.global_cols])
+            np.testing.assert_array_equal(comp.ub, ieee13_lp.ub[comp.global_cols])
+
+
+class TestSizeStats:
+    def test_stats_fields(self, ieee13_dec):
+        ms, ns = ieee13_dec.size_stats()
+        assert ms.minimum <= ms.mean <= ms.maximum
+        assert ns.total == ieee13_dec.n_local
+        assert ms.stdev >= 0
+
+    def test_full_rank_after_reduction(self, ieee13_dec):
+        for comp in ieee13_dec.components:
+            if comp.n_rows:
+                assert np.linalg.matrix_rank(comp.a) == comp.n_rows
+
+    def test_merge_ablation_changes_s(self, ieee13_lp):
+        merged = decompose(ieee13_lp, merge_leaves=True)
+        plain = decompose(ieee13_lp, merge_leaves=False)
+        assert plain.n_components > merged.n_components
+        assert (
+            plain.n_components - merged.n_components
+            == merged.partition_counts.n_leaves
+        )

@@ -1,0 +1,103 @@
+"""Tests for utilities (timers, tables, exceptions)."""
+
+import time
+
+import pytest
+
+from repro.utils import (
+    ConvergenceError,
+    DecompositionError,
+    FormulationError,
+    InfeasibleError,
+    NetworkValidationError,
+    PhaseTimer,
+    QPSolverError,
+    ReproError,
+    Timer,
+    format_table,
+)
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for exc in (
+            NetworkValidationError,
+            FormulationError,
+            DecompositionError,
+            ConvergenceError,
+            InfeasibleError,
+            QPSolverError,
+        ):
+            assert issubclass(exc, ReproError)
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        first = t.elapsed
+        with t:
+            time.sleep(0.002)
+        assert t.elapsed > first > 0
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestPhaseTimer:
+    def test_measure_and_totals(self):
+        pt = PhaseTimer()
+        with pt.measure("a"):
+            time.sleep(0.002)
+        with pt.measure("a"):
+            pass
+        assert pt.counts["a"] == 2
+        assert pt.total("a") > 0
+        assert pt.mean("a") == pytest.approx(pt.total("a") / 2)
+
+    def test_add_simulated_time(self):
+        pt = PhaseTimer()
+        pt.add("comm", 1.5)
+        pt.add("comm", 0.5, count=2)
+        assert pt.total("comm") == 2.0
+        assert pt.counts["comm"] == 3
+        assert pt.grand_total() == 2.0
+
+    def test_missing_phase_zero(self):
+        pt = PhaseTimer()
+        assert pt.total("nope") == 0.0
+        assert pt.mean("nope") == 0.0
+
+    def test_reset_and_as_dict(self):
+        pt = PhaseTimer()
+        pt.add("x", 1.0)
+        assert pt.as_dict() == {"x": 1.0}
+        pt.reset()
+        assert pt.as_dict() == {}
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.0], ["bb", 123456.0]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_numeric_formatting(self):
+        text = format_table(["v"], [[0.000123456], [0.0], [12]])
+        assert "1.235e-04" in text
+        assert "0" in text
+        assert "12" in text

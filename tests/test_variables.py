@@ -1,0 +1,74 @@
+"""Unit tests for the global variable registry."""
+
+import numpy as np
+import pytest
+
+from repro.formulation.variables import VariableIndex
+
+
+class TestRegistry:
+    def test_sequential_indices(self):
+        vi = VariableIndex()
+        assert vi.add(("pg", "g1", 1)) == 0
+        assert vi.add(("w", "b1", 1), lb=0.81, ub=1.21, is_voltage=True) == 1
+        assert vi.n == 2
+        assert vi.index(("w", "b1", 1)) == 1
+        assert vi.key_of(0) == ("pg", "g1", 1)
+
+    def test_duplicate_rejected(self):
+        vi = VariableIndex()
+        vi.add(("pg", "g1", 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            vi.add(("pg", "g1", 1))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown variable kind"):
+            VariableIndex().add(("zz", "x", 1))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="lb"):
+            VariableIndex().add(("pg", "g", 1), lb=1.0, ub=0.0)
+
+    def test_unknown_key_lookup(self):
+        with pytest.raises(KeyError, match="unknown variable"):
+            VariableIndex().index(("pg", "nope", 1))
+
+    def test_contains_and_len(self):
+        vi = VariableIndex()
+        vi.add(("w", "b", 2))
+        assert ("w", "b", 2) in vi
+        assert ("w", "b", 3) not in vi
+        assert len(vi) == 1
+
+
+class TestVectors:
+    def make(self):
+        vi = VariableIndex()
+        vi.add(("pg", "g", 1), lb=0.0, ub=2.0, cost=1.0)
+        vi.add(("w", "b", 1), lb=0.81, ub=1.21, is_voltage=True)
+        vi.add(("pb", "l", 1))  # unbounded
+        vi.add(("pf", "e", 1), lb=-5.0, ub=5.0)
+        return vi
+
+    def test_bounds_and_costs(self):
+        vi = self.make()
+        np.testing.assert_allclose(vi.lower_bounds(), [0.0, 0.81, -np.inf, -5.0])
+        np.testing.assert_allclose(vi.upper_bounds(), [2.0, 1.21, np.inf, 5.0])
+        np.testing.assert_allclose(vi.costs(), [1.0, 0.0, 0.0, 0.0])
+
+    def test_initial_point_rule(self):
+        """The paper's rule: voltage -> 1, bounded -> midpoint, else 0."""
+        x0 = self.make().initial_point()
+        np.testing.assert_allclose(x0, [1.0, 1.0, 0.0, 0.0])
+
+    def test_voltage_beats_midpoint(self):
+        vi = VariableIndex()
+        vi.add(("w", "b", 1), lb=0.5, ub=0.7, is_voltage=True)
+        assert vi.initial_point()[0] == 1.0
+
+    def test_indices_of_kind(self):
+        vi = self.make()
+        np.testing.assert_array_equal(vi.indices_of_kind("pg"), [0])
+        np.testing.assert_array_equal(vi.indices_of_kind("w"), [1])
+        with pytest.raises(ValueError):
+            vi.indices_of_kind("nope")
