@@ -1,0 +1,80 @@
+"""Scenario serving: many perturbed OPF instances through one engine.
+
+Operators rarely solve one OPF: intra-day re-dispatch, DER hosting checks
+and contingency screening all ask for *families* of scenarios on the same
+feeder.  This example pushes a day of hourly load profiles (plus a DER
+re-dispatch sweep) through :class:`repro.serve.ScenarioEngine`, which
+
+* precomputes the partition and projection factorizations once per feeder,
+* groups same-feeder requests into stacked batches for the batched
+  projection kernels (the paper's amortization, applied across scenarios),
+* warm-starts each scenario from the nearest previously converged state.
+
+Run:  python examples/scenario_serving.py
+"""
+
+import numpy as np
+
+from repro.serve import OPFRequest, ScenarioEngine
+
+
+def hourly_profile(hour: int) -> float:
+    """A stylized residential load shape (evening peak, night valley)."""
+    return 0.75 + 0.30 * np.exp(-((hour - 19) % 24) ** 2 / 18.0) + 0.08 * np.sin(
+        np.pi * hour / 12.0
+    )
+
+
+def main() -> None:
+    engine = ScenarioEngine(max_batch=8, cache_capacity=64)
+
+    # 1. A day of hourly scenarios: the same feeder under a moving load.
+    day = [
+        OPFRequest(
+            request_id=f"hour-{h:02d}",
+            feeder="ieee13",
+            load_scale=float(hourly_profile(h)),
+        )
+        for h in range(24)
+    ]
+    responses = engine.serve(day)
+    print("hour  scale   status      iters  start  objective")
+    for h, r in zip(range(24), responses):
+        print(
+            f"{h:4d}  {hourly_profile(h):5.3f}  {r.status:<10s}"
+            f"{r.iterations:7d}  {'warm' if r.warm_started else 'cold':<5s}"
+            f"  {r.objective:9.5f}"
+        )
+
+    # 2. Re-serve the same day with each load nudged a little: every hour
+    #    now warm-starts from its own converged state of the first pass.
+    nudged = [
+        OPFRequest(
+            request_id=f"redo-{h:02d}",
+            feeder="ieee13",
+            load_scale=float(hourly_profile(h) * 1.01),
+        )
+        for h in range(24)
+    ]
+    redo = engine.serve(nudged)
+    warm = [r.iterations for r in redo if r.warm_started]
+    cold = [r.iterations for r in responses if not r.warm_started]
+    print(
+        f"\nre-dispatch pass: {len(warm)}/{len(redo)} warm-started, "
+        f"mean {np.mean(warm):.0f} iterations vs {np.mean(cold):.0f} cold "
+        f"({100 * (1 - np.mean(warm) / np.mean(cold)):.0f}% saved)"
+    )
+
+    # 3. Serving metrics: throughput, cache behaviour, batch occupancy.
+    snap = engine.snapshot()
+    print(
+        f"\nserved {snap['served']} scenarios in {snap['wall_seconds']:.2f}s "
+        f"({snap['scenarios_per_second']:.1f}/s), "
+        f"batch occupancy {100 * snap['batch_occupancy']:.0f}%, "
+        f"cache hit rate {100 * snap['cache_hit_rate']:.0f}%, "
+        f"projections reused {snap['factorizations_reused']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,9 @@ Commands
     dump the assembled LP as ``.npz``.
 ``bench-iteration``
     Measure per-iteration update costs and show the modeled A100 times.
+``serve-batch``
+    Serve a JSON file of OPF scenarios through the batched scenario engine
+    and print the serving metrics (see docs/SERVING.md).
 """
 
 from __future__ import annotations
@@ -23,30 +26,21 @@ from pathlib import Path
 
 from repro.core import ADMMConfig, BenchmarkADMM, SolverFreeADMM
 from repro.decomposition import decompose
-from repro.feeders import ieee13, ieee123, ieee8500
 from repro.formulation import build_centralized_lp
-from repro.io import load_network, save_lp_npz, save_network
-from repro.io.csv_feeder import load_network_csv, save_network_csv
+from repro.io import resolve_feeder as _resolve_feeder
+from repro.io import save_lp_npz, save_network
+from repro.io.csv_feeder import save_network_csv
 from repro.network.analysis import solution_report
 from repro.reference import solve_reference
 from repro.utils import format_table
 
-BUILTIN_FEEDERS = {"ieee13": ieee13, "ieee123": ieee123, "ieee8500": ieee8500}
-
 
 def resolve_feeder(spec: str):
     """Resolve a feeder argument: builtin name, ``.json`` file, or CSV dir."""
-    if spec in BUILTIN_FEEDERS:
-        return BUILTIN_FEEDERS[spec]()
-    path = Path(spec)
-    if path.is_dir():
-        return load_network_csv(path)
-    if path.suffix == ".json" and path.exists():
-        return load_network(path)
-    raise SystemExit(
-        f"unknown feeder {spec!r}: expected one of {sorted(BUILTIN_FEEDERS)}, "
-        f"a .json file, or a CSV directory"
-    )
+    try:
+        return _resolve_feeder(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def cmd_info(args) -> int:
@@ -84,7 +78,7 @@ def cmd_solve(args) -> int:
         eps_rel=args.eps_rel,
         max_iter=args.max_iter,
         relaxation=args.relaxation,
-        record_history=False,
+        record_history=args.diagnostics,
     )
     if args.algorithm == "solver-free":
         solver = SolverFreeADMM(dec, cfg)
@@ -100,6 +94,17 @@ def cmd_solve(args) -> int:
             title="solution report",
         )
     )
+    if args.diagnostics:
+        from repro.core.diagnostics import convergence_report
+
+        diag = convergence_report(dec, result)
+        print(
+            format_table(
+                ["check", "value"],
+                [[k, v] for k, v in diag.items()],
+                title="convergence diagnostics",
+            )
+        )
     if args.reference:
         ref = solve_reference(lp)
         print(
@@ -164,6 +169,116 @@ def cmd_bench_iteration(args) -> int:
     return 0
 
 
+def generate_scenarios(
+    feeder: str, count: int, seed: int, spread: float = 0.15
+) -> list:
+    """Random but reproducible load-perturbation scenarios for a feeder.
+
+    Half the scenarios are fresh uniform draws; the other half perturb an
+    earlier scenario slightly, so a serving run exercises both cold and
+    warm-started solves.
+    """
+    import numpy as np
+
+    from repro.serve import OPFRequest
+
+    net = resolve_feeder(feeder)
+    load_names = sorted(net.loads)
+    rng = np.random.default_rng(seed)
+    requests: list[OPFRequest] = []
+    for i in range(count):
+        if i >= count // 2 and requests:
+            # a small perturbation of an already-generated scenario
+            base = requests[int(rng.integers(0, count // 2))]
+            mult = {
+                name: m * float(1.0 + rng.uniform(-0.02, 0.02))
+                for name, m in base.load_multipliers.items()
+            }
+            scale = base.load_scale
+        else:
+            mult = {
+                name: float(1.0 + rng.uniform(-spread, spread))
+                for name in load_names
+            }
+            scale = float(1.0 + rng.uniform(-spread, spread))
+        requests.append(
+            OPFRequest(
+                request_id=f"scenario-{i:04d}",
+                feeder=feeder,
+                load_scale=scale,
+                load_multipliers=mult,
+            )
+        )
+    return requests
+
+
+def cmd_serve_batch(args) -> int:
+    from repro.serve import (
+        ScenarioEngine,
+        load_requests_json,
+        save_requests_json,
+    )
+
+    if args.scenarios:
+        try:
+            requests = load_requests_json(args.scenarios)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read scenarios: {exc}") from None
+    else:
+        requests = generate_scenarios(args.feeder, args.generate, args.seed)
+        print(f"generated {len(requests)} scenarios on feeder {args.feeder!r}")
+    if args.save_scenarios:
+        save_requests_json(requests, args.save_scenarios)
+        print(f"scenario file written to {args.save_scenarios}")
+
+    try:
+        engine = ScenarioEngine(
+            max_batch=args.max_batch,
+            queue_size=args.queue_size,
+            cache_capacity=args.cache_capacity,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    responses = engine.serve(requests)
+    snap = engine.snapshot()
+
+    if args.verbose:
+        rows = [
+            [
+                r.request_id,
+                r.status,
+                r.iterations,
+                "warm" if r.warm_started else "cold",
+                "-" if r.objective is None else f"{r.objective:.5f}",
+            ]
+            for r in responses
+        ]
+        print(
+            format_table(
+                ["request", "status", "iterations", "start", "objective"],
+                rows,
+                title="responses",
+            )
+        )
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in snap.items()],
+            title="serving metrics",
+        )
+    )
+    if args.output:
+        payload = {
+            "metrics": snap,
+            "responses": [r.to_dict() for r in responses],
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"serving report written to {args.output}")
+    failed = sum(1 for r in responses if r.status in ("error", "rejected"))
+    return 0 if failed == 0 else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-iter", type=int, default=100_000)
     p.add_argument("--relaxation", type=float, default=1.0)
     p.add_argument("--reference", action="store_true", help="validate against HiGHS")
+    p.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help="print the convergence_report table (records iterate history)",
+    )
     p.add_argument("--output", help="write the result summary as JSON")
     p.set_defaults(func=cmd_solve)
 
@@ -198,6 +318,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=200)
     p.add_argument("--cpus", type=int, default=16)
     p.set_defaults(func=cmd_bench_iteration)
+
+    p = sub.add_parser("serve-batch", help="serve a file of OPF scenarios")
+    p.add_argument("--scenarios", help="scenario JSON file (see docs/SERVING.md)")
+    p.add_argument("--feeder", default="ieee13", help="feeder for --generate")
+    p.add_argument(
+        "--generate",
+        type=int,
+        default=32,
+        metavar="N",
+        help="generate N random scenarios when no --scenarios file is given",
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for --generate")
+    p.add_argument("--save-scenarios", help="also write the scenario file here")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--queue-size", type=int, default=256)
+    p.add_argument("--cache-capacity", type=int, default=64)
+    p.add_argument("--verbose", action="store_true", help="per-response table")
+    p.add_argument("--output", help="write metrics + responses as JSON")
+    p.set_defaults(func=cmd_serve_batch)
     return parser
 
 

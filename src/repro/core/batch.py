@@ -97,15 +97,23 @@ class BatchedLocalSolver:
         return cls.from_parts(dec.components, dec.offsets)
 
     @classmethod
-    def from_parts(cls, comps, offsets) -> "BatchedLocalSolver":
+    def from_parts(cls, comps, offsets, projections=None) -> "BatchedLocalSolver":
         """Build from any sequence of equality components.
 
         Each component needs ``a`` (full-row-rank), ``b`` and ``n_vars``;
         ``offsets`` are the stacked slice boundaries.  This entry point is
         shared with the conic extension, whose *linear* components reuse the
         exact same batched projection kernels.
+
+        ``projections``, if given, is a sequence aligned with ``comps`` of
+        precomputed ``(M, bbar)`` pairs (the output of
+        :func:`projection_data`); matching entries skip the factorization.
+        The serving engine uses this to share factorizations across
+        scenarios that leave a component's local system unchanged.
         """
         offsets = np.asarray(offsets, dtype=np.int64)
+        if projections is not None and len(projections) != len(comps):
+            raise ValueError("projections must align with comps")
         widths = [_bucket_width(c.n_vars) for c in comps]
         by_width: dict[int, list[int]] = {}
         for s, w in enumerate(widths):
@@ -123,7 +131,10 @@ class BatchedLocalSolver:
             for row, s in enumerate(idxs):
                 comp = comps[s]
                 n_s = comp.n_vars
-                mmat, bb = projection_data(comp.a, comp.b)
+                if projections is not None and projections[s] is not None:
+                    mmat, bb = projections[s]
+                else:
+                    mmat, bb = projection_data(comp.a, comp.b)
                 proj[row, :n_s, :n_s] = mmat
                 bbar[row, :n_s] = bb
                 start = int(offsets[s])

@@ -14,7 +14,7 @@ component subproblems without re-deriving any constraint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp

@@ -4,7 +4,10 @@ Two ingredients:
 
 1. **ZIP linearization** (4a)-(4b): consumption is affine in the squared
    voltage magnitude applied to the load, ``w_hat``, which is the bus ``w``
-   for wye loads (4c) and ``3 w`` for delta loads (4d).
+   for wye loads (4c) and ``3 w`` for delta loads (4d).  The linearization
+   is taken around the *nominal* applied voltage (1 for wye, 3 for delta in
+   line-to-neutral per-unit), so the delta tripling cancels against its
+   nominal and both connections consume exactly their reference at ``w = 1``.
 
 2. **Connection mapping** from consumption ``(p^d, q^d)`` to bus withdrawals
    ``(p^b, q^b)``: identity for wye (4e); for delta connections a linear map
@@ -47,16 +50,20 @@ C_TO = complex(0.5, 0.5 / SQRT3)
 def consumption_rows(load: Load) -> list[Row]:
     """ZIP linearization rows (4a)-(4b) for each phase/branch of ``load``.
 
-    For phase (or branch) ``phi``::
+    The linearization is affine in the *normalized* applied squared voltage
+    ``w_hat / w_hat_nom``: for a wye phase the applied voltage is the bus
+    ``w`` with nominal 1 (4c); for a delta branch it is ``w_hat = 3 w`` (4d)
+    with nominal ``3`` (line-to-line), so the tripling cancels and both
+    connections reduce to the same row over ``w``::
 
-        p^d - (a*alpha/2) * kappa * w = a * (1 - alpha/2)
+        p^d - (a*alpha/2) * w = a * (1 - alpha/2)
 
-    with ``kappa = 1`` (wye, (4c)) or ``kappa = 3`` (delta, (4d)); the ``w``
-    variable is the bus voltage at the phase (for delta branches, at the
-    branch's id-aligned phase, matching the paper's index convention).
+    with ``w`` the bus voltage at the phase (for delta branches, at the
+    branch's id-aligned phase, matching the paper's index convention).  At
+    nominal voltage (``w = 1``) every ZIP type therefore consumes exactly
+    its reference ``a``, for either connection.
     """
     owner = ("bus", load.bus)
-    kappa = 3.0 if load.is_delta else 1.0
     rows: list[Row] = []
     for j, phi in enumerate(load.phases):
         a = load.p_ref[j]
@@ -67,7 +74,7 @@ def consumption_rows(load: Load) -> list[Row]:
         w_key = ("w", load.bus, w_phase)
         rows.append(
             Row(
-                {("pd", load.name, phi): 1.0, w_key: -a * alpha / 2.0 * kappa},
+                {("pd", load.name, phi): 1.0, w_key: -a * alpha / 2.0},
                 rhs=a * (1.0 - alpha / 2.0),
                 owner=owner,
                 tag=f"load-p:{load.name}:{phi}",
@@ -75,7 +82,7 @@ def consumption_rows(load: Load) -> list[Row]:
         )
         rows.append(
             Row(
-                {("qd", load.name, phi): 1.0, w_key: -b * beta / 2.0 * kappa},
+                {("qd", load.name, phi): 1.0, w_key: -b * beta / 2.0},
                 rhs=b * (1.0 - beta / 2.0),
                 owner=owner,
                 tag=f"load-q:{load.name}:{phi}",

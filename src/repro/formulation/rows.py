@@ -10,7 +10,7 @@ stack of rows it owns, restricted to its local variables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp

@@ -7,6 +7,7 @@ from repro.gpu.costmodel import (
     dual_update_time,
     global_update_time,
     iteration_times,
+    iteration_times_from_sizes,
     local_update_time_batched,
     local_update_time_threads,
     multi_device_iteration_times,
@@ -29,6 +30,7 @@ __all__ = [
     "xeon_node",
     "UpdateTimes",
     "iteration_times",
+    "iteration_times_from_sizes",
     "multi_device_iteration_times",
     "global_update_time",
     "dual_update_time",

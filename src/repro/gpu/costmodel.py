@@ -103,6 +103,33 @@ def local_update_time_threads(
     return device.kernel_launch_s + total_cycles / device.clock_hz
 
 
+def iteration_times_from_sizes(
+    device: DeviceSpec,
+    sizes: np.ndarray,
+    n_vars: int,
+    threads_per_block: int | None = None,
+) -> UpdateTimes:
+    """Modeled single-device iteration times from raw problem dimensions.
+
+    ``sizes`` are the component widths ``n_s`` of whatever is being batched
+    — one decomposition, or the stacked union of several same-topology
+    scenarios (the serving engine's padded batch, where the component list
+    is the K-fold concatenation and ``n_vars`` is ``K`` times the global
+    dimension).
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    n_local = int(np.sum(sizes))
+    if threads_per_block is None:
+        local = local_update_time_batched(device, sizes)
+    else:
+        local = local_update_time_threads(device, sizes, threads_per_block)
+    return UpdateTimes(
+        global_s=global_update_time(device, n_vars, n_local),
+        local_s=local,
+        dual_s=dual_update_time(device, n_local),
+    )
+
+
 def iteration_times(
     device: DeviceSpec,
     dec: DecomposedOPF,
@@ -110,14 +137,8 @@ def iteration_times(
 ) -> UpdateTimes:
     """Modeled single-device times of one full ADMM iteration."""
     sizes = np.array([c.n_vars for c in dec.components], dtype=float)
-    if threads_per_block is None:
-        local = local_update_time_batched(device, sizes)
-    else:
-        local = local_update_time_threads(device, sizes, threads_per_block)
-    return UpdateTimes(
-        global_s=global_update_time(device, dec.lp.n_vars, dec.n_local),
-        local_s=local,
-        dual_s=dual_update_time(device, dec.n_local),
+    return iteration_times_from_sizes(
+        device, sizes, dec.lp.n_vars, threads_per_block=threads_per_block
     )
 
 

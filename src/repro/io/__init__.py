@@ -1,4 +1,5 @@
-"""Serialization: feeder JSON format, LP matrix export, result logging."""
+"""Serialization: feeder JSON format, LP matrix export, result logging,
+and feeder-reference resolution."""
 
 from repro.io.export import load_lp_npz, result_to_dict, save_lp_npz, save_result
 from repro.io.csv_feeder import load_network_csv, save_network_csv
@@ -8,8 +9,11 @@ from repro.io.feeder_json import (
     network_to_dict,
     save_network,
 )
+from repro.io.resolve import BUILTIN_FEEDERS, resolve_feeder
 
 __all__ = [
+    "resolve_feeder",
+    "BUILTIN_FEEDERS",
     "save_network",
     "load_network_csv",
     "save_network_csv",

@@ -1,0 +1,41 @@
+"""Feeder reference resolution shared by the CLI and the serving engine.
+
+A *feeder reference* is a string naming either a builtin feeder
+(``"ieee13"``, ``"ieee123"``, ``"ieee8500"``), a feeder ``.json`` file, or
+a CSV feeder directory.  Builtin references are deterministic — the same
+string always builds the same network — which is what lets serving
+requests key shared precomputation on the reference alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.feeders import ieee13, ieee123, ieee8500
+from repro.io.csv_feeder import load_network_csv
+from repro.io.feeder_json import load_network
+from repro.network.network import DistributionNetwork
+
+BUILTIN_FEEDERS = {"ieee13": ieee13, "ieee123": ieee123, "ieee8500": ieee8500}
+
+
+def resolve_feeder(spec: str) -> DistributionNetwork:
+    """Build the network a feeder reference names.
+
+    Raises
+    ------
+    ValueError
+        If the reference is neither a builtin name, a ``.json`` file, nor a
+        CSV directory.
+    """
+    if spec in BUILTIN_FEEDERS:
+        return BUILTIN_FEEDERS[spec]()
+    path = Path(spec)
+    if path.is_dir():
+        return load_network_csv(path)
+    if path.suffix == ".json" and path.exists():
+        return load_network(path)
+    raise ValueError(
+        f"unknown feeder {spec!r}: expected one of {sorted(BUILTIN_FEEDERS)}, "
+        f"a .json file, or a CSV directory"
+    )

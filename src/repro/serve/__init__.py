@@ -1,0 +1,45 @@
+"""Batched scenario-serving engine over the solver-free ADMM.
+
+Turns the single-problem solver into a multi-scenario service: requests
+(load/DER/limit perturbations on a feeder) are queued, grouped by topology,
+warm-started from an LRU cache of converged states, and dispatched as one
+stacked batch through the batched projection kernels.  See docs/SERVING.md.
+"""
+
+from repro.serve.engine import ScenarioEngine, ScenarioProblem, TopologyPlan
+from repro.serve.metrics import ServingMetrics
+from repro.serve.requests import (
+    STATUS_CONVERGED,
+    STATUS_ERROR,
+    STATUS_ITERATION_LIMIT,
+    STATUS_REJECTED,
+    OPFRequest,
+    OPFResponse,
+    SolveOptions,
+    load_requests_json,
+    save_requests_json,
+)
+from repro.serve.scheduler import BatchScheduler, BoundedRequestQueue, QueueFullError
+from repro.serve.warmstart import CacheStats, WarmStartCache, WarmStartEntry
+
+__all__ = [
+    "ScenarioEngine",
+    "TopologyPlan",
+    "ScenarioProblem",
+    "OPFRequest",
+    "OPFResponse",
+    "SolveOptions",
+    "STATUS_CONVERGED",
+    "STATUS_ITERATION_LIMIT",
+    "STATUS_REJECTED",
+    "STATUS_ERROR",
+    "load_requests_json",
+    "save_requests_json",
+    "WarmStartCache",
+    "WarmStartEntry",
+    "CacheStats",
+    "BoundedRequestQueue",
+    "BatchScheduler",
+    "QueueFullError",
+    "ServingMetrics",
+]

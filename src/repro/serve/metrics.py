@@ -1,0 +1,141 @@
+"""Serving metrics: counters, batch occupancy, warm-start savings, latency.
+
+One :class:`ServingMetrics` instance accompanies a
+:class:`~repro.serve.engine.ScenarioEngine` for its lifetime;
+:meth:`ServingMetrics.snapshot` exports everything as a flat dict for the
+CLI table and the throughput benchmark.  Latencies are measured by the
+engine with :mod:`repro.utils.timing` timers and recorded here per request
+(submit-to-response, so queue wait is included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values, dtype=float), q)) if values else 0.0
+
+
+def _mean(values: list[float]) -> float:
+    return float(np.mean(np.asarray(values, dtype=float))) if values else 0.0
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregated serving statistics (reset-free, monotone counters)."""
+
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+    errors: int = 0
+    converged: int = 0
+    iteration_limit: int = 0
+
+    n_batches: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    max_batch: int = 0  # set by the engine; occupancy denominator
+
+    warm_iterations: list[int] = field(default_factory=list)
+    cold_iterations: list[int] = field(default_factory=list)
+
+    factorizations_computed: int = 0
+    factorizations_reused: int = 0
+
+    latencies_s: list[float] = field(default_factory=list)
+    solve_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    modeled_gpu_iteration_s: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by the engine)
+    # ------------------------------------------------------------------
+    def record_submit(self, accepted: bool) -> None:
+        self.submitted += 1
+        if not accepted:
+            self.rejected += 1
+
+    def record_batch(self, size: int) -> None:
+        self.n_batches += 1
+        self.batch_sizes.append(int(size))
+
+    def record_response(
+        self, status: str, iterations: int, warm: bool, latency_s: float
+    ) -> None:
+        self.served += 1
+        self.latencies_s.append(float(latency_s))
+        if status == "converged":
+            self.converged += 1
+            (self.warm_iterations if warm else self.cold_iterations).append(
+                int(iterations)
+            )
+        elif status == "iteration_limit":
+            self.iteration_limit += 1
+        else:
+            self.errors += 1
+
+    def record_factorizations(self, computed: int, reused: int) -> None:
+        self.factorizations_computed += int(computed)
+        self.factorizations_reused += int(reused)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean fill fraction of dispatched batches (1.0 = always full)."""
+        if not self.batch_sizes or self.max_batch < 1:
+            return 0.0
+        return float(np.mean(self.batch_sizes)) / self.max_batch
+
+    @property
+    def mean_warm_iterations(self) -> float:
+        return _mean(self.warm_iterations)
+
+    @property
+    def mean_cold_iterations(self) -> float:
+        return _mean(self.cold_iterations)
+
+    @property
+    def warm_start_iteration_savings(self) -> float:
+        """Relative iteration reduction of warm over cold starts (0..1)."""
+        cold = self.mean_warm_iterations, self.mean_cold_iterations
+        if not self.warm_iterations or not self.cold_iterations or cold[1] == 0:
+            return 0.0
+        return 1.0 - cold[0] / cold[1]
+
+    @property
+    def scenarios_per_second(self) -> float:
+        return self.served / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def snapshot(self, cache_stats: dict | None = None) -> dict:
+        """Flat dict export for the CLI summary and benchmarks."""
+        snap = {
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected": self.rejected,
+            "converged": self.converged,
+            "iteration_limit": self.iteration_limit,
+            "errors": self.errors,
+            "n_batches": self.n_batches,
+            "batch_occupancy": round(self.batch_occupancy, 4),
+            "mean_warm_iterations": round(self.mean_warm_iterations, 1),
+            "mean_cold_iterations": round(self.mean_cold_iterations, 1),
+            "warm_start_iteration_savings": round(self.warm_start_iteration_savings, 4),
+            "factorizations_computed": self.factorizations_computed,
+            "factorizations_reused": self.factorizations_reused,
+            "latency_p50_ms": round(1e3 * _percentile(self.latencies_s, 50), 3),
+            "latency_p90_ms": round(1e3 * _percentile(self.latencies_s, 90), 3),
+            "latency_p99_ms": round(1e3 * _percentile(self.latencies_s, 99), 3),
+            "solve_seconds": round(self.solve_seconds, 4),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "scenarios_per_second": round(self.scenarios_per_second, 2),
+            "modeled_gpu_iteration_us": round(
+                1e6 * _mean(self.modeled_gpu_iteration_s), 2
+            ),
+        }
+        if cache_stats is not None:
+            snap.update({f"cache_{k}": v for k, v in cache_stats.items()})
+        return snap

@@ -1,0 +1,179 @@
+"""Request/response records of the scenario-serving engine.
+
+An :class:`OPFRequest` names a feeder and a set of *per-scenario
+perturbations* — load multipliers, DER setpoints, generator limit
+overrides — plus solve options.  Perturbations deliberately exclude
+topology changes (line switching), so every request on the same feeder
+shares one :meth:`~OPFRequest.topology_key`: the engine builds the
+partition, row reduction and projection factorizations once per key and
+serves all matching requests from that plan.
+
+:class:`OPFResponse` is the per-request outcome with one of the statuses
+
+* ``converged`` — ADMM met the relative criterion (16) within budget,
+* ``iteration_limit`` — the per-request budget ran out first,
+* ``rejected`` — the engine's bounded queue was full (backpressure),
+* ``error`` — the scenario could not be built or solved.
+
+Both records round-trip through plain dicts (``to_dict``/``from_dict``)
+so scenario files are ordinary JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+STATUS_CONVERGED = "converged"
+STATUS_ITERATION_LIMIT = "iteration_limit"
+STATUS_REJECTED = "rejected"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Per-request ADMM settings (paper defaults, Section V-A)."""
+
+    rho: float = 100.0
+    eps_rel: float = 1e-3
+    max_iter: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0 or self.eps_rel <= 0:
+            raise ValueError("rho and eps_rel must be positive")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+
+
+@dataclass
+class OPFRequest:
+    """One OPF scenario query.
+
+    Parameters
+    ----------
+    request_id:
+        Caller-chosen identifier, echoed on the response.
+    feeder:
+        Feeder reference (builtin name, ``.json`` file, or CSV directory) —
+        resolved once per topology key by the engine.
+    load_scale:
+        Uniform multiplier on every load's reference consumption.
+    load_multipliers:
+        Per-load multipliers (load name -> factor), applied on top of
+        ``load_scale``.
+    der_setpoints:
+        Generator name -> fixed active-power setpoint (pu, per phase): the
+        generator's ``p`` bounds collapse to the setpoint (a dispatched DER).
+    gen_limits:
+        Generator name -> ``(p_min, p_max)`` overrides (pu, per phase);
+        either entry may be ``None`` to keep the base value.
+    options:
+        ADMM solve options.
+    """
+
+    request_id: str
+    feeder: str = "ieee13"
+    load_scale: float = 1.0
+    load_multipliers: dict[str, float] = field(default_factory=dict)
+    der_setpoints: dict[str, float] = field(default_factory=dict)
+    gen_limits: dict[str, tuple[float | None, float | None]] = field(default_factory=dict)
+    options: SolveOptions = field(default_factory=SolveOptions)
+
+    def __post_init__(self) -> None:
+        if self.load_scale < 0:
+            raise ValueError("load_scale must be nonnegative")
+        if any(m < 0 for m in self.load_multipliers.values()):
+            raise ValueError("load multipliers must be nonnegative")
+
+    def topology_key(self) -> str:
+        """Deterministic key of the network/partition this request runs on.
+
+        Requests with equal keys share the plan's precomputed partition,
+        row reduction and projection factorizations.  Only the feeder
+        reference enters the key: the scenario perturbations never change
+        the constraint-graph topology.
+        """
+        digest = hashlib.sha256(f"feeder:{self.feeder}".encode()).hexdigest()
+        return digest[:16]
+
+    def scenario_key(self) -> str:
+        """Deterministic key of the *full* perturbation (cache identity)."""
+        payload = json.dumps(
+            {
+                "feeder": self.feeder,
+                "load_scale": self.load_scale,
+                "load_multipliers": sorted(self.load_multipliers.items()),
+                "der_setpoints": sorted(self.der_setpoints.items()),
+                "gen_limits": sorted(
+                    (k, tuple(v)) for k, v in self.gen_limits.items()
+                ),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["gen_limits"] = {k: list(v) for k, v in self.gen_limits.items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OPFRequest":
+        d = dict(d)
+        opts = d.pop("options", None) or {}
+        if isinstance(opts, SolveOptions):
+            options = opts
+        else:
+            options = SolveOptions(**opts)
+        gen_limits = {
+            k: (v[0], v[1]) for k, v in (d.pop("gen_limits", None) or {}).items()
+        }
+        return cls(options=options, gen_limits=gen_limits, **d)
+
+
+@dataclass
+class OPFResponse:
+    """Per-request outcome of one served scenario."""
+
+    request_id: str
+    status: str
+    objective: float | None = None
+    iterations: int = 0
+    pres: float = float("inf")
+    dres: float = float("inf")
+    warm_started: bool = False
+    warm_distance: float | None = None
+    solve_seconds: float = 0.0
+    latency_seconds: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_CONVERGED
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def load_requests_json(path) -> list[OPFRequest]:
+    """Read a scenario file: a JSON list of request dicts (or an object
+    with a ``"scenarios"`` list)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, dict):
+        if "scenarios" not in data:
+            raise ValueError(
+                f"scenario file {path!r} has no 'scenarios' list "
+                f"(top-level keys: {sorted(data)})"
+            )
+        data = data["scenarios"]
+    try:
+        return [OPFRequest.from_dict(d) for d in data]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed scenario in {path!r}: {exc}") from exc
+
+
+def save_requests_json(requests: list[OPFRequest], path) -> None:
+    with open(path, "w") as fh:
+        json.dump({"scenarios": [r.to_dict() for r in requests]}, fh, indent=1)

@@ -1,0 +1,91 @@
+"""Bounded request queue and same-topology batch scheduler.
+
+The queue applies *backpressure*: a submit against a full queue raises
+:class:`QueueFullError` (the engine converts it into a ``rejected``
+response) instead of growing without bound — under sustained overload the
+caller learns immediately rather than watching latency diverge.
+
+The scheduler drains the queue in FIFO order with a batch window: the
+oldest waiting request fixes the topology key, and up to ``max_batch``
+requests with the same key are pulled out of the queue (skipping, but not
+reordering, requests on other topologies).  Same-key requests share a
+plan's precomputed factorizations and are dispatched as one padded batch
+through the batched projection kernels, so the window is what converts a
+stream of single scenarios into the paper's batched-kernel shape.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serve.requests import OPFRequest
+from repro.utils.exceptions import ReproError
+
+
+class QueueFullError(ReproError):
+    """Raised on submit when the bounded request queue is at capacity."""
+
+
+@dataclass
+class BoundedRequestQueue:
+    """FIFO queue with a hard capacity bound."""
+
+    maxsize: int = 256
+    _items: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.maxsize
+
+    def submit(self, request: OPFRequest) -> None:
+        """Enqueue or raise :class:`QueueFullError` (backpressure)."""
+        if self.full:
+            raise QueueFullError(
+                f"request queue full ({self.maxsize} waiting); retry later"
+            )
+        self._items.append(request)
+
+    def peek(self) -> OPFRequest | None:
+        return self._items[0] if self._items else None
+
+    def drain_matching(self, topology_key: str, limit: int) -> list[OPFRequest]:
+        """Remove and return up to ``limit`` requests with ``topology_key``,
+        preserving the relative order of everything left behind."""
+        taken: list[OPFRequest] = []
+        kept: deque = deque()
+        while self._items:
+            req = self._items.popleft()
+            if len(taken) < limit and req.topology_key() == topology_key:
+                taken.append(req)
+            else:
+                kept.append(req)
+        self._items = kept
+        return taken
+
+
+@dataclass
+class BatchScheduler:
+    """Groups queued requests into same-topology batches of bounded size."""
+
+    queue: BoundedRequestQueue
+    max_batch: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+
+    def next_batch(self) -> list[OPFRequest]:
+        """The next dispatch group: oldest request's topology, up to
+        ``max_batch`` members.  Empty list when the queue is empty."""
+        head = self.queue.peek()
+        if head is None:
+            return []
+        return self.queue.drain_matching(head.topology_key(), self.max_batch)

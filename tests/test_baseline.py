@@ -76,11 +76,18 @@ class TestConvergence:
         assert rb.timers["local"] > 10 * rf.timers["local"]
 
     def test_warm_start(self, small_dec):
-        cfg = ADMMConfig(max_iter=30000)
-        first = BenchmarkADMM(small_dec, cfg, local_mode="projection").solve()
-        again = BenchmarkADMM(small_dec, cfg, local_mode="projection").solve(
-            x0=first.x, z0=first.z, lam0=first.lam
-        )
+        # The first solve uses a tighter tolerance than the warm restart:
+        # a run that stops exactly at the relative criterion (16) can still
+        # be drifting, in which case restarting re-trips the dual residual.
+        # Warm-starting from a solidly converged point must re-converge
+        # immediately at the working tolerance.
+        first = BenchmarkADMM(
+            small_dec, ADMMConfig(max_iter=60000, eps_rel=3e-4), local_mode="projection"
+        ).solve()
+        assert first.converged
+        again = BenchmarkADMM(
+            small_dec, ADMMConfig(max_iter=30000), local_mode="projection"
+        ).solve(x0=first.x, z0=first.z, lam0=first.lam)
         assert again.converged
         assert again.iterations <= 3
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.batch import BatchedLocalSolver, _bucket_width, projection_data
-from repro.decomposition import decompose
 from repro.utils.exceptions import DecompositionError
 
 

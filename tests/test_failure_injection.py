@@ -7,7 +7,6 @@ import pytest
 from repro.core import ADMMConfig, SolverFreeADMM
 from repro.core.batch import BatchedLocalSolver
 from repro.decomposition import decompose
-from repro.decomposition.subproblems import build_subproblem
 from repro.formulation import Row, build_centralized_lp
 from repro.network import Bus, DistributionNetwork, Generator, Line, Load
 from repro.utils.exceptions import (

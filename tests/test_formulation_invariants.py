@@ -70,13 +70,11 @@ class TestAggregateIdentities:
         from repro.network.phases import DELTA_BRANCH_PHASES
 
         for load in net.loads.values():
-            kappa = 3.0 if load.is_delta else 1.0
             for j, phi in enumerate(load.phases):
                 w_phase = DELTA_BRANCH_PHASES[phi][0] if load.is_delta else phi
                 w = ref.x[vi.index(("w", load.bus, w_phase))]
                 expected = (
-                    load.p_ref[j] * load.alpha[j] / 2.0 * (kappa * w - 1.0)
-                    + load.p_ref[j]
+                    load.p_ref[j] * load.alpha[j] / 2.0 * (w - 1.0) + load.p_ref[j]
                 )
                 pd = ref.x[vi.index(("pd", load.name, phi))]
                 assert pd == pytest.approx(expected, abs=1e-7)

@@ -62,13 +62,17 @@ class TestConsumptionRows:
             pd_at_w1 = row.rhs - w_coef * 1.0
             assert pd_at_w1 == pytest.approx(0.3), f"alpha={alpha}"
 
-    def test_delta_uses_tripled_voltage(self):
-        """(4d): w_hat = 3w for delta branches."""
+    def test_delta_normalizes_tripled_voltage(self):
+        """(4d): w_hat = 3w for delta branches, linearized around its nominal
+        value 3 — the tripling cancels, so the row matches the wye slope and
+        a delta branch consumes exactly its reference at nominal voltage."""
         wye = Load("l1", "b", (1,), p_ref=0.3, alpha=1.0)
         delta = Load("l2", "b", (1,), connection=Connection.DELTA, p_ref=0.3, alpha=1.0)
         wc = consumption_rows(wye)[0].coeffs[("w", "b", 1)]
-        dc = consumption_rows(delta)[0].coeffs[("w", "b", 1)]
-        assert dc == pytest.approx(3.0 * wc)
+        drow = consumption_rows(delta)[0]
+        assert drow.coeffs[("w", "b", 1)] == pytest.approx(wc)
+        pd_at_w1 = drow.rhs - drow.coeffs[("w", "b", 1)] * 1.0
+        assert pd_at_w1 == pytest.approx(0.3)
 
 
 class TestWyeLink:

@@ -32,6 +32,7 @@ class TestExports:
         import repro.parallel
         import repro.qp
         import repro.reference
+        import repro.serve
         import repro.socp
         import repro.utils
 
@@ -47,6 +48,7 @@ class TestExports:
             repro.parallel,
             repro.qp,
             repro.reference,
+            repro.serve,
             repro.socp,
             repro.utils,
         ):

@@ -15,8 +15,12 @@ def kkt_check(q, d, a, b, lb, ub, x, tol=1e-6):
     assert np.abs(a @ x - b).max(initial=0.0) < tol, "primal equality"
     assert np.all(x >= lb - tol) and np.all(x <= ub + tol), "bounds"
     # Stationarity on strictly-inside coordinates: grad ⟂ null(A) restricted.
+    # The interior-point solver approaches active bounds to O(sqrt(tol)), so
+    # the active-set classification needs a margin well above that distance;
+    # a coordinate within 1e-5 of its bound is treated as active (its
+    # multiplier absorbs the gradient there).
     grad = q @ x + d
-    inside = (x > lb + 1e-7) & (x < ub - 1e-7)
+    inside = (x > lb + 1e-5) & (x < ub - 1e-5)
     if a.shape[0]:
         y, *_ = np.linalg.lstsq(a[:, inside].T, -grad[inside], rcond=None)
         resid = grad[inside] + a[:, inside].T @ y

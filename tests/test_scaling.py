@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.decomposition import decompose
-from repro.formulation.scaling import ScaledLP, column_scales, scale_lp
+from repro.formulation.scaling import column_scales, scale_lp
 from repro.reference import solve_reference
 
 

@@ -1,11 +1,9 @@
 """Tests for component subproblem assembly and the consensus structure."""
 
 import numpy as np
-import pytest
 
 from repro.decomposition import decompose
 from repro.decomposition.subproblems import component_variable_keys
-from repro.formulation import build_centralized_lp
 
 
 class TestLocalKeys:
