@@ -1,0 +1,119 @@
+"""Telemetry overhead: tracing must be ~free when off and cheap when on.
+
+The whole point of threading one observability layer through the ADMM hot
+loop is that it can stay enabled in production serving.  This benchmark
+runs a fixed iteration budget of the solver-free ADMM on the 123-bus
+instance under three configurations:
+
+* **baseline** — no tracer argument (the shared ``NULL_TRACER``);
+* **disabled** — an explicitly constructed ``Tracer(enabled=False)``,
+  i.e. the cost of the ``if tracer:`` guards (~0%);
+* **enabled** — full span capture of every global/local/dual/residual
+  phase (target: <5% over baseline).
+
+Each configuration is timed best-of-``REPEATS`` to suppress scheduler
+noise; the iterate sequence is identical in all three, so only the
+instrumentation differs.
+"""
+
+import time
+
+from _common import format_table, get_dec, report
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.telemetry import Tracer
+
+INSTANCE = "ieee123"
+ITERATIONS = 600
+REPEATS = 9
+
+#: Gate generously above the 5% target: best-of-5 on a shared CI runner
+#: still jitters by a few percent, and the report shows the real number.
+FAIL_THRESHOLD = 0.15
+
+
+def _one_solve(dec, cfg, tracer) -> tuple[float, int]:
+    solver = SolverFreeADMM(dec, cfg, tracer=tracer)
+    if tracer is not None:
+        tracer.clear()
+    t0 = time.perf_counter()
+    solver.solve()
+    elapsed = time.perf_counter() - t0
+    return elapsed, len(tracer) if tracer is not None else 0
+
+
+def run() -> dict:
+    dec = get_dec(INSTANCE)
+    cfg = ADMMConfig(max_iter=ITERATIONS, raise_on_max_iter=False)
+    configs = {
+        "baseline": None,
+        "disabled": Tracer(enabled=False),
+        "enabled": Tracer(),
+    }
+    # Warm caches once, then interleave the configurations round-robin so
+    # machine drift (frequency scaling, cache state) hits all three alike.
+    _one_solve(dec, cfg, None)
+    best = {name: float("inf") for name in configs}
+    spans = dict.fromkeys(configs, 0)
+    for _ in range(REPEATS):
+        for name, tracer in configs.items():
+            elapsed, n_spans = _one_solve(dec, cfg, tracer)
+            best[name] = min(best[name], elapsed)
+            spans[name] = n_spans
+    baseline_s = best["baseline"]
+    disabled_s, disabled_spans = best["disabled"], spans["disabled"]
+    enabled_s, enabled_spans = best["enabled"], spans["enabled"]
+
+    def overhead(t: float) -> float:
+        return (t - baseline_s) / baseline_s
+
+    rows = [
+        ["baseline (no tracer)", f"{baseline_s * 1e3:.2f}", "-", 0],
+        [
+            "disabled tracer",
+            f"{disabled_s * 1e3:.2f}",
+            f"{100 * overhead(disabled_s):+.2f}%",
+            disabled_spans,
+        ],
+        [
+            "enabled tracer",
+            f"{enabled_s * 1e3:.2f}",
+            f"{100 * overhead(enabled_s):+.2f}%",
+            enabled_spans,
+        ],
+    ]
+    text = format_table(
+        ["configuration", "wall ms", "overhead", "spans"],
+        rows,
+        title=(
+            f"telemetry overhead ({INSTANCE}, {ITERATIONS} iterations, "
+            f"best of {REPEATS}; target <5% enabled, ~0% disabled)"
+        ),
+    )
+    report("telemetry_overhead", text)
+    return {
+        "baseline_s": baseline_s,
+        "disabled_overhead": overhead(disabled_s),
+        "enabled_overhead": overhead(enabled_s),
+        "enabled_spans": enabled_spans,
+    }
+
+
+def test_telemetry_overhead_report(benchmark):
+    stats = run()
+    # Every iteration contributes its four phase spans plus the admm.solve
+    # root span.
+    assert stats["enabled_spans"] == 4 * ITERATIONS + 1
+    assert stats["disabled_overhead"] < FAIL_THRESHOLD
+    assert stats["enabled_overhead"] < FAIL_THRESHOLD
+    dec = get_dec(INSTANCE)
+    cfg = ADMMConfig(max_iter=50, raise_on_max_iter=False)
+    benchmark(lambda: SolverFreeADMM(dec, cfg, tracer=Tracer()).solve())
+
+
+if __name__ == "__main__":
+    stats = run()
+    print(
+        f"enabled overhead {100 * stats['enabled_overhead']:+.2f}%  "
+        f"disabled overhead {100 * stats['disabled_overhead']:+.2f}%"
+    )

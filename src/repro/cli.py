@@ -15,6 +15,13 @@ Commands
 ``serve-batch``
     Serve a JSON file of OPF scenarios through the batched scenario engine
     and print the serving metrics (see docs/SERVING.md).
+``trace-summary``
+    Aggregate a trace captured with ``--trace`` into a per-phase table
+    (see docs/OBSERVABILITY.md).
+
+``solve`` and ``serve-batch`` accept ``--trace out.json`` to capture a
+Chrome-trace/Perfetto span timeline of the run (``.jsonl`` extension
+selects the JSONL sink instead).
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from repro.io import save_lp_npz, save_network
 from repro.io.csv_feeder import save_network_csv
 from repro.network.analysis import solution_report
 from repro.reference import solve_reference
+from repro.telemetry import Tracer, format_trace_summary, load_trace_events
 from repro.utils import format_table
 
 
@@ -80,11 +88,15 @@ def cmd_solve(args) -> int:
         relaxation=args.relaxation,
         record_history=args.diagnostics,
     )
+    tracer = Tracer() if args.trace else None
     if args.algorithm == "solver-free":
-        solver = SolverFreeADMM(dec, cfg)
+        solver = SolverFreeADMM(dec, cfg, tracer=tracer)
     else:
-        solver = BenchmarkADMM(dec, cfg, local_mode=args.local_mode)
+        solver = BenchmarkADMM(dec, cfg, local_mode=args.local_mode, tracer=tracer)
     result = solver.solve()
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"trace ({len(tracer)} spans) written to {args.trace}")
     print(result.summary())
     report = solution_report(lp, result.x)
     print(
@@ -231,16 +243,21 @@ def cmd_serve_batch(args) -> int:
         save_requests_json(requests, args.save_scenarios)
         print(f"scenario file written to {args.save_scenarios}")
 
+    tracer = Tracer() if args.trace else None
     try:
         engine = ScenarioEngine(
             max_batch=args.max_batch,
             queue_size=args.queue_size,
             cache_capacity=args.cache_capacity,
+            tracer=tracer,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     responses = engine.serve(requests)
     snap = engine.snapshot()
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"trace ({len(tracer)} spans) written to {args.trace}")
 
     if args.verbose:
         rows = [
@@ -279,6 +296,18 @@ def cmd_serve_batch(args) -> int:
     return 0 if failed == 0 else 2
 
 
+def cmd_trace_summary(args) -> int:
+    try:
+        events = load_trace_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read trace: {exc}") from None
+    if not events:
+        print("trace contains no spans")
+        return 2
+    print(format_trace_summary(events))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the convergence_report table (records iterate history)",
     )
     p.add_argument("--output", help="write the result summary as JSON")
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="capture a span trace (Chrome JSON; .jsonl extension for JSONL)",
+    )
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("export", help="convert a feeder / dump the LP")
@@ -336,7 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-capacity", type=int, default=64)
     p.add_argument("--verbose", action="store_true", help="per-response table")
     p.add_argument("--output", help="write metrics + responses as JSON")
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="capture a span trace (Chrome JSON; .jsonl extension for JSONL)",
+    )
     p.set_defaults(func=cmd_serve_batch)
+
+    p = sub.add_parser(
+        "trace-summary", help="per-phase breakdown of a captured trace"
+    )
+    p.add_argument("trace", help="trace file written by --trace")
+    p.set_defaults(func=cmd_trace_summary)
     return parser
 
 

@@ -36,6 +36,7 @@ from repro.core.results import ADMMResult, IterationHistory
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.qp.interior_point import solve_qp_box_eq
 from repro.qp.projection import project_box_affine
+from repro.telemetry import NULL_TRACER
 from repro.utils.exceptions import ConvergenceError
 from repro.utils.timing import PhaseTimer
 
@@ -50,11 +51,13 @@ class BenchmarkADMM:
         dec: DecomposedOPF,
         config: ADMMConfig | None = None,
         local_mode: str = "interior_point",
+        tracer=None,
     ):
         if local_mode not in ("interior_point", "projection"):
             raise ValueError(f"unknown local_mode {local_mode!r}")
         self.dec = dec
         self.config = config or ADMMConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.local_mode = local_mode
         lp = dec.lp
         self.n = lp.n_vars
@@ -114,6 +117,14 @@ class BenchmarkADMM:
         lam = np.zeros(self.n_local) if lam0 is None else np.asarray(lam0, dtype=float).copy()
         history = IterationHistory() if cfg.record_history else None
         timers = PhaseTimer()
+        tracer = self.tracer
+        solve_span = tracer.span(
+            "admm.solve",
+            algorithm=self.algorithm_name,
+            n_vars=self.n,
+            local_mode=self.local_mode,
+        )
+        solve_span.__enter__()
         res = None
         iteration = 0
         for iteration in range(1, budget + 1):
@@ -132,12 +143,18 @@ class BenchmarkADMM:
             timers.add("local", t2 - t1)
             timers.add("dual", t3 - t2)
             timers.add("residual", t4 - t3)
+            if tracer:
+                tracer.add_complete("admm.global", t0, t1, cat="admm")
+                tracer.add_complete("admm.local", t1, t2, cat="admm")
+                tracer.add_complete("admm.dual", t2, t3, cat="admm")
+                tracer.add_complete("admm.residual", t3, t4, cat="admm")
             if history is not None:
                 history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
             if callback is not None:
                 callback(iteration, x, z, lam, res)
             if res.converged:
                 break
+        solve_span.__exit__(None, None, None)
         converged = bool(res is not None and res.converged)
         if not converged and cfg.raise_on_max_iter:
             raise ConvergenceError(f"benchmark ADMM: no convergence in {budget} iterations")

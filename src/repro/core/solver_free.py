@@ -29,6 +29,7 @@ from repro.core.residuals import compute_residuals
 from repro.core.results import ADMMResult, IterationHistory
 from repro.core.rho import ResidualBalancer
 from repro.decomposition.decomposed import DecomposedOPF
+from repro.telemetry import NULL_TRACER
 from repro.utils.exceptions import ConvergenceError
 from repro.utils.timing import PhaseTimer
 
@@ -42,6 +43,10 @@ class SolverFreeADMM:
         The decomposed model (9).
     config:
         Hyper-parameters; defaults to the paper's settings.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; when enabled, every
+        iteration's global/local/dual/residual phases become spans (from
+        the ``perf_counter`` stamps the phase timers take anyway).
 
     Examples
     --------
@@ -56,9 +61,15 @@ class SolverFreeADMM:
 
     algorithm_name = "solver-free ADMM"
 
-    def __init__(self, dec: DecomposedOPF, config: ADMMConfig | None = None):
+    def __init__(
+        self,
+        dec: DecomposedOPF,
+        config: ADMMConfig | None = None,
+        tracer=None,
+    ):
         self.dec = dec
         self.config = config or ADMMConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         lp = dec.lp
         self.n = lp.n_vars
         self.n_local = dec.n_local
@@ -146,6 +157,14 @@ class SolverFreeADMM:
         self._balancer.reset()
         history = IterationHistory() if cfg.record_history else None
         timers = PhaseTimer()
+        tracer = self.tracer
+        solve_span = tracer.span(
+            "admm.solve",
+            algorithm=self.algorithm_name,
+            n_vars=self.n,
+            n_components=self.dec.n_components,
+        )
+        solve_span.__enter__()
         res = None
         iteration = 0
         for iteration in range(1, budget + 1):
@@ -168,6 +187,11 @@ class SolverFreeADMM:
             timers.add("local", t2 - t1)
             timers.add("dual", t3 - t2)
             timers.add("residual", t4 - t3)
+            if tracer:
+                tracer.add_complete("admm.global", t0, t1, cat="admm")
+                tracer.add_complete("admm.local", t1, t2, cat="admm")
+                tracer.add_complete("admm.dual", t2, t3, cat="admm")
+                tracer.add_complete("admm.residual", t3, t4, cat="admm")
             if history is not None:
                 history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
             if callback is not None:
@@ -178,6 +202,7 @@ class SolverFreeADMM:
                 rho = self._balancer.adapt(
                     rho, iteration, res.pres, res.dres, res.eps_prim, res.eps_dual
                 )
+        solve_span.__exit__(None, None, None)
         converged = bool(res is not None and res.converged)
         if not converged and cfg.raise_on_max_iter:
             raise ConvergenceError(

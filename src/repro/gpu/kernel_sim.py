@@ -71,12 +71,21 @@ def concurrent_block_slots(device: DeviceSpec, threads_per_block: int) -> int:
     return device.sm_count * per_sm
 
 
-def simulate_kernel(device: DeviceSpec, spec: KernelSpec) -> KernelExecution:
+def simulate_kernel(
+    device: DeviceSpec,
+    spec: KernelSpec,
+    tracer=None,
+    t_start_s: float = 0.0,
+) -> KernelExecution:
     """List-schedule the grid onto block slots and report the makespan.
 
     Blocks issue in grid order (as hardware does, approximately); each slot
     takes the next block as soon as it drains.  The makespan is the time the
     last block finishes, plus the kernel launch overhead.
+
+    When an enabled :class:`repro.telemetry.Tracer` is given, the launch is
+    recorded as a modeled-time span ``gpu.kernel.<name>`` on the GPU track,
+    starting at ``t_start_s`` on the modeled clock.
     """
     slots = concurrent_block_slots(device, spec.threads_per_block)
     cycles = spec.block_cycles
@@ -91,13 +100,27 @@ def simulate_kernel(device: DeviceSpec, spec: KernelSpec) -> KernelExecution:
         makespan = max(heap)
     busy = float(cycles.sum())
     utilization = busy / (slots * makespan) if makespan > 0 else 1.0
-    return KernelExecution(
+    execution = KernelExecution(
         spec_name=spec.name,
         time_s=device.kernel_launch_s + makespan / device.clock_hz,
         makespan_cycles=makespan,
         concurrent_blocks=slots,
         utilization=float(utilization),
     )
+    if tracer:
+        tracer.add_modeled(
+            f"gpu.kernel.{spec.name}",
+            t_start_s,
+            execution.time_s,
+            cat="gpu",
+            args={
+                "blocks": spec.n_blocks,
+                "threads_per_block": spec.threads_per_block,
+                "concurrent_blocks": execution.concurrent_blocks,
+                "utilization": round(execution.utilization, 4),
+            },
+        )
+    return execution
 
 
 def local_update_kernel(
@@ -114,7 +137,16 @@ def local_update_kernel(
 
 
 def simulate_local_update(
-    device: DeviceSpec, dec_or_sizes, threads_per_block: int
+    device: DeviceSpec,
+    dec_or_sizes,
+    threads_per_block: int,
+    tracer=None,
+    t_start_s: float = 0.0,
 ) -> KernelExecution:
     """Convenience wrapper: simulate one local-update launch."""
-    return simulate_kernel(device, local_update_kernel(dec_or_sizes, threads_per_block))
+    return simulate_kernel(
+        device,
+        local_update_kernel(dec_or_sizes, threads_per_block),
+        tracer=tracer,
+        t_start_s=t_start_s,
+    )

@@ -32,6 +32,7 @@ from repro.decomposition.decomposed import DecomposedOPF
 from repro.parallel.assignment import assign_even
 from repro.parallel.comm import CommModel
 from repro.parallel.mpi_sim import SimComm
+from repro.telemetry import TRACK_CLUSTER, NULL_TRACER
 
 
 @dataclass
@@ -81,6 +82,11 @@ class DistributedADMMRunner:
     config:
         ADMM settings (the relaxation/balancing extensions are not
         supported here; plain Algorithm 1 only).
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; when enabled, every
+        rank's compute and communication intervals become spans on the
+        ``cluster-sim`` track (one lane per rank, virtual-clock time) —
+        the raw material of the paper's Fig. 1 rendered in Perfetto.
     """
 
     def __init__(
@@ -89,9 +95,11 @@ class DistributedADMMRunner:
         n_ranks: int,
         comm_model: CommModel,
         config: ADMMConfig | None = None,
+        tracer=None,
     ):
         self.dec = dec
         self.config = config or ADMMConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.config.relaxation != 1.0 or self.config.residual_balancing:
             raise ValueError("the distributed runner executes plain Algorithm 1 only")
         self.local_solver = BatchedLocalSolver.from_decomposition(dec)
@@ -125,22 +133,45 @@ class DistributedADMMRunner:
         lam = np.zeros(dec.n_local)
         history = IterationHistory() if cfg.record_history else None
         timeline = IterationTimeline()
+        tracer = self.tracer
+
+        def _trace_rank(name: str, rank: int, start_s: float, end_s: float) -> None:
+            if end_s > start_s:
+                tracer.add_modeled(
+                    name,
+                    start_s,
+                    end_s - start_s,
+                    track=TRACK_CLUSTER,
+                    tid=rank,
+                    cat="cluster",
+                )
+
+        def _trace_collective(name: str, clocks_before: np.ndarray) -> None:
+            for r in range(self.n_ranks):
+                _trace_rank(name, r, float(clocks_before[r]), float(comm.clocks[r]))
+
         res = None
         iteration = 0
         for iteration in range(1, budget + 1):
             t_start = comm.elapsed()
 
             # Aggregator: global update (13)/(18).
+            clock0 = float(comm.clocks[0])
             t0 = time.perf_counter()
             scatter = np.bincount(dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars)
             xhat = (scatter - dec.lp.cost / rho) / dec.counts
             x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
             bx = x[dec.global_cols]
             comm.advance(0, time.perf_counter() - t0)
+            if tracer:
+                _trace_rank("rank.global_update", 0, clock0, float(comm.clocks[0]))
 
             # Scatter each rank's B_s x slice (server -> agents).
             parts = [bx[idx] for idx in self._rank_slices]
+            clocks_before = comm.clocks.copy()
             received = comm.scatterv(0, parts)
+            if tracer:
+                _trace_collective("comm.scatter", clocks_before)
 
             # Agents: local + dual updates on their own clocks.
             compute_times = np.zeros(self.n_ranks)
@@ -150,6 +181,7 @@ class DistributedADMMRunner:
                 idx = self._rank_slices[r]
                 bx_r = received[r]
                 lam_r = lam[idx]
+                clock_r = float(comm.clocks[r])
                 t0 = time.perf_counter()
                 z_r = np.empty(idx.size)
                 pos = 0
@@ -161,13 +193,18 @@ class DistributedADMMRunner:
                 lam_r = lam_r + rho * (bx_r - z_r)
                 dt = time.perf_counter() - t0
                 comm.advance(r, dt)
+                if tracer:
+                    _trace_rank("rank.local_update", r, clock_r, float(comm.clocks[r]))
                 compute_times[r] = dt
                 z_parts[r] = z_r
                 lam_parts[r] = lam_r
 
             # Gather (z, lambda) back to the aggregator.
+            clocks_before = comm.clocks.copy()
             z_back = comm.gatherv(0, z_parts)
             lam_back = comm.gatherv(0, lam_parts)
+            if tracer:
+                _trace_collective("comm.gather", clocks_before)
             z_prev = z
             z = np.empty(dec.n_local)
             lam = np.empty(dec.n_local)
@@ -176,9 +213,12 @@ class DistributedADMMRunner:
                 lam[self._rank_slices[r]] = lam_back[r]
 
             # Aggregator: residuals and termination.
+            clock0 = float(comm.clocks[0])
             t0 = time.perf_counter()
             res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
             comm.advance(0, time.perf_counter() - t0)
+            if tracer:
+                _trace_rank("rank.residuals", 0, clock0, float(comm.clocks[0]))
             comm.barrier()
 
             timeline.append(comm.elapsed() - t_start, float(compute_times.max()))

@@ -40,6 +40,7 @@ from repro.formulation import build_centralized_lp
 from repro.formulation.rows import rows_to_dense_local
 from repro.gpu.costmodel import iteration_times_from_sizes
 from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.kernel_sim import simulate_local_update
 from repro.io.resolve import resolve_feeder
 from repro.serve.metrics import ServingMetrics
 from repro.serve.requests import (
@@ -52,7 +53,11 @@ from repro.serve.requests import (
 )
 from repro.serve.scheduler import BatchScheduler, BoundedRequestQueue, QueueFullError
 from repro.serve.warmstart import WarmStartCache
+from repro.telemetry import NULL_TRACER
 from repro.utils.timing import PhaseTimer, Timer
+
+#: Thread count per block used for the modeled local-update kernel spans.
+KERNEL_SIM_THREADS = 64
 
 
 @dataclass
@@ -218,6 +223,13 @@ class ScenarioEngine:
     device:
         Device spec used for the modeled batched-kernel iteration time
         reported in the metrics.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`.  When enabled, every
+        serving stage becomes a span (queue wait, scenario build, batch
+        stacking, warm-start lookup, the stacked ADMM solve with its
+        per-iteration phases) and each batch additionally emits modeled
+        GPU kernel spans on the ``gpu-modeled`` track via the kernel
+        simulator.
 
     Examples
     --------
@@ -236,15 +248,20 @@ class ScenarioEngine:
         queue_size: int = 256,
         cache_capacity: int = 64,
         device: DeviceSpec = A100,
+        tracer=None,
     ):
         self.queue = BoundedRequestQueue(maxsize=queue_size)
         self.scheduler = BatchScheduler(self.queue, max_batch=max_batch)
         self.cache = WarmStartCache(capacity=cache_capacity)
         self.metrics = ServingMetrics(max_batch=max_batch)
         self.device = device
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.plans: dict[str, TopologyPlan] = {}
-        self.timers = PhaseTimer()
+        self.timers = PhaseTimer(
+            registry=self.metrics.registry, prefix="serve.phase.", tracer=self.tracer
+        )
         self._submit_times: dict[int, float] = {}
+        self._modeled_clock_s = 0.0  # virtual-clock cursor of the GPU track
 
     # ------------------------------------------------------------------
     def plan_for(self, request: OPFRequest) -> TopologyPlan:
@@ -279,7 +296,8 @@ class ScenarioEngine:
                 if not batch:
                     break
                 self.metrics.record_batch(len(batch))
-                responses.extend(self._serve_batch(batch))
+                with self.tracer.span("serve.batch", cat="serve", size=len(batch)):
+                    responses.extend(self._serve_batch(batch))
         self.metrics.wall_seconds += wall.elapsed
         return responses
 
@@ -306,6 +324,11 @@ class ScenarioEngine:
 
     # ------------------------------------------------------------------
     def _serve_batch(self, batch: list[OPFRequest]) -> list[OPFResponse]:
+        now = time.perf_counter()
+        for req in batch:
+            t_submit = self._submit_times.get(id(req))
+            if t_submit is not None:
+                self.metrics.record_queue_wait(now - t_submit)
         plan = self.plan_for(batch[0])
         problems: list[ScenarioProblem] = []
         responses: list[OPFResponse] = []
@@ -330,6 +353,37 @@ class ScenarioEngine:
     def _latency(self, request: OPFRequest) -> float:
         t0 = self._submit_times.pop(id(request), None)
         return time.perf_counter() - t0 if t0 is not None else 0.0
+
+    def _trace_modeled_batch(self, modeled, sizes_all, iterations: int, k_n: int) -> None:
+        """Emit this batch's modeled GPU execution on the ``gpu-modeled``
+        track: the simulated local-update kernel launch (block-level
+        schedule, with occupancy in the span args) followed by aggregate
+        global/dual spans scaled to the iterations actually run."""
+        trc = self.tracer
+        t = self._modeled_clock_s
+        per_iter_args = {
+            "iterations": iterations,
+            "scenarios": k_n,
+            "per_iteration_us": round(1e6 * modeled.total_s, 2),
+        }
+        trc.add_modeled(
+            "gpu.global_update", t, modeled.global_s * iterations, args=per_iter_args
+        )
+        t += modeled.global_s * iterations
+        # The local stage nests one simulated kernel launch (with its block
+        # schedule and occupancy in the args) inside the iteration-scaled
+        # aggregate span, so the three stages stay comparable in Perfetto.
+        execution = simulate_local_update(
+            self.device, sizes_all, KERNEL_SIM_THREADS, tracer=trc, t_start_s=t
+        )
+        local_total = max(execution.time_s, modeled.local_s * iterations)
+        trc.add_modeled("gpu.local_update", t, local_total, args=per_iter_args)
+        t += local_total
+        trc.add_modeled(
+            "gpu.dual_update", t, modeled.dual_s * iterations, args=per_iter_args
+        )
+        t += modeled.dual_s * iterations
+        self._modeled_clock_s = t
 
     def _solve_stacked(
         self, plan: TopologyPlan, problems: list[ScenarioProblem]
@@ -369,17 +423,18 @@ class ScenarioEngine:
         lam = np.empty(k_n * n_local)
         warm = np.zeros(k_n, dtype=bool)
         warm_dist = np.full(k_n, np.nan)
-        for k, p in enumerate(problems):
-            hit = self.cache.lookup(p.request.topology_key(), p.signature)
-            gs, ls = slice(k * n, (k + 1) * n), slice(k * n_local, (k + 1) * n_local)
-            if hit is not None:
-                entry, dist = hit
-                x[gs], z[ls], lam[ls] = entry.x, entry.z, entry.lam
-                warm[k], warm_dist[k] = True, dist
-            else:
-                x[gs] = p.x0_default
-                z[ls] = p.x0_default[plan.global_cols]
-                lam[ls] = 0.0
+        with self.tracer.span("serve.warm_lookup", cat="serve", scenarios=k_n):
+            for k, p in enumerate(problems):
+                hit = self.cache.lookup(p.request.topology_key(), p.signature)
+                gs, ls = slice(k * n, (k + 1) * n), slice(k * n_local, (k + 1) * n_local)
+                if hit is not None:
+                    entry, dist = hit
+                    x[gs], z[ls], lam[ls] = entry.x, entry.z, entry.lam
+                    warm[k], warm_dist[k] = True, dist
+                else:
+                    x[gs] = p.x0_default
+                    z[ls] = p.x0_default[plan.global_cols]
+                    lam[ls] = 0.0
 
         # Stacked Algorithm 1, with per-scenario termination bookkeeping.
         done = np.zeros(k_n, dtype=bool)
@@ -392,15 +447,26 @@ class ScenarioEngine:
         dres_at = np.full(k_n, np.inf)
         max_budget = int(budget_k.max())
         iteration = 0
+        trc = self.tracer
         t_solve = time.perf_counter()
         while iteration < max_budget and not done.all():
             iteration += 1
+            t0 = time.perf_counter() if trc else 0.0
             scatter = np.bincount(gcols_all, weights=z - lam / rho_l, minlength=k_n * n)
             x = np.clip((scatter - cost_all / rho_g) / counts_all, lb_all, ub_all)
             bx = x[gcols_all]
             z_prev = z
+            if trc:
+                t1 = time.perf_counter()
+                trc.add_complete("admm.global", t0, t1, cat="admm")
             z = solver.solve(bx + lam / rho_l)
+            if trc:
+                t2 = time.perf_counter()
+                trc.add_complete("admm.local", t1, t2, cat="admm")
             lam = lam + rho_l * (bx - z)
+            if trc:
+                t3 = time.perf_counter()
+                trc.add_complete("admm.dual", t2, t3, cat="admm")
             # Per-scenario residuals of (16): scenario-major slices reshape
             # cleanly to (K, n_local).
             diff = (bx - z).reshape(k_n, n_local)
@@ -423,11 +489,23 @@ class ScenarioEngine:
                     ls = slice(k * n_local, (k + 1) * n_local)
                     snap_x[gs], snap_z[ls], snap_lam[ls] = x[gs], z[ls], lam[ls]
                 done |= newly
-        solve_seconds = time.perf_counter() - t_solve
+            if trc:
+                trc.add_complete("admm.residual", t3, time.perf_counter(), cat="admm")
+        t_end = time.perf_counter()
+        solve_seconds = t_end - t_solve
         self.timers.add("solve", solve_seconds)
-        self.metrics.modeled_gpu_iteration_s.append(
-            iteration_times_from_sizes(self.device, sizes_all, k_n * n).total_s
-        )
+        if trc:
+            trc.add_complete(
+                "serve.solve",
+                t_solve,
+                t_end,
+                cat="serve",
+                args={"scenarios": k_n, "iterations": iteration},
+            )
+        modeled = iteration_times_from_sizes(self.device, sizes_all, k_n * n)
+        self.metrics.record_modeled_gpu_iteration(modeled.total_s)
+        if trc:
+            self._trace_modeled_batch(modeled, sizes_all, iteration, k_n)
 
         responses = []
         for k, p in enumerate(problems):

@@ -4,81 +4,127 @@ One :class:`ServingMetrics` instance accompanies a
 :class:`~repro.serve.engine.ScenarioEngine` for its lifetime;
 :meth:`ServingMetrics.snapshot` exports everything as a flat dict for the
 CLI table and the throughput benchmark.  Latencies are measured by the
-engine with :mod:`repro.utils.timing` timers and recorded here per request
-(submit-to-response, so queue wait is included).
+engine (submit-to-response, so queue wait is included).
+
+All distribution-valued quantities (latency, queue wait, batch size,
+warm/cold iteration counts, modeled GPU iteration time) are
+:class:`~repro.telemetry.ReservoirHistogram` sketches on a shared
+:class:`~repro.telemetry.MetricsRegistry` — bounded memory no matter how
+long the server runs, with exact counts/means and reservoir percentiles.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.telemetry.metrics import MetricsRegistry, ReservoirHistogram
 
-import numpy as np
-
-
-def _percentile(values: list[float], q: float) -> float:
-    return float(np.percentile(np.asarray(values, dtype=float), q)) if values else 0.0
+#: Reservoir bound for every serving histogram: large enough that
+#: percentiles are exact for benchmark-scale runs, constant-memory beyond.
+RESERVOIR_SAMPLES = 4096
 
 
-def _mean(values: list[float]) -> float:
-    return float(np.mean(np.asarray(values, dtype=float))) if values else 0.0
-
-
-@dataclass
 class ServingMetrics:
     """Aggregated serving statistics (reset-free, monotone counters)."""
 
-    submitted: int = 0
-    served: int = 0
-    rejected: int = 0
-    errors: int = 0
-    converged: int = 0
-    iteration_limit: int = 0
+    def __init__(self, max_batch: int = 0, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_batch = max_batch  # occupancy denominator, set by the engine
+        reg = self.registry
+        self._submitted = reg.counter("serve.submitted")
+        self._served = reg.counter("serve.served")
+        self._rejected = reg.counter("serve.rejected")
+        self._errors = reg.counter("serve.errors")
+        self._converged = reg.counter("serve.converged")
+        self._iteration_limit = reg.counter("serve.iteration_limit")
+        self._n_batches = reg.counter("serve.n_batches")
+        self._factorizations_computed = reg.counter("serve.factorizations_computed")
+        self._factorizations_reused = reg.counter("serve.factorizations_reused")
 
-    n_batches: int = 0
-    batch_sizes: list[int] = field(default_factory=list)
-    max_batch: int = 0  # set by the engine; occupancy denominator
+        def hist(name: str) -> ReservoirHistogram:
+            return reg.histogram(name, max_samples=RESERVOIR_SAMPLES)
 
-    warm_iterations: list[int] = field(default_factory=list)
-    cold_iterations: list[int] = field(default_factory=list)
+        self.batch_sizes = hist("serve.batch_size")
+        self.warm_iterations = hist("serve.warm_iterations")
+        self.cold_iterations = hist("serve.cold_iterations")
+        self.latencies_s = hist("serve.latency_s")
+        self.queue_wait_s = hist("serve.queue_wait_s")
+        self.modeled_gpu_iteration_s = hist("serve.modeled_gpu_iteration_s")
+        self.solve_seconds = 0.0
+        self.wall_seconds = 0.0
 
-    factorizations_computed: int = 0
-    factorizations_reused: int = 0
+    # ------------------------------------------------------------------
+    # Counter views (kept as attributes-like properties for callers)
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
 
-    latencies_s: list[float] = field(default_factory=list)
-    solve_seconds: float = 0.0
-    wall_seconds: float = 0.0
-    modeled_gpu_iteration_s: list[float] = field(default_factory=list)
+    @property
+    def served(self) -> int:
+        return self._served.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def converged(self) -> int:
+        return self._converged.value
+
+    @property
+    def iteration_limit(self) -> int:
+        return self._iteration_limit.value
+
+    @property
+    def n_batches(self) -> int:
+        return self._n_batches.value
+
+    @property
+    def factorizations_computed(self) -> int:
+        return self._factorizations_computed.value
+
+    @property
+    def factorizations_reused(self) -> int:
+        return self._factorizations_reused.value
 
     # ------------------------------------------------------------------
     # Recording hooks (called by the engine)
     # ------------------------------------------------------------------
     def record_submit(self, accepted: bool) -> None:
-        self.submitted += 1
+        self._submitted.inc()
         if not accepted:
-            self.rejected += 1
+            self._rejected.inc()
 
     def record_batch(self, size: int) -> None:
-        self.n_batches += 1
-        self.batch_sizes.append(int(size))
+        self._n_batches.inc()
+        self.batch_sizes.observe(int(size))
+
+    def record_queue_wait(self, seconds: float) -> None:
+        self.queue_wait_s.observe(float(seconds))
 
     def record_response(
         self, status: str, iterations: int, warm: bool, latency_s: float
     ) -> None:
-        self.served += 1
-        self.latencies_s.append(float(latency_s))
+        self._served.inc()
+        self.latencies_s.observe(float(latency_s))
         if status == "converged":
-            self.converged += 1
-            (self.warm_iterations if warm else self.cold_iterations).append(
-                int(iterations)
-            )
+            self._converged.inc()
+            target = self.warm_iterations if warm else self.cold_iterations
+            target.observe(int(iterations))
         elif status == "iteration_limit":
-            self.iteration_limit += 1
+            self._iteration_limit.inc()
         else:
-            self.errors += 1
+            self._errors.inc()
 
     def record_factorizations(self, computed: int, reused: int) -> None:
-        self.factorizations_computed += int(computed)
-        self.factorizations_reused += int(reused)
+        self._factorizations_computed.inc(int(computed))
+        self._factorizations_reused.inc(int(reused))
+
+    def record_modeled_gpu_iteration(self, seconds: float) -> None:
+        self.modeled_gpu_iteration_s.observe(float(seconds))
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -86,25 +132,27 @@ class ServingMetrics:
     @property
     def batch_occupancy(self) -> float:
         """Mean fill fraction of dispatched batches (1.0 = always full)."""
-        if not self.batch_sizes or self.max_batch < 1:
+        if not self.batch_sizes.count or self.max_batch < 1:
             return 0.0
-        return float(np.mean(self.batch_sizes)) / self.max_batch
+        return self.batch_sizes.mean / self.max_batch
 
     @property
     def mean_warm_iterations(self) -> float:
-        return _mean(self.warm_iterations)
+        return self.warm_iterations.mean
 
     @property
     def mean_cold_iterations(self) -> float:
-        return _mean(self.cold_iterations)
+        return self.cold_iterations.mean
 
     @property
     def warm_start_iteration_savings(self) -> float:
         """Relative iteration reduction of warm over cold starts (0..1)."""
-        cold = self.mean_warm_iterations, self.mean_cold_iterations
-        if not self.warm_iterations or not self.cold_iterations or cold[1] == 0:
+        mean_warm = self.mean_warm_iterations
+        mean_cold = self.mean_cold_iterations
+        no_data = not self.warm_iterations.count or not self.cold_iterations.count
+        if no_data or mean_cold == 0.0:
             return 0.0
-        return 1.0 - cold[0] / cold[1]
+        return 1.0 - mean_warm / mean_cold
 
     @property
     def scenarios_per_second(self) -> float:
@@ -126,14 +174,15 @@ class ServingMetrics:
             "warm_start_iteration_savings": round(self.warm_start_iteration_savings, 4),
             "factorizations_computed": self.factorizations_computed,
             "factorizations_reused": self.factorizations_reused,
-            "latency_p50_ms": round(1e3 * _percentile(self.latencies_s, 50), 3),
-            "latency_p90_ms": round(1e3 * _percentile(self.latencies_s, 90), 3),
-            "latency_p99_ms": round(1e3 * _percentile(self.latencies_s, 99), 3),
+            "queue_wait_p50_ms": round(1e3 * self.queue_wait_s.percentile(50), 3),
+            "latency_p50_ms": round(1e3 * self.latencies_s.percentile(50), 3),
+            "latency_p90_ms": round(1e3 * self.latencies_s.percentile(90), 3),
+            "latency_p99_ms": round(1e3 * self.latencies_s.percentile(99), 3),
             "solve_seconds": round(self.solve_seconds, 4),
             "wall_seconds": round(self.wall_seconds, 4),
             "scenarios_per_second": round(self.scenarios_per_second, 2),
             "modeled_gpu_iteration_us": round(
-                1e6 * _mean(self.modeled_gpu_iteration_s), 2
+                1e6 * self.modeled_gpu_iteration_s.mean, 2
             ),
         }
         if cache_stats is not None:

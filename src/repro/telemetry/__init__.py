@@ -1,0 +1,56 @@
+"""Unified tracing, metrics and profiling for every layer of the repo.
+
+Three pieces (see docs/OBSERVABILITY.md):
+
+* :class:`Tracer` — hierarchical wall-clock spans plus modeled-time tracks
+  (GPU cost model, simulated cluster), exported as Chrome-trace/Perfetto
+  JSON or JSONL; :data:`NULL_TRACER` is the shared disabled instance every
+  instrumented component defaults to.
+* :class:`MetricsRegistry` — counters, gauges and bounded
+  :class:`ReservoirHistogram` sketches; the base of
+  :class:`~repro.utils.timing.PhaseTimer` and
+  :class:`~repro.serve.metrics.ServingMetrics`.
+* :func:`load_trace_events` / :func:`format_trace_summary` — read a
+  captured trace back and print the per-phase breakdown
+  (``repro trace-summary``).
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    ReservoirHistogram,
+)
+from repro.telemetry.summary import (
+    PhaseSummary,
+    TraceEvent,
+    format_trace_summary,
+    load_trace_events,
+    summarize_phases,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    TRACK_CLUSTER,
+    TRACK_GPU,
+    TRACK_WALL,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "SpanEvent",
+    "NULL_TRACER",
+    "TRACK_WALL",
+    "TRACK_GPU",
+    "TRACK_CLUSTER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "ReservoirHistogram",
+    "TraceEvent",
+    "PhaseSummary",
+    "load_trace_events",
+    "summarize_phases",
+    "format_trace_summary",
+]

@@ -1,0 +1,192 @@
+"""Counters, gauges and bounded-reservoir histograms.
+
+:class:`MetricsRegistry` is the single metrics surface the rest of the
+repo builds on: :class:`~repro.utils.timing.PhaseTimer` adapts it for the
+per-phase ADMM timings of Figs. 1 and 3, and
+:class:`~repro.serve.metrics.ServingMetrics` sits on it for the serving
+engine.  Histograms keep a *bounded* uniform sample (Vitter's Algorithm R
+with a fixed seed, so runs are reproducible) while tracking exact count,
+sum, min and max — a long-running server records millions of latencies in
+constant memory and still exports accurate means and useful percentiles.
+
+Naming convention: lowercase dotted paths, ``<layer>.<quantity>[_<unit>]``
+— e.g. ``serve.latency_s``, ``admm.phase.global_s``, ``serve.batch_size``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Counter:
+    """Monotone event counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class ReservoirHistogram:
+    """Bounded-memory distribution sketch.
+
+    Keeps exact ``count``/``total``/``min``/``max`` plus a uniform random
+    sample of at most ``max_samples`` observations (Algorithm R), from
+    which :meth:`percentile` estimates quantiles.  While fewer than
+    ``max_samples`` values have been observed the sample is the full data
+    and percentiles are exact.
+    """
+
+    __slots__ = ("name", "max_samples", "count", "total", "vmin", "vmax", "_sample", "_rng")
+
+    def __init__(self, name: str, max_samples: int = 2048, seed: int = 0):
+        if max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
+        self.name = name
+        self.max_samples = int(max_samples)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+        self._sample: list[float] = []
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        if len(self._sample) < self.max_samples:
+            self._sample.append(value)
+        else:
+            # Algorithm R: the i-th observation replaces a random slot
+            # with probability max_samples / i.
+            j = self._rng.randrange(self.count)
+            if j < self.max_samples:
+                self._sample[j] = value
+
+    def add_aggregate(self, total: float, count: int = 1) -> None:
+        """Fold in pre-aggregated time (``count`` events summing to
+        ``total``), representing them in the sample by their mean.
+
+        Lets :class:`~repro.utils.timing.PhaseTimer` keep its historical
+        ``add(phase, seconds, count)`` semantics exactly.
+        """
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        mean = float(total) / count
+        self.count += count
+        self.total += float(total)
+        if mean < self.vmin:
+            self.vmin = mean
+        if mean > self.vmax:
+            self.vmax = mean
+        if len(self._sample) < self.max_samples:
+            self._sample.append(mean)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.max_samples:
+                self._sample[j] = mean
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Exact mean of *all* observations (not just the sample)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile from the retained sample."""
+        if not self._sample:
+            return 0.0
+        return float(np.percentile(np.asarray(self._sample, dtype=float), q))
+
+    def values(self) -> np.ndarray:
+        """Copy of the retained sample (for tests and plots)."""
+        return np.asarray(self._sample, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create home for named metrics.
+
+    One registry per subsystem instance (engine, solver, benchmark run);
+    :meth:`snapshot` flattens everything into one dict for tables and JSON
+    export.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, ReservoirHistogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, max_samples: int = 2048, seed: int = 0
+    ) -> ReservoirHistogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = ReservoirHistogram(
+                name, max_samples=max_samples, seed=seed
+            )
+        return h
+
+    def snapshot(self) -> dict:
+        """Flat ``{metric_name: value}`` dict; histograms expand into
+        ``name_count`` / ``name_mean`` / ``name_p50`` / ... entries."""
+        snap: dict = {}
+        for name, c in sorted(self.counters.items()):
+            snap[name] = c.value
+        for name, g in sorted(self.gauges.items()):
+            snap[name] = g.value
+        for name, h in sorted(self.histograms.items()):
+            for key, value in h.summary().items():
+                snap[f"{name}_{key}"] = value
+        return snap
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

@@ -1,0 +1,154 @@
+"""Post-hoc aggregation of captured traces: the ``repro trace-summary``
+back end.
+
+Reads either export format (Chrome ``traceEvents`` JSON or JSONL) back
+into a uniform event list and aggregates per ``(track, name)`` — count,
+total, mean and share of the track's span time — which reproduces the
+paper's Fig. 3 per-phase breakdown from a live capture instead of a
+bespoke benchmark script.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.telemetry.tracer import _TRACK_PIDS
+from repro.utils.tables import format_table
+
+_PID_TRACKS = {pid: track for track, pid in _TRACK_PIDS.items()}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One complete span read back from a trace file (seconds)."""
+
+    name: str
+    start_s: float
+    dur_s: float
+    track: str
+    tid: int
+
+
+def _from_chrome(doc: dict) -> list[TraceEvent]:
+    events = []
+    for record in doc.get("traceEvents", []):
+        if record.get("ph") != "X":
+            continue
+        pid = int(record.get("pid", 1))
+        events.append(
+            TraceEvent(
+                name=str(record["name"]),
+                start_s=float(record.get("ts", 0.0)) * 1e-6,
+                dur_s=float(record.get("dur", 0.0)) * 1e-6,
+                track=_PID_TRACKS.get(pid, f"pid{pid}"),
+                tid=int(record.get("tid", 0)),
+            )
+        )
+    return events
+
+
+def _from_jsonl(lines: list[str]) -> list[TraceEvent]:
+    events = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(
+            TraceEvent(
+                name=str(record["name"]),
+                start_s=float(record["start_s"]),
+                dur_s=float(record["dur_s"]),
+                track=str(record.get("track", "wall")),
+                tid=int(record.get("tid", 0)),
+            )
+        )
+    return events
+
+
+def load_trace_events(path) -> list[TraceEvent]:
+    """Load a trace captured by :class:`~repro.telemetry.Tracer` from
+    either export format (auto-detected from the content).
+
+    Raises
+    ------
+    ValueError
+        If the file is neither a Chrome-trace document nor JSONL.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty trace file")
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            return _from_chrome(doc)
+        # A one-line JSONL file parses as a plain dict; recognize it by the
+        # event fields.  Multi-line JSONL fails the whole-text parse (doc is
+        # None) and is parsed line by line.
+        if doc is None or (isinstance(doc, dict) and {"name", "start_s", "dur_s"} <= doc.keys()):
+            return _from_jsonl(text.splitlines())
+        raise ValueError(f"{path}: JSON has no traceEvents — not a Chrome trace")
+    raise ValueError(f"{path}: unrecognized trace format")
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Aggregate of all spans sharing one name on one track."""
+
+    track: str
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    share: float  # fraction of the track's total span time
+
+
+def summarize_phases(events: list[TraceEvent]) -> list[PhaseSummary]:
+    """Per-(track, name) aggregates, tracks alphabetical, phases by
+    descending total time within each track."""
+    totals: dict[tuple[str, str], list] = {}
+    track_total: dict[str, float] = {}
+    for ev in events:
+        acc = totals.setdefault((ev.track, ev.name), [0, 0.0])
+        acc[0] += 1
+        acc[1] += ev.dur_s
+        track_total[ev.track] = track_total.get(ev.track, 0.0) + ev.dur_s
+    summaries = [
+        PhaseSummary(
+            track=track,
+            name=name,
+            count=count,
+            total_s=total,
+            mean_s=total / count if count else 0.0,
+            share=total / track_total[track] if track_total[track] > 0 else 0.0,
+        )
+        for (track, name), (count, total) in totals.items()
+    ]
+    summaries.sort(key=lambda s: (s.track, -s.total_s, s.name))
+    return summaries
+
+
+def format_trace_summary(events: list[TraceEvent]) -> str:
+    """The ``repro trace-summary`` table: one row per (track, phase)."""
+    rows = [
+        [
+            s.track,
+            s.name,
+            s.count,
+            f"{s.total_s * 1e3:.3f}",
+            f"{s.mean_s * 1e6:.1f}",
+            f"{100.0 * s.share:.1f}",
+        ]
+        for s in summarize_phases(events)
+    ]
+    return format_table(
+        ["track", "phase", "count", "total ms", "mean us", "share %"],
+        rows,
+        title=f"per-phase trace summary ({len(events)} spans)",
+    )

@@ -1,0 +1,363 @@
+"""Hierarchical span tracer with Chrome-trace/Perfetto and JSONL export.
+
+One :class:`Tracer` collects *span events* — named intervals with a start
+and a duration — from every layer of a run: wall-clock spans from the
+serving engine and the ADMM loops, and *modeled-time* spans from the GPU
+kernel simulator and the simulated MPI cluster, each on its own track so
+Perfetto renders them as separate processes.
+
+Design constraints (this sits inside the per-iteration hot loop):
+
+* **near-zero cost when disabled** — a disabled tracer is falsy, so hot
+  loops guard with ``if tracer:`` and pay one truthiness check;
+* **cheap when enabled** — the hot-loop entry point
+  :meth:`Tracer.add_complete` takes timestamps the caller already has
+  (the solver stamps ``perf_counter`` for its phase timers anyway) and
+  appends one tuple under a lock;
+* **bounded** — at most ``max_events`` events are kept; later events are
+  counted in :attr:`Tracer.dropped` instead of growing memory.
+
+Export formats:
+
+* :meth:`Tracer.to_chrome_trace` / :meth:`Tracer.save_chrome_trace` — the
+  Chrome ``traceEvents`` JSON that chrome://tracing and
+  https://ui.perfetto.dev open directly;
+* :meth:`Tracer.save_jsonl` — one event object per line, for streaming
+  ingestion and ``repro trace-summary``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Track (rendered as a Perfetto "process") for wall-clock spans.
+TRACK_WALL = "wall"
+#: Track for modeled GPU kernel time (the cost model / kernel simulator).
+TRACK_GPU = "gpu-modeled"
+#: Track for the simulated MPI cluster's virtual clocks (one tid per rank).
+TRACK_CLUSTER = "cluster-sim"
+
+_TRACK_PIDS = {TRACK_WALL: 1, TRACK_GPU: 2, TRACK_CLUSTER: 3}
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span on some track.
+
+    Timestamps are seconds relative to the tracer's origin (wall spans) or
+    to the virtual clock's zero (modeled spans).
+    """
+
+    name: str
+    start_s: float
+    dur_s: float
+    track: str = TRACK_WALL
+    tid: int = 0
+    cat: str = "wall"
+    args: dict | None = None
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.dur_s
+
+
+class _SpanContext:
+    """Context manager recording one wall-clock span (re-entrant per use)."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict | None):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = 0.0
+        self._parent = None
+
+    def __enter__(self) -> "_SpanContext":
+        tracer = self._tracer
+        self._parent = tracer._stack_top()
+        tracer._stack_push(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = time.perf_counter()
+        tracer = self._tracer
+        tracer._stack_pop()
+        args = self.args
+        if self._parent is not None:
+            args = dict(args) if args else {}
+            args["parent"] = self._parent
+        tracer._record(
+            (
+                self.name,
+                self._start - tracer._t0,
+                end - self._start,
+                TRACK_WALL,
+                threading.get_ident() % 100_000,
+                self.cat,
+                args,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class Tracer:
+    """Span collector; one per traced run.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every recording call is a no-op and the tracer is
+        falsy, so ``if tracer:`` guards cost one branch.
+    max_events:
+        Hard cap on retained events; the excess is counted in
+        :attr:`dropped`.
+    """
+
+    enabled: bool = True
+    max_events: int = 200_000
+    dropped: int = 0
+    # Events are stored as plain tuples (name, start_s, dur_s, track, tid,
+    # cat, args) — the hot loops record thousands per solve, and tuple
+    # packing is several times cheaper than dataclass construction.
+    _events: list[tuple] = field(default_factory=list, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _local: threading.local = field(default_factory=threading.local, repr=False)
+    _t0: float = field(default_factory=time.perf_counter, repr=False)
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # ------------------------------------------------------------------
+    # Per-thread span stack (for parent attribution of nested spans)
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _stack_top(self) -> str | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack_push(self, name: str) -> None:
+        self._stack().append(name)
+
+    def _stack_pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def current_span(self) -> str | None:
+        """Name of the innermost open span on this thread, if any."""
+        return self._stack_top() if self.enabled else None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(self, event: tuple) -> None:
+        # list.append is atomic under the GIL, so the hot path is lock-free;
+        # concurrent recorders can overshoot max_events by at most one event
+        # per thread, which is fine for a drop bound.
+        events = self._events
+        if len(events) < self.max_events:
+            events.append(event)
+        else:
+            with self._lock:
+                self.dropped += 1
+
+    def span(self, name: str, cat: str = "wall", **args):
+        """Context manager measuring a wall-clock span named ``name``.
+
+        Nested uses record their parent span's name in ``args["parent"]``.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, cat, args or None)
+
+    def add_complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "wall",
+        args: dict | None = None,
+    ) -> None:
+        """Record a wall span from ``perf_counter`` stamps the caller took.
+
+        This is the hot-loop entry point: the ADMM loops already stamp
+        ``time.perf_counter()`` around each phase for their phase timers,
+        so tracing a phase costs one call and one tuple append.
+        """
+        if not self.enabled:
+            return
+        self._record(
+            (
+                name,
+                start - self._t0,
+                end - start,
+                TRACK_WALL,
+                threading.get_ident() % 100_000,
+                cat,
+                args,
+            )
+        )
+
+    def add_modeled(
+        self,
+        name: str,
+        start_s: float,
+        dur_s: float,
+        track: str = TRACK_GPU,
+        tid: int = 0,
+        cat: str = "modeled",
+        args: dict | None = None,
+    ) -> None:
+        """Record a span on a virtual-clock track (modeled GPU time, the
+        simulated cluster's per-rank clocks, ...).
+
+        ``start_s`` is relative to that clock's zero, not to wall time.
+        """
+        if not self.enabled:
+            return
+        self._record((name, start_s, dur_s, track, tid, cat, args))
+
+    # ------------------------------------------------------------------
+    # Introspection & export
+    # ------------------------------------------------------------------
+    def events(self) -> list[SpanEvent]:
+        with self._lock:
+            raw = list(self._events)
+        return [
+            SpanEvent(
+                name=name,
+                start_s=start_s,
+                dur_s=dur_s,
+                track=track,
+                tid=tid,
+                cat=cat,
+                args=args,
+            )
+            for name, start_s, dur_s, track, tid, cat, args in raw
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    @staticmethod
+    def _track_pid(track: str) -> int:
+        return _TRACK_PIDS.get(track, 1 + len(_TRACK_PIDS))
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome ``traceEvents`` document (Perfetto-compatible).
+
+        Every span becomes a complete ("X") event with microsecond
+        timestamps; each track is labelled as a process via metadata
+        events so Perfetto shows "wall", "gpu-modeled" and "cluster-sim"
+        lanes.
+        """
+        events = self.events()
+        trace_events: list[dict] = []
+        seen_tracks: dict[str, set[int]] = {}
+        for ev in events:
+            pid = self._track_pid(ev.track)
+            record = {
+                "name": ev.name,
+                "ph": "X",
+                "ts": round(ev.start_s * 1e6, 3),
+                "dur": round(ev.dur_s * 1e6, 3),
+                "pid": pid,
+                "tid": ev.tid,
+                "cat": ev.cat,
+            }
+            if ev.args:
+                record["args"] = ev.args
+            trace_events.append(record)
+            seen_tracks.setdefault(ev.track, set()).add(ev.tid)
+        meta: list[dict] = []
+        for track, tids in sorted(seen_tracks.items()):
+            pid = self._track_pid(track)
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": track},
+                }
+            )
+            if track == TRACK_CLUSTER:
+                for tid in sorted(tids):
+                    meta.append(
+                        {
+                            "name": "thread_name",
+                            "ph": "M",
+                            "pid": pid,
+                            "tid": tid,
+                            "args": {"name": f"rank {tid}"},
+                        }
+                    )
+        return {
+            "traceEvents": meta + trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_events": self.dropped},
+        }
+
+    def save_chrome_trace(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+    def save_jsonl(self, path) -> None:
+        """One JSON object per line: the streaming-friendly sink."""
+        with open(path, "w") as fh:
+            for ev in self.events():
+                record = {
+                    "name": ev.name,
+                    "start_s": ev.start_s,
+                    "dur_s": ev.dur_s,
+                    "track": ev.track,
+                    "tid": ev.tid,
+                    "cat": ev.cat,
+                }
+                if ev.args:
+                    record["args"] = ev.args
+                fh.write(json.dumps(record) + "\n")
+
+    def save(self, path) -> None:
+        """Save as JSONL when ``path`` ends in ``.jsonl``, else Chrome JSON."""
+        if str(path).endswith(".jsonl"):
+            self.save_jsonl(path)
+        else:
+            self.save_chrome_trace(path)
+
+
+#: Shared disabled tracer: the default for every instrumented component, so
+#: un-traced runs pay only ``if tracer:`` checks.
+NULL_TRACER = Tracer(enabled=False)

@@ -4,13 +4,22 @@ The paper's evaluation (Figs. 1 and 3) reports the per-iteration wall time
 split into *global*, *local* and *dual* update segments.  :class:`PhaseTimer`
 accumulates named segments across many iterations and exposes per-segment
 totals, means and call counts.
+
+Since the telemetry subsystem landed, :class:`PhaseTimer` is a thin adapter
+over :class:`repro.telemetry.MetricsRegistry` — every phase is a bounded
+reservoir histogram named ``<prefix><phase>_s`` — and can optionally mirror
+each measured phase as a tracer span.  The public API (``totals``,
+``counts``, ``measure``, ``add``, ...) is unchanged, so the solvers,
+benchmark harness and Fig. 1/3 scripts work as before.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass
@@ -42,46 +51,81 @@ class Timer:
         self._start = None
 
 
-@dataclass
 class PhaseTimer:
     """Accumulates wall time under named phases (e.g. ``"global"``,
-    ``"local"``, ``"dual"``).
+    ``"local"``, ``"dual"``), backed by the telemetry metrics registry.
 
     Use :meth:`measure` as a context manager around each phase of an
     iteration; totals accumulate across iterations.
+
+    Parameters
+    ----------
+    registry:
+        Shared :class:`~repro.telemetry.MetricsRegistry` to record into;
+        a private one is created when omitted.
+    prefix:
+        Metric-name prefix, e.g. ``"serve.phase."`` — phase ``"build"``
+        becomes histogram ``serve.phase.build_s``.
+    tracer:
+        When given (and enabled), :meth:`measure` additionally emits a
+        tracer span named ``<prefix><phase>``.
     """
 
-    totals: dict[str, float] = field(default_factory=dict)
-    counts: dict[str, int] = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry | None = None, prefix: str = "", tracer=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self.tracer = tracer
+        self._phases: list[str] = []
+
+    def _histogram(self, phase: str):
+        hist = self.registry.histograms.get(f"{self.prefix}{phase}_s")
+        if hist is None:
+            hist = self.registry.histogram(f"{self.prefix}{phase}_s")
+            self._phases.append(phase)
+        return hist
 
     @contextmanager
     def measure(self, phase: str):
+        tracer = self.tracer
         start = time.perf_counter()
         try:
             yield
         finally:
-            dt = time.perf_counter() - start
-            self.totals[phase] = self.totals.get(phase, 0.0) + dt
-            self.counts[phase] = self.counts.get(phase, 0) + 1
+            end = time.perf_counter()
+            self._histogram(phase).observe(end - start)
+            if tracer:
+                tracer.add_complete(f"{self.prefix}{phase}", start, end)
 
     def add(self, phase: str, seconds: float, count: int = 1) -> None:
         """Record ``seconds`` of (possibly simulated) time under ``phase``."""
-        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
-        self.counts[phase] = self.counts.get(phase, 0) + count
+        self._histogram(phase).add_aggregate(seconds, count)
+
+    # ------------------------------------------------------------------
+    # Historical read API (dict views over the registry histograms)
+    # ------------------------------------------------------------------
+    @property
+    def totals(self) -> dict[str, float]:
+        return {p: self._histogram(p).total for p in list(self._phases)}
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {p: self._histogram(p).count for p in list(self._phases)}
 
     def total(self, phase: str) -> float:
-        return self.totals.get(phase, 0.0)
+        hist = self.registry.histograms.get(f"{self.prefix}{phase}_s")
+        return hist.total if hist is not None else 0.0
 
     def mean(self, phase: str) -> float:
-        n = self.counts.get(phase, 0)
-        return self.totals.get(phase, 0.0) / n if n else 0.0
+        hist = self.registry.histograms.get(f"{self.prefix}{phase}_s")
+        return hist.mean if hist is not None else 0.0
 
     def grand_total(self) -> float:
         return sum(self.totals.values())
 
     def reset(self) -> None:
-        self.totals.clear()
-        self.counts.clear()
+        for phase in self._phases:
+            del self.registry.histograms[f"{self.prefix}{phase}_s"]
+        self._phases.clear()
 
     def as_dict(self) -> dict[str, float]:
-        return dict(self.totals)
+        return self.totals

@@ -90,3 +90,45 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTracing:
+    def test_solve_trace_and_summary(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["solve", "--feeder", "ieee13", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "spans) written to" in out
+        assert trace.exists()
+
+        from repro.telemetry import load_trace_events
+
+        names = {e.name for e in load_trace_events(trace)}
+        assert {"admm.solve", "admm.global", "admm.local", "admm.dual"} <= names
+
+        assert main(["trace-summary", str(trace)]) == 0
+        table = capsys.readouterr().out
+        assert "admm.local" in table and "share %" in table
+
+    def test_serve_batch_trace_covers_all_layers(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "serve-batch", "--feeder", "ieee13", "--generate", "6",
+            "--seed", "0", "--max-batch", "3", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+
+        from repro.telemetry import TRACK_GPU, load_trace_events
+
+        events = load_trace_events(trace)
+        names = {e.name for e in events}
+        # Engine layer, ADMM loop layer, and kernel-sim layer all present.
+        assert {"serve.batch", "serve.solve", "serve.warm_lookup"} <= names
+        assert {"admm.global", "admm.local", "admm.dual", "admm.residual"} <= names
+        assert any(n.startswith("gpu.kernel.") for n in names)
+        assert any(e.track == TRACK_GPU for e in events)
+
+    def test_trace_summary_empty_trace_fails(self, tmp_path, capsys):
+        trace = tmp_path / "empty.json"
+        trace.write_text('{"traceEvents": []}')
+        assert main(["trace-summary", str(trace)]) == 2
+        assert "no spans" in capsys.readouterr().out.lower()

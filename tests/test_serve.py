@@ -331,3 +331,51 @@ class TestServeBatchCLI:
         assert report["metrics"]["served"] == 8
         assert report["metrics"]["cache_hit_rate"] > 0
         assert len(report["responses"]) == 8
+
+
+class TestServingMetrics:
+    def test_warm_start_savings_no_data(self):
+        from repro.serve.metrics import ServingMetrics
+
+        m = ServingMetrics()
+        assert m.warm_start_iteration_savings == 0.0
+        # Warm data without a cold baseline still yields no savings claim.
+        m.record_response("converged", 10, warm=True, latency_s=0.01)
+        assert m.warm_start_iteration_savings == 0.0
+
+    def test_warm_start_savings_zero_cold_mean(self):
+        from repro.serve.metrics import ServingMetrics
+
+        m = ServingMetrics()
+        m.record_response("converged", 0, warm=False, latency_s=0.01)
+        m.record_response("converged", 5, warm=True, latency_s=0.01)
+        assert m.warm_start_iteration_savings == 0.0
+
+    def test_warm_start_savings_basic(self):
+        from repro.serve.metrics import ServingMetrics
+
+        m = ServingMetrics()
+        m.record_response("converged", 100, warm=False, latency_s=0.01)
+        m.record_response("converged", 200, warm=False, latency_s=0.01)
+        m.record_response("converged", 30, warm=True, latency_s=0.01)
+        assert m.warm_start_iteration_savings == pytest.approx(1.0 - 30.0 / 150.0)
+
+    def test_latency_memory_is_bounded(self):
+        from repro.serve.metrics import RESERVOIR_SAMPLES, ServingMetrics
+
+        m = ServingMetrics()
+        n = RESERVOIR_SAMPLES + 500
+        for i in range(n):
+            m.record_response("converged", 50, warm=False, latency_s=1e-3 * (i + 1))
+        assert m.latencies_s.count == n  # exact count survives the cap
+        assert len(m.latencies_s) == RESERVOIR_SAMPLES  # sample is bounded
+        assert m.served == n
+        assert m.snapshot()["latency_p50_ms"] > 0.0
+
+    def test_snapshot_has_queue_wait(self):
+        from repro.serve.metrics import ServingMetrics
+
+        m = ServingMetrics()
+        m.record_queue_wait(0.002)
+        snap = m.snapshot()
+        assert snap["queue_wait_p50_ms"] == pytest.approx(2.0)
