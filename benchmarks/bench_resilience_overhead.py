@@ -1,0 +1,112 @@
+"""Resilience overhead: fault tolerance must be ~free on the clean path.
+
+The hardening of this repo (docs/RESILIENCE.md) adds three things to
+fault-free executions:
+
+* the **divergence guard** in the core loops — two scalar ``isfinite``
+  tests per iteration on residual norms already being computed;
+* the **fault-tolerant runner** around the distributed loop — periodic
+  consensus checkpoints plus the crash/staleness bookkeeping, with no
+  fault plan attached;
+* the serving engine's **injector/breaker gates** — one falsy check per
+  iteration and one breaker lookup per batch.
+
+This benchmark measures the first two on a fixed iteration budget of the
+123-bus instance (the third rides inside the serving throughput
+benchmark).  Target: <5% wall-clock overhead each.
+"""
+
+import time
+
+from _common import format_table, get_dec, report
+
+from repro.core import ADMMConfig, SolverFreeADMM
+from repro.parallel import CPU_CLUSTER_COMM, DistributedADMMRunner
+from repro.resilience import FaultTolerantADMMRunner
+
+INSTANCE = "ieee123"
+ITERATIONS = 400
+N_RANKS = 4
+CHECKPOINT_EVERY = 25
+REPEATS = 7
+
+#: Gate generously above the 5% target: best-of-N on a shared CI runner
+#: still jitters by a few percent, and the report shows the real number.
+FAIL_THRESHOLD = 0.15
+
+
+def _time_best(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run() -> dict:
+    dec = get_dec(INSTANCE)
+    guard_on = ADMMConfig(max_iter=ITERATIONS, record_history=False)
+    guard_off = ADMMConfig(
+        max_iter=ITERATIONS, record_history=False, divergence_guard=False
+    )
+
+    # Warm every cache (factorizations, buckets) before timing anything.
+    SolverFreeADMM(dec, guard_on).solve()
+    DistributedADMMRunner(dec, N_RANKS, CPU_CLUSTER_COMM, guard_on).solve()
+
+    serial_off = _time_best(lambda: SolverFreeADMM(dec, guard_off).solve())
+    serial_on = _time_best(lambda: SolverFreeADMM(dec, guard_on).solve())
+    plain = _time_best(
+        lambda: DistributedADMMRunner(dec, N_RANKS, CPU_CLUSTER_COMM, guard_on).solve()
+    )
+    ft = _time_best(
+        lambda: FaultTolerantADMMRunner(
+            dec, N_RANKS, CPU_CLUSTER_COMM, guard_on, checkpoint_every=CHECKPOINT_EVERY
+        ).solve()
+    )
+
+    guard_overhead = serial_on / serial_off - 1.0
+    ft_overhead = ft / plain - 1.0
+    rows = [
+        ["serial, guard off", f"{serial_off * 1e3:.2f}", "baseline"],
+        ["serial, guard on", f"{serial_on * 1e3:.2f}", f"{100 * guard_overhead:+.2f}%"],
+        ["distributed, plain", f"{plain * 1e3:.2f}", "baseline"],
+        [
+            f"distributed, fault-tolerant (ckpt every {CHECKPOINT_EVERY})",
+            f"{ft * 1e3:.2f}",
+            f"{100 * ft_overhead:+.2f}%",
+        ],
+    ]
+    text = format_table(
+        ["configuration", "wall ms", "overhead"],
+        rows,
+        title=(
+            f"clean-path resilience overhead ({INSTANCE}, {ITERATIONS} "
+            f"iterations, {N_RANKS} ranks, best of {REPEATS}; target <5%)"
+        ),
+    )
+    report("resilience_overhead", text)
+    return {
+        "guard_overhead": guard_overhead,
+        "ft_overhead": ft_overhead,
+    }
+
+
+def test_resilience_overhead_report(benchmark):
+    stats = run()
+    assert stats["guard_overhead"] < FAIL_THRESHOLD
+    assert stats["ft_overhead"] < FAIL_THRESHOLD
+    dec = get_dec(INSTANCE)
+    cfg = ADMMConfig(max_iter=50, record_history=False)
+    benchmark(
+        lambda: FaultTolerantADMMRunner(dec, N_RANKS, CPU_CLUSTER_COMM, cfg).solve()
+    )
+
+
+if __name__ == "__main__":
+    stats = run()
+    print(
+        f"divergence-guard overhead {100 * stats['guard_overhead']:+.2f}%  "
+        f"fault-tolerant runner overhead {100 * stats['ft_overhead']:+.2f}%"
+    )

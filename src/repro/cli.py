@@ -40,7 +40,7 @@ from repro.io.csv_feeder import save_network_csv
 from repro.network.analysis import solution_report
 from repro.reference import solve_reference
 from repro.telemetry import Tracer, format_trace_summary, load_trace_events
-from repro.utils import format_table
+from repro.utils import ConvergenceError, format_table
 
 
 def resolve_feeder(spec: str):
@@ -128,6 +128,11 @@ def cmd_solve(args) -> int:
 
         save_result(result, args.output)
         print(f"result written to {args.output}")
+    if args.require_convergence and not result.converged:
+        raise ConvergenceError(
+            f"solve did not converge within {result.iterations} iterations "
+            f"(pres {result.pres:.3e}, dres {result.dres:.3e})"
+        )
     return 0 if result.converged else 2
 
 
@@ -292,7 +297,13 @@ def cmd_serve_batch(args) -> int:
         with open(args.output, "w") as fh:
             json.dump(payload, fh, indent=1)
         print(f"serving report written to {args.output}")
-    failed = sum(1 for r in responses if r.status in ("error", "rejected"))
+    failed = sum(1 for r in responses if r.status in ("error", "rejected", "timeout"))
+    if args.require_convergence:
+        unconverged = sum(1 for r in responses if r.status != "converged")
+        if unconverged:
+            raise ConvergenceError(
+                f"{unconverged} of {len(responses)} scenarios did not converge"
+            )
     return 0 if failed == 0 else 2
 
 
@@ -339,6 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="capture a span trace (Chrome JSON; .jsonl extension for JSONL)",
     )
+    p.add_argument(
+        "--require-convergence",
+        action="store_true",
+        help="exit with an error (status 3) if the solve does not converge",
+    )
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("export", help="convert a feeder / dump the LP")
@@ -375,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="capture a span trace (Chrome JSON; .jsonl extension for JSONL)",
     )
+    p.add_argument(
+        "--require-convergence",
+        action="store_true",
+        help="exit with an error (status 3) if any scenario does not converge",
+    )
     p.set_defaults(func=cmd_serve_batch)
 
     p = sub.add_parser(
@@ -387,7 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConvergenceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

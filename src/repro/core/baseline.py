@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.config import ADMMConfig
 from repro.core.residuals import compute_residuals
 from repro.core.results import ADMMResult, IterationHistory
+from repro.core.solver_free import _raise_divergence
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.qp.interior_point import solve_qp_box_eq
 from repro.qp.projection import project_box_affine
@@ -127,34 +128,45 @@ class BenchmarkADMM:
         solve_span.__enter__()
         res = None
         iteration = 0
-        for iteration in range(1, budget + 1):
-            t0 = time.perf_counter()
-            x = self.global_update(z, lam, rho)
-            t1 = time.perf_counter()
-            bx = x[self.gcols]
-            z_prev = z
-            z = self.local_update(bx, lam, rho)
-            t2 = time.perf_counter()
-            lam = lam + rho * (bx - z)
-            t3 = time.perf_counter()
-            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-            t4 = time.perf_counter()
-            timers.add("global", t1 - t0)
-            timers.add("local", t2 - t1)
-            timers.add("dual", t3 - t2)
-            timers.add("residual", t4 - t3)
-            if tracer:
-                tracer.add_complete("admm.global", t0, t1, cat="admm")
-                tracer.add_complete("admm.local", t1, t2, cat="admm")
-                tracer.add_complete("admm.dual", t2, t3, cat="admm")
-                tracer.add_complete("admm.residual", t3, t4, cat="admm")
-            if history is not None:
-                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-            if callback is not None:
-                callback(iteration, x, z, lam, res)
-            if res.converged:
-                break
-        solve_span.__exit__(None, None, None)
+        best = None  # (iteration, x, z, lam, res) of the last finite state
+        try:
+            for iteration in range(1, budget + 1):
+                t0 = time.perf_counter()
+                x = self.global_update(z, lam, rho)
+                t1 = time.perf_counter()
+                bx = x[self.gcols]
+                z_prev = z
+                z = self.local_update(bx, lam, rho)
+                t2 = time.perf_counter()
+                lam = lam + rho * (bx - z)
+                t3 = time.perf_counter()
+                res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
+                t4 = time.perf_counter()
+                timers.add("global", t1 - t0)
+                timers.add("local", t2 - t1)
+                timers.add("dual", t3 - t2)
+                timers.add("residual", t4 - t3)
+                if tracer:
+                    tracer.add_complete("admm.global", t0, t1, cat="admm")
+                    tracer.add_complete("admm.local", t1, t2, cat="admm")
+                    tracer.add_complete("admm.dual", t2, t3, cat="admm")
+                    tracer.add_complete("admm.residual", t3, t4, cat="admm")
+                if cfg.divergence_guard:
+                    if res.finite:
+                        best = (iteration, x, z, lam, res)
+                    else:
+                        _raise_divergence(
+                            self.algorithm_name, iteration, res, best,
+                            self.c, history, timers,
+                        )
+                if history is not None:
+                    history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
+                if callback is not None:
+                    callback(iteration, x, z, lam, res)
+                if res.converged:
+                    break
+        finally:
+            solve_span.__exit__(None, None, None)
         converged = bool(res is not None and res.converged)
         if not converged and cfg.raise_on_max_iter:
             raise ConvergenceError(f"benchmark ADMM: no convergence in {budget} iterations")

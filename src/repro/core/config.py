@@ -36,6 +36,13 @@ class ADMMConfig:
         1.0 reproduces Algorithm 1 exactly; 1.5-1.8 is the classical
         acceleration range (an alternative to the paper's cited
         acceleration pointers, shipped as an ablation).
+    divergence_guard:
+        Raise :class:`~repro.utils.exceptions.DivergenceError` as soon as
+        an iterate goes non-finite (NaN/inf) instead of silently burning
+        the remaining budget.  The check is two scalar ``isfinite`` tests
+        per iteration on residual norms already being computed, so the
+        clean-path cost is negligible (benchmarked in
+        ``bench_resilience_overhead.py``).
     qp_tol:
         (Benchmark only) KKT tolerance of the per-component QP solves.
     """
@@ -44,6 +51,7 @@ class ADMMConfig:
     eps_rel: float = 1e-3
     max_iter: int = 100_000
     relaxation: float = 1.0
+    divergence_guard: bool = True
     record_history: bool = True
     raise_on_max_iter: bool = False
     residual_balancing: bool = False

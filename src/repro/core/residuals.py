@@ -31,6 +31,21 @@ class Residuals:
     def converged(self) -> bool:
         return self.pres <= self.eps_prim and self.dres <= self.eps_dual
 
+    @property
+    def finite(self) -> bool:
+        """False as soon as any iterate went non-finite.
+
+        The four scalars are norms over ``x``, ``z``, ``z_prev`` and
+        ``lam``, so a single NaN/inf anywhere in the state surfaces here —
+        the divergence guards check this instead of re-scanning the vectors.
+        """
+        return bool(
+            np.isfinite(self.pres)
+            and np.isfinite(self.dres)
+            and np.isfinite(self.eps_prim)
+            and np.isfinite(self.eps_dual)
+        )
+
 
 def compute_residuals(
     bx: np.ndarray,

@@ -30,8 +30,50 @@ from repro.core.results import ADMMResult, IterationHistory
 from repro.core.rho import ResidualBalancer
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.telemetry import NULL_TRACER
-from repro.utils.exceptions import ConvergenceError
+from repro.utils.exceptions import ConvergenceError, DivergenceError
 from repro.utils.timing import PhaseTimer
+
+
+def _raise_divergence(
+    algorithm: str,
+    iteration: int,
+    res,
+    best: tuple | None,
+    cost: np.ndarray,
+    history,
+    timers,
+) -> None:
+    """Build the best-so-far result and raise :class:`DivergenceError`.
+
+    ``best`` is ``(iteration, x, z, lam, res)`` from the last iteration whose
+    state was entirely finite, or ``None`` if divergence hit immediately.
+    Shared by the solver-free and benchmark ADMM loops.
+    """
+    result = None
+    if best is not None:
+        b_iter, b_x, b_z, b_lam, b_res = best
+        result = ADMMResult(
+            x=b_x,
+            z=b_z,
+            lam=b_lam,
+            objective=float(cost @ b_x),
+            iterations=b_iter,
+            converged=False,
+            pres=b_res.pres,
+            dres=b_res.dres,
+            history=history,
+            timers=timers.as_dict(),
+            algorithm=algorithm,
+        )
+    raise DivergenceError(
+        f"{algorithm}: non-finite iterate at iteration {iteration} "
+        f"(pres {res.pres}, dres {res.dres}); "
+        f"best finite state is iteration {best[0] if best else 0}",
+        iteration=iteration,
+        pres=res.pres,
+        dres=res.dres,
+        result=result,
+    )
 
 
 class SolverFreeADMM:
@@ -149,6 +191,9 @@ class SolverFreeADMM:
         ------
         ConvergenceError
             Only if ``config.raise_on_max_iter`` and the budget is exhausted.
+        DivergenceError
+            If ``config.divergence_guard`` and an iterate goes non-finite;
+            the error carries the best (last finite) state as ``result``.
         """
         cfg = self.config
         budget = cfg.max_iter if max_iter is None else max_iter
@@ -167,42 +212,55 @@ class SolverFreeADMM:
         solve_span.__enter__()
         res = None
         iteration = 0
-        for iteration in range(1, budget + 1):
-            t0 = time.perf_counter()
-            x = self.global_update(z, lam, rho)
-            t1 = time.perf_counter()
-            bx = x[self.gcols]
-            z_prev = z
-            # Over-relaxation (alpha = 1 is plain Algorithm 1).
-            bx_eff = bx if cfg.relaxation == 1.0 else (
-                cfg.relaxation * bx + (1.0 - cfg.relaxation) * z_prev
-            )
-            z = self.local_solver.solve(bx_eff + lam / rho)
-            t2 = time.perf_counter()
-            lam = lam + rho * (bx_eff - z)
-            t3 = time.perf_counter()
-            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-            t4 = time.perf_counter()
-            timers.add("global", t1 - t0)
-            timers.add("local", t2 - t1)
-            timers.add("dual", t3 - t2)
-            timers.add("residual", t4 - t3)
-            if tracer:
-                tracer.add_complete("admm.global", t0, t1, cat="admm")
-                tracer.add_complete("admm.local", t1, t2, cat="admm")
-                tracer.add_complete("admm.dual", t2, t3, cat="admm")
-                tracer.add_complete("admm.residual", t3, t4, cat="admm")
-            if history is not None:
-                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-            if callback is not None:
-                callback(iteration, x, z, lam, res)
-            if res.converged:
-                break
-            if cfg.residual_balancing:
-                rho = self._balancer.adapt(
-                    rho, iteration, res.pres, res.dres, res.eps_prim, res.eps_dual
+        best = None  # (iteration, x, z, lam, res) of the last finite state
+        try:
+            for iteration in range(1, budget + 1):
+                t0 = time.perf_counter()
+                x = self.global_update(z, lam, rho)
+                t1 = time.perf_counter()
+                bx = x[self.gcols]
+                z_prev = z
+                # Over-relaxation (alpha = 1 is plain Algorithm 1).
+                bx_eff = bx if cfg.relaxation == 1.0 else (
+                    cfg.relaxation * bx + (1.0 - cfg.relaxation) * z_prev
                 )
-        solve_span.__exit__(None, None, None)
+                z = self.local_solver.solve(bx_eff + lam / rho)
+                t2 = time.perf_counter()
+                lam = lam + rho * (bx_eff - z)
+                t3 = time.perf_counter()
+                res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
+                t4 = time.perf_counter()
+                timers.add("global", t1 - t0)
+                timers.add("local", t2 - t1)
+                timers.add("dual", t3 - t2)
+                timers.add("residual", t4 - t3)
+                if tracer:
+                    tracer.add_complete("admm.global", t0, t1, cat="admm")
+                    tracer.add_complete("admm.local", t1, t2, cat="admm")
+                    tracer.add_complete("admm.dual", t2, t3, cat="admm")
+                    tracer.add_complete("admm.residual", t3, t4, cat="admm")
+                if cfg.divergence_guard:
+                    if res.finite:
+                        # The loop never mutates x/z/lam in place, so keeping
+                        # references (no copies) is safe.
+                        best = (iteration, x, z, lam, res)
+                    else:
+                        _raise_divergence(
+                            self.algorithm_name, iteration, res, best,
+                            self.c, history, timers,
+                        )
+                if history is not None:
+                    history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
+                if callback is not None:
+                    callback(iteration, x, z, lam, res)
+                if res.converged:
+                    break
+                if cfg.residual_balancing:
+                    rho = self._balancer.adapt(
+                        rho, iteration, res.pres, res.dres, res.eps_prim, res.eps_dual
+                    )
+        finally:
+            solve_span.__exit__(None, None, None)
         converged = bool(res is not None and res.converged)
         if not converged and cfg.raise_on_max_iter:
             raise ConvergenceError(

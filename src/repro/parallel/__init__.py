@@ -2,7 +2,13 @@
 paper's scaling studies) and a real multi-process executor (for correctness
 of the embarrassingly parallel local update)."""
 
-from repro.parallel.assignment import assign_even, assign_greedy, rank_loads
+from repro.parallel.assignment import (
+    assign_even,
+    assign_greedy,
+    rank_loads,
+    rank_partition,
+    reassign_surviving,
+)
 from repro.parallel.cluster import LocalUpdateTiming, SimulatedCluster, sweep_ranks
 from repro.parallel.compression import (
     CompressedMessage,
@@ -36,6 +42,8 @@ __all__ = [
     "assign_even",
     "assign_greedy",
     "rank_loads",
+    "rank_partition",
+    "reassign_surviving",
     "ProcessParallelLocalUpdate",
     "SimComm",
     "DistributedADMMRunner",

@@ -55,3 +55,51 @@ def assign_greedy(costs: np.ndarray, n_ranks: int) -> np.ndarray:
 def rank_loads(costs: np.ndarray, owner: np.ndarray, n_ranks: int) -> np.ndarray:
     """Total cost per rank under an assignment."""
     return np.bincount(owner, weights=np.asarray(costs, dtype=float), minlength=n_ranks)
+
+
+def rank_partition(
+    offsets: np.ndarray, owner: np.ndarray, n_ranks: int
+) -> tuple[list[list[int]], list[np.ndarray]]:
+    """Per-rank component lists and stacked index arrays of an assignment.
+
+    ``offsets`` are the stacked slice boundaries of the decomposition
+    (``dec.offsets``); the returned ``slices[r]`` indexes rank r's entries
+    of any stacked local vector (``z``, ``lam``, ``B x``).  Shared by the
+    plain distributed runner and the fault-tolerant runner (which rebuilds
+    the partition after a failover).
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    components: list[list[int]] = [[] for _ in range(n_ranks)]
+    for s, r in enumerate(owner):
+        components[int(r)].append(s)
+    slices: list[np.ndarray] = []
+    for r in range(n_ranks):
+        if components[r]:
+            idx = np.concatenate(
+                [
+                    np.arange(offsets[s], offsets[s + 1], dtype=np.int64)
+                    for s in components[r]
+                ]
+            )
+        else:
+            idx = np.zeros(0, dtype=np.int64)
+        slices.append(idx)
+    return components, slices
+
+
+def reassign_surviving(n_components: int, survivors: list[int]) -> np.ndarray:
+    """Re-spread all components near-evenly over the surviving rank ids.
+
+    Recovery path of the fault-tolerant runner: after a rank failure the
+    dead rank's components must land on survivors.  The result reuses
+    :func:`assign_even` over the compacted survivor set and maps the
+    compact ids back to the actual (non-contiguous) surviving rank numbers,
+    so the returned array is a drop-in ``owner`` vector for the original
+    communicator size.
+    """
+    if not survivors:
+        raise ValueError("no surviving ranks to reassign components to")
+    survivors = sorted(survivors)
+    compact = assign_even(n_components, len(survivors))
+    mapping = np.asarray(survivors, dtype=np.int64)
+    return mapping[compact]

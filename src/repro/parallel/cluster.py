@@ -56,6 +56,11 @@ class SimulatedCluster:
         Interconnect model.
     strategy:
         "even" (the paper's near-even split) or "greedy" (cost-balanced).
+    slowdowns:
+        Optional per-rank compute multipliers (``>= 1``), modeling
+        stragglers in the bulk-synchronous timing: rank r's summed
+        component cost is scaled by ``slowdowns[r]`` before the max over
+        ranks.  ``None`` means a homogeneous cluster (historical behavior).
     """
 
     dec: DecomposedOPF
@@ -63,6 +68,7 @@ class SimulatedCluster:
     n_ranks: int
     comm: CommModel
     strategy: str = "even"
+    slowdowns: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         costs = np.asarray(self.component_costs, dtype=float)
@@ -76,6 +82,13 @@ class SimulatedCluster:
             raise ValueError(f"unknown assignment strategy {self.strategy!r}")
         self.effective_ranks = int(self.owner.max()) + 1
         self._costs = costs
+        if self.slowdowns is not None:
+            factors = np.asarray(self.slowdowns, dtype=float)
+            if factors.shape != (self.n_ranks,):
+                raise ValueError("slowdowns must have one entry per rank")
+            if np.any(factors < 1.0):
+                raise ValueError("slowdown factors must be >= 1")
+            self.slowdowns = factors[: self.effective_ranks]
 
     def per_rank_bytes(self) -> np.ndarray:
         """Wire bytes exchanged with each rank per iteration direction.
@@ -91,6 +104,8 @@ class SimulatedCluster:
     def local_update_timing(self) -> LocalUpdateTiming:
         """Simulated per-iteration local-update wall time on this layout."""
         loads = rank_loads(self._costs, self.owner, self.effective_ranks)
+        if self.slowdowns is not None:
+            loads = loads * self.slowdowns
         compute = float(loads.max())
         comm = (
             self.comm.gather_scatter_time(self.per_rank_bytes())

@@ -29,7 +29,7 @@ from repro.core.config import ADMMConfig
 from repro.core.residuals import compute_residuals
 from repro.core.results import ADMMResult, IterationHistory
 from repro.decomposition.decomposed import DecomposedOPF
-from repro.parallel.assignment import assign_even
+from repro.parallel.assignment import assign_even, rank_partition
 from repro.parallel.comm import CommModel
 from repro.parallel.mpi_sim import SimComm
 from repro.telemetry import TRACK_CLUSTER, NULL_TRACER
@@ -107,18 +107,9 @@ class DistributedADMMRunner:
         self.n_ranks = int(self.owner.max()) + 1
         self.comm_model = comm_model
         # Per-rank stacked index ranges (components are contiguous per rank).
-        self._rank_slices: list[np.ndarray] = []
-        self._rank_components: list[list[int]] = []
-        for r in range(self.n_ranks):
-            comps = [s for s in range(dec.n_components) if self.owner[s] == r]
-            idx = np.concatenate(
-                [
-                    np.arange(dec.offsets[s], dec.offsets[s + 1], dtype=np.int64)
-                    for s in comps
-                ]
-            )
-            self._rank_components.append(comps)
-            self._rank_slices.append(idx)
+        self._rank_components, self._rank_slices = rank_partition(
+            dec.offsets, self.owner, self.n_ranks
+        )
 
     def solve(self, max_iter: int | None = None) -> DistributedRunResult:
         """Run to the (16) criterion; returns result + simulated timeline."""

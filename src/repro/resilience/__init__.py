@@ -1,0 +1,69 @@
+"""Fault injection, fault-tolerant distributed execution, and serving
+resilience policies.
+
+Three layers, one theme — keep Algorithm 1 deterministic under failure:
+
+* :mod:`repro.resilience.faults` — seeded, declarative chaos plans
+  (:class:`FaultPlan`) applied by a :class:`FaultInjector`;
+* :mod:`repro.resilience.checkpoint` / :mod:`repro.resilience.runner` —
+  consensus-state checkpoints and the
+  :class:`FaultTolerantADMMRunner`, which survives rank crashes
+  (reassign + restore + replay, bit-identical to the serial trajectory)
+  and tolerates stragglers synchronously or with bounded staleness;
+* :mod:`repro.resilience.policy` — the serving-side knobs (retry with
+  deterministic backoff jitter, per-topology circuit breaker, graceful
+  degradation) consumed by :class:`repro.serve.ScenarioEngine`.
+
+See ``docs/RESILIENCE.md`` for the end-to-end story.
+"""
+
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore
+from repro.resilience.faults import (
+    ANY_TARGET,
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    NaNCorruption,
+    RankCrash,
+    StragglerSlowdown,
+)
+from repro.resilience.policy import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.resilience.runner import (
+    FailoverEvent,
+    FaultTolerantADMMRunner,
+    FaultTolerantRunResult,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "NULL_INJECTOR",
+    "ANY_TARGET",
+    "RankCrash",
+    "StragglerSlowdown",
+    "MessageDrop",
+    "MessageDelay",
+    "NaNCorruption",
+    "Checkpoint",
+    "CheckpointStore",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ResilienceConfig",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "FaultTolerantADMMRunner",
+    "FaultTolerantRunResult",
+    "FailoverEvent",
+]

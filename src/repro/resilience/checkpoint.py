@@ -1,0 +1,86 @@
+"""Periodic consensus-state checkpoints for recoverable distributed ADMM.
+
+One ADMM iteration is a pure function of the previous ``(z, lambda, rho)``
+— ``x`` is recomputed from them by the global update — so a checkpoint of
+``(iteration, z, lambda, rho)`` taken *after* iteration i is everything
+needed to replay from iteration i+1 bit-identically.  The store keeps a
+small ring of the most recent checkpoints (deep copies: the solver
+reassigns but the aggregator may reuse buffers) and counts saves/restores
+for the telemetry summary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Consensus state after ``iteration`` (replay resumes at +1)."""
+
+    iteration: int
+    z: np.ndarray
+    lam: np.ndarray
+    rho: float
+
+
+class CheckpointStore:
+    """Bounded ring of periodic consensus checkpoints.
+
+    Parameters
+    ----------
+    every:
+        Checkpoint period in iterations (``maybe_save`` fires on multiples).
+    keep:
+        Checkpoints retained; older ones roll off.
+    """
+
+    def __init__(self, every: int = 25, keep: int = 2):
+        if every < 1:
+            raise ValueError("checkpoint period must be at least 1")
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.every = int(every)
+        self._ring: deque[Checkpoint] = deque(maxlen=int(keep))
+        self.saves = 0
+        self.restores = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def save(self, iteration: int, z: np.ndarray, lam: np.ndarray, rho: float) -> None:
+        """Unconditionally snapshot (used for the iteration-0 baseline)."""
+        self._ring.append(
+            Checkpoint(iteration=int(iteration), z=z.copy(), lam=lam.copy(), rho=float(rho))
+        )
+        self.saves += 1
+
+    def maybe_save(
+        self, iteration: int, z: np.ndarray, lam: np.ndarray, rho: float
+    ) -> bool:
+        """Snapshot if ``iteration`` is on the period; returns whether it did."""
+        if iteration % self.every != 0:
+            return False
+        self.save(iteration, z, lam, rho)
+        return True
+
+    def latest(self) -> Checkpoint | None:
+        return self._ring[-1] if self._ring else None
+
+    def restore(self) -> Checkpoint:
+        """The newest checkpoint, counted as a restore.
+
+        Raises
+        ------
+        RuntimeError
+            If no checkpoint was ever saved (the runner always saves the
+            initial state, so this indicates a usage bug).
+        """
+        ckpt = self.latest()
+        if ckpt is None:
+            raise RuntimeError("no checkpoint available to restore")
+        self.restores += 1
+        return ckpt

@@ -1,0 +1,193 @@
+"""Serving-side resilience policies: retry, circuit breaking, degradation.
+
+These are the knobs of the hardened serving path (docs/RESILIENCE.md):
+
+* :class:`RetryPolicy` — exponential backoff with *deterministic* seeded
+  jitter: ``delay(attempt)`` is a pure function of ``(seed, attempt)``, so
+  chaos tests replay identical schedules while a fleet of real clients
+  still decorrelates.
+* :class:`CircuitBreaker` — per-topology failure isolation: after
+  ``failure_threshold`` consecutive solver failures the breaker opens and
+  requests on that topology are rejected instantly (no queue time, no
+  solve time) until ``recovery_s`` has passed; the first probe after that
+  half-opens the breaker.
+* :class:`ResilienceConfig` — the bundle the
+  :class:`~repro.serve.engine.ScenarioEngine` consumes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.utils.exceptions import ReproError
+
+#: Circuit breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(ReproError):
+    """A request was rejected because its topology's breaker is open.
+
+    Attributes
+    ----------
+    retry_after_s:
+        Seconds until the breaker will half-open and admit a probe.
+    """
+
+    def __init__(self, topology_key: str, retry_after_s: float):
+        self.topology_key = topology_key
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(
+            f"circuit open for topology {topology_key}; "
+            f"retry in {retry_after_s:.3f}s"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic seeded jitter.
+
+    ``delay(attempt)`` for attempt 1, 2, ... is
+    ``min(max_delay_s, base_delay_s * multiplier**(attempt-1))`` scaled by
+    a jitter factor in ``[1 - jitter, 1 + jitter]`` drawn from
+    ``Random(seed * 1000003 + attempt)`` — reproducible per (seed, attempt).
+    The default ``base_delay_s=0`` makes retries immediate, which is right
+    for an in-process engine; a networked deployment would raise it.
+    """
+
+    max_retries: int = 1
+    base_delay_s: float = 0.0
+    max_delay_s: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be nonnegative")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be nonnegative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1))
+        if raw == 0.0 or self.jitter == 0.0:
+            return raw
+        u = random.Random(self.seed * 1000003 + attempt).uniform(-1.0, 1.0)
+        return raw * (1.0 + self.jitter * u)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open recovery.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    recovery_s:
+        Open duration before a half-open probe is admitted.
+    clock:
+        Injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_s: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_s < 0:
+            raise ValueError("recovery_s must be nonnegative")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_s = float(recovery_s)
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_count = 0
+        self._opened_at = 0.0
+
+    def retry_after_s(self) -> float:
+        """Seconds until an open breaker admits a probe (0 when admitting)."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.recovery_s - self._clock())
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  Transitions open -> half-open
+        when the recovery window has elapsed."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and self.retry_after_s() <= 0.0:
+            self.state = HALF_OPEN
+        return self.state == HALF_OPEN
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Record one failure; returns True when this trips the breaker
+        open (including re-opening from half-open)."""
+        self.consecutive_failures += 1
+        tripping = (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if tripping and self.state != OPEN:
+            self.state = OPEN
+            self.opened_count += 1
+            self._opened_at = self._clock()
+            return True
+        if tripping:
+            self._opened_at = self._clock()
+        return False
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Hardened-serving knobs consumed by the scenario engine.
+
+    Attributes
+    ----------
+    retry:
+        Backoff policy for retryable solve failures (divergence).
+    breaker_failure_threshold / breaker_recovery_s:
+        Per-topology circuit breaker settings; a threshold of 0 disables
+        breaking entirely.
+    degrade_to_reference:
+        After retries are exhausted, fall back to the centralized
+        reference LP solve (HiGHS) for the failing scenario instead of
+        erroring — slower, unbatched, but exact.
+    deadline_check_every:
+        Iteration period of the in-solve deadline sweep.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 5
+    breaker_recovery_s: float = 30.0
+    degrade_to_reference: bool = True
+    deadline_check_every: int = 50
+
+    def __post_init__(self) -> None:
+        if self.breaker_failure_threshold < 0:
+            raise ValueError("breaker_failure_threshold must be nonnegative")
+        if self.breaker_recovery_s < 0:
+            raise ValueError("breaker_recovery_s must be nonnegative")
+        if self.deadline_check_every < 1:
+            raise ValueError("deadline_check_every must be at least 1")
+
+    @property
+    def breaker_enabled(self) -> bool:
+        return self.breaker_failure_threshold > 0

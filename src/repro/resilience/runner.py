@@ -1,0 +1,438 @@
+"""Fault-tolerant distributed execution of Algorithm 1.
+
+Extends the rank-explicit protocol of
+:class:`~repro.parallel.runner.DistributedADMMRunner` with the recovery
+machinery a production deployment needs:
+
+* **periodic consensus checkpoints** of ``(z, lambda, iteration)`` — one
+  ADMM iteration is a pure function of that state, so replay from a
+  checkpoint is bit-identical;
+* **fail-stop detection and failover**: a crashed rank (injected via
+  :class:`~repro.resilience.faults.FaultPlan` or emerging from dropped
+  messages) misses the gather; the aggregator charges a virtual-clock
+  detection deadline, removes the rank, re-spreads *all* components
+  near-evenly over the survivors (``reassign_surviving`` →
+  ``assign_even``), restores the latest checkpoint, re-syncs the
+  survivors, and resumes — the post-recovery iterate trajectory matches
+  the serial :class:`~repro.core.solver_free.SolverFreeADMM` exactly
+  (tested bit-identical);
+* **bounded-staleness straggler tolerance** (``staleness_bound > 0``): a
+  rank whose virtual clock has fallen behind the aggregator skips rounds
+  (its ``(z, lambda)`` slice is simply reused) instead of stalling the
+  barrier, for at most ``staleness_bound`` consecutive rounds before the
+  aggregator stalls to let it catch up.  Synchronous mode
+  (``staleness_bound = 0``, the default) preserves exact serial parity —
+  stragglers then cost time, never accuracy;
+* **divergence guard**: non-finite iterates raise
+  :class:`~repro.utils.exceptions.DivergenceError` immediately.
+
+Counters (``fault.injected``, ``rank.failover``, ``resilience.checkpoints``,
+``resilience.restores``, ``resilience.stale_rounds``) land on the runner's
+:class:`~repro.telemetry.MetricsRegistry`, whose snapshot is the telemetry
+summary the chaos example prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batch import BatchedLocalSolver
+from repro.core.config import ADMMConfig
+from repro.core.residuals import compute_residuals
+from repro.core.results import ADMMResult, IterationHistory
+from repro.decomposition.decomposed import DecomposedOPF
+from repro.parallel.assignment import assign_even, rank_partition, reassign_surviving
+from repro.parallel.comm import CommModel
+from repro.parallel.mpi_sim import SimComm
+from repro.parallel.runner import IterationTimeline
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.telemetry import TRACK_CLUSTER, NULL_TRACER
+from repro.telemetry.metrics import MetricsRegistry
+from repro.utils.exceptions import DivergenceError
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One detected rank failure and the recovery that followed."""
+
+    iteration: int  # iteration whose gather missed the rank
+    rank: int
+    resumed_from: int  # checkpoint iteration the run rewound to
+    survivors: tuple[int, ...]
+
+
+@dataclass
+class FaultTolerantRunResult:
+    """Outcome of a fault-tolerant distributed solve."""
+
+    result: ADMMResult
+    timeline: IterationTimeline
+    n_ranks: int
+    simulated_total_s: float
+    failovers: list[FailoverEvent] = field(default_factory=list)
+    stale_rounds: int = 0
+    checkpoints_saved: int = 0
+    restores: int = 0
+    metrics: MetricsRegistry | None = None
+
+    @property
+    def survivors(self) -> tuple[int, ...]:
+        return self.failovers[-1].survivors if self.failovers else tuple(
+            range(self.n_ranks)
+        )
+
+
+def _truncate_history(history: IterationHistory | None, n: int) -> None:
+    """Drop replayed-over entries so the log matches the final trajectory."""
+    if history is None:
+        return
+    for name in ("pres", "dres", "eps_prim", "eps_dual", "rho"):
+        del getattr(history, name)[n:]
+
+
+class FaultTolerantADMMRunner:
+    """Algorithm 1 over simulated MPI with checkpoint/restart failover.
+
+    Parameters
+    ----------
+    dec:
+        The decomposed model.
+    n_ranks:
+        Worker rank count; rank 0 doubles as the aggregator.  Aggregator
+        failover is out of scope — a plan that crashes rank 0 is rejected.
+    comm_model:
+        Interconnect model for all messages.
+    config:
+        ADMM settings (plain Algorithm 1 only, like the plain runner).
+    fault_plan:
+        Optional seeded :class:`FaultPlan` to inject during the run.
+    checkpoint_every:
+        Consensus-checkpoint period in iterations.
+    failure_deadline_s:
+        Virtual-clock seconds the aggregator waits on a silent rank before
+        declaring it dead (charged to the aggregator's clock per event).
+    staleness_bound:
+        0 (default) = synchronous barriers, exact serial parity; k > 0 =
+        tolerate up to k consecutive skipped rounds per lagging rank.
+    stale_slack_s:
+        How far (virtual seconds) a rank's clock may trail the
+        aggregator's before it is considered lagging in stale mode.
+    metrics, tracer:
+        Optional telemetry sinks (fresh ones are created if omitted).
+    """
+
+    def __init__(
+        self,
+        dec: DecomposedOPF,
+        n_ranks: int,
+        comm_model: CommModel,
+        config: ADMMConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_every: int = 25,
+        failure_deadline_s: float = 1e-3,
+        staleness_bound: int = 0,
+        stale_slack_s: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+    ):
+        self.dec = dec
+        self.config = config or ADMMConfig()
+        if self.config.relaxation != 1.0 or self.config.residual_balancing:
+            raise ValueError("the fault-tolerant runner executes plain Algorithm 1 only")
+        if staleness_bound < 0:
+            raise ValueError("staleness_bound must be nonnegative")
+        if failure_deadline_s < 0:
+            raise ValueError("failure_deadline_s must be nonnegative")
+        self.plan = fault_plan if fault_plan is not None else FaultPlan()
+        if 0 in self.plan.crashed_ranks():
+            raise ValueError(
+                "rank 0 is the aggregator; aggregator failover is not supported"
+            )
+        self.local_solver = BatchedLocalSolver.from_decomposition(dec)
+        owner = assign_even(dec.n_components, n_ranks)
+        self.n_ranks = int(owner.max()) + 1
+        if self.plan.crashed_ranks() - set(range(self.n_ranks)):
+            raise ValueError("fault plan targets ranks beyond the communicator")
+        self.comm_model = comm_model
+        self.checkpoint_every = int(checkpoint_every)
+        self.failure_deadline_s = float(failure_deadline_s)
+        self.staleness_bound = int(staleness_bound)
+        self.stale_slack_s = float(stale_slack_s)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._initial_owner = owner
+
+    # ------------------------------------------------------------------
+    def _compute_rank(
+        self, comm, r, comps_r, bx_r, lam_r, rho, injector
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """One rank's local + dual updates, charged to its virtual clock
+        (scaled by any active straggler slowdown)."""
+        t0 = time.perf_counter()
+        z_r = np.empty(bx_r.size)
+        pos = 0
+        for s in comps_r:
+            n_s = int(self.dec.offsets[s + 1] - self.dec.offsets[s])
+            v_s = bx_r[pos : pos + n_s] + lam_r[pos : pos + n_s] / rho
+            z_r[pos : pos + n_s] = self.local_solver.solve_one(s, v_s)
+            pos += n_s
+        lam_out = lam_r + rho * (bx_r - z_r)
+        dt = (time.perf_counter() - t0) * injector.slowdown(r)
+        comm.advance(r, dt)
+        injector.corrupt(z_r, f"rank:{r}")
+        return z_r, lam_out, dt
+
+    def solve(self, max_iter: int | None = None) -> FaultTolerantRunResult:
+        """Run to the (16) criterion with failover; returns result + events.
+
+        Raises
+        ------
+        DivergenceError
+            If ``config.divergence_guard`` and an iterate goes non-finite
+            (e.g. under injected NaN corruption with no surviving replica).
+        """
+        cfg = self.config
+        budget = cfg.max_iter if max_iter is None else max_iter
+        dec = self.dec
+        rho = cfg.rho
+        injector = FaultInjector(self.plan, self.metrics)
+        comm = SimComm(self.n_ranks, self.comm_model, injector=injector)
+        failover_counter = self.metrics.counter("rank.failover")
+        stale_counter = self.metrics.counter("resilience.stale_rounds")
+        ckpt_counter = self.metrics.counter("resilience.checkpoints")
+        restore_counter = self.metrics.counter("resilience.restores")
+
+        alive = list(range(self.n_ranks))
+        owner = self._initial_owner
+        comps, slices = rank_partition(dec.offsets, owner, self.n_ranks)
+
+        x = dec.lp.initial_point()
+        z = x[dec.global_cols].copy()
+        lam = np.zeros(dec.n_local)
+        history = IterationHistory() if cfg.record_history else None
+        timeline = IterationTimeline()
+        ckpts = CheckpointStore(every=self.checkpoint_every)
+        ckpts.save(0, z, lam, rho)
+        ckpt_counter.inc()
+        staleness = np.zeros(self.n_ranks, dtype=np.int64)
+        # Stale-iterate mode: contributions computed but not yet delivered
+        # (their rank's clock ran ahead of the aggregator's).
+        pending: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        failovers: list[FailoverEvent] = []
+        stale_rounds = 0
+        tracer = self.tracer
+
+        res = None
+        iteration = 0
+        while iteration < budget:
+            iteration += 1
+            injector.begin_iteration(iteration)
+            t_start = comm.elapsed()
+            crashed_now: list[int] = []
+
+            # Stale mode: harvest deferred contributions whose rank has
+            # caught up to the aggregator's clock; a rank at the staleness
+            # bound forces the aggregator to stall for it instead.
+            if pending:
+                harvest_z: dict[int, np.ndarray] = {}
+                harvest_lam: dict[int, np.ndarray] = {}
+                for r in sorted(pending):
+                    if injector.crashed(r):
+                        pending.pop(r)
+                        crashed_now.append(r)
+                        continue
+                    ready = comm.clocks[r] - comm.clocks[0] <= self.stale_slack_s
+                    if not ready and staleness[r] >= self.staleness_bound:
+                        comm.barrier([0, r])  # forced sync: aggregator stalls
+                        ready = True
+                    if ready:
+                        z_r, lam_r = pending.pop(r)
+                        harvest_z[r] = z_r
+                        harvest_lam[r] = lam_r
+                    else:
+                        staleness[r] += 1
+                        stale_rounds += 1
+                        stale_counter.inc()
+                if harvest_z:
+                    z_h = comm.gatherv(0, harvest_z, partial=True)
+                    lam_h = comm.gatherv(0, harvest_lam, partial=True)
+                    z = z.copy()
+                    lam = lam.copy()
+                    for r in harvest_z:
+                        if z_h[r] is not None and lam_h[r] is not None:
+                            z[slices[r]] = z_h[r]
+                            lam[slices[r]] = lam_h[r]
+                        staleness[r] = 0
+
+            # Aggregator: global update (13)/(18).
+            t0 = time.perf_counter()
+            scatter = np.bincount(
+                dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars
+            )
+            xhat = (scatter - dec.lp.cost / rho) / dec.counts
+            x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
+            bx = x[dec.global_cols]
+            comm.advance(0, time.perf_counter() - t0)
+
+            # Participation: every live rank that is not still busy with a
+            # deferred (stale) contribution.
+            participants = [r for r in alive if r not in pending]
+
+            # Scatter each participant's B_s x slice (server -> agents).
+            parts: list[np.ndarray | None] = [None] * self.n_ranks
+            for r in participants:
+                parts[r] = bx[slices[r]]
+            received = comm.scatterv(0, parts)
+
+            # Agents: local + dual updates on their own clocks.  A crashed
+            # rank computes nothing; a rank whose scatter message was
+            # dropped has nothing to compute from (transient stale round).
+            compute_times = []
+            z_parts: dict[int, np.ndarray] = {}
+            lam_parts: dict[int, np.ndarray] = {}
+            for r in participants:
+                if r != 0 and injector.crashed(r):
+                    crashed_now.append(r)
+                    continue
+                if received[r] is None:
+                    stale_rounds += 1
+                    stale_counter.inc()
+                    continue
+                z_r, lam_r, dt = self._compute_rank(
+                    comm, r, comps[r], received[r], lam[slices[r]], rho, injector
+                )
+                compute_times.append(dt)
+                z_parts[r] = z_r
+                lam_parts[r] = lam_r
+
+            # Stale mode: defer contributions whose rank ran past the
+            # aggregator's clock — the aggregator proceeds without waiting
+            # and applies them in a later round (bounded staleness).
+            if self.staleness_bound > 0:
+                for r in list(z_parts):
+                    if r != 0 and comm.clocks[r] - comm.clocks[0] > self.stale_slack_s:
+                        pending[r] = (z_parts.pop(r), lam_parts.pop(r))
+                        staleness[r] = 1
+                        stale_rounds += 1
+                        stale_counter.inc()
+
+            # Gather (z, lambda) back; survivors only.
+            z_back = comm.gatherv(0, z_parts, partial=True)
+            lam_back = comm.gatherv(0, lam_parts, partial=True)
+
+            if crashed_now:
+                # Failure detection: the aggregator's gather deadline
+                # expires once per event, then recovery runs.
+                clock0 = float(comm.clocks[0])
+                comm.advance(0, self.failure_deadline_s)
+                if tracer:
+                    tracer.add_modeled(
+                        "resilience.detect_failure",
+                        clock0,
+                        self.failure_deadline_s,
+                        track=TRACK_CLUSTER,
+                        tid=0,
+                        cat="resilience",
+                    )
+                for r in crashed_now:
+                    alive.remove(r)
+                failover_counter.inc(len(crashed_now))
+                ckpt = ckpts.restore()
+                restore_counter.inc()
+                z = ckpt.z.copy()
+                lam = ckpt.lam.copy()
+                _truncate_history(history, ckpt.iteration)
+                owner = reassign_surviving(dec.n_components, alive)
+                comps, slices = rank_partition(dec.offsets, owner, self.n_ranks)
+                for r in crashed_now:
+                    failovers.append(
+                        FailoverEvent(
+                            iteration=iteration,
+                            rank=r,
+                            resumed_from=ckpt.iteration,
+                            survivors=tuple(alive),
+                        )
+                    )
+                # Re-sync survivors from the checkpoint (state re-scatter).
+                resync: list[np.ndarray | None] = [None] * self.n_ranks
+                for r in alive:
+                    if r != 0:
+                        resync[r] = np.concatenate([z[slices[r]], lam[slices[r]]])
+                comm.scatterv(0, resync)
+                comm.barrier(alive)
+                staleness[:] = 0
+                pending.clear()  # deferred pre-crash contributions are void
+                iteration = ckpt.iteration
+                continue
+
+            # Apply received updates; skipped/stale slices stay put.
+            z_prev = z
+            z = z.copy()
+            lam = lam.copy()
+            for r, z_r in z_parts.items():
+                if z_back[r] is None or lam_back[r] is None:
+                    stale_rounds += 1  # gather lost on the wire
+                    stale_counter.inc()
+                    continue
+                z[slices[r]] = z_back[r]
+                lam[slices[r]] = lam_back[r]
+
+            # Aggregator: residuals and termination.
+            t0 = time.perf_counter()
+            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
+            comm.advance(0, time.perf_counter() - t0)
+            if self.staleness_bound == 0:
+                comm.barrier(alive)
+
+            if cfg.divergence_guard and not res.finite:
+                raise DivergenceError(
+                    f"fault-tolerant runner: non-finite iterate at iteration "
+                    f"{iteration} (pres {res.pres}, dres {res.dres})",
+                    iteration=iteration,
+                    pres=res.pres,
+                    dres=res.dres,
+                )
+
+            timeline.append(
+                comm.elapsed() - t_start,
+                float(max(compute_times)) if compute_times else 0.0,
+            )
+            if history is not None:
+                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
+            if res.converged:
+                break
+            if ckpts.maybe_save(iteration, z, lam, rho):
+                ckpt_counter.inc()
+
+        converged = bool(res is not None and res.converged)
+        result = ADMMResult(
+            x=x,
+            z=z,
+            lam=lam,
+            objective=float(dec.lp.cost @ x),
+            iterations=iteration,
+            converged=converged,
+            pres=res.pres if res else float("inf"),
+            dres=res.dres if res else float("inf"),
+            history=history,
+            timers={"simulated_total": comm.elapsed()},
+            algorithm=(
+                f"solver-free ADMM (fault-tolerant simulated MPI, "
+                f"{self.n_ranks} ranks, {len(failovers)} failovers)"
+            ),
+        )
+        return FaultTolerantRunResult(
+            result=result,
+            timeline=timeline,
+            n_ranks=self.n_ranks,
+            simulated_total_s=comm.elapsed(),
+            failovers=failovers,
+            stale_rounds=stale_rounds,
+            checkpoints_saved=ckpts.saves,
+            restores=ckpts.restores,
+            metrics=self.metrics,
+        )

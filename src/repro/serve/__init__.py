@@ -13,6 +13,7 @@ from repro.serve.requests import (
     STATUS_ERROR,
     STATUS_ITERATION_LIMIT,
     STATUS_REJECTED,
+    STATUS_TIMEOUT,
     OPFRequest,
     OPFResponse,
     SolveOptions,
@@ -32,6 +33,7 @@ __all__ = [
     "STATUS_CONVERGED",
     "STATUS_ITERATION_LIMIT",
     "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
     "STATUS_ERROR",
     "load_requests_json",
     "save_requests_json",

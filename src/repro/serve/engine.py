@@ -42,12 +42,16 @@ from repro.gpu.costmodel import iteration_times_from_sizes
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.kernel_sim import simulate_local_update
 from repro.io.resolve import resolve_feeder
+from repro.reference import solve_reference
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policy import CircuitBreaker, CircuitOpenError, ResilienceConfig
 from repro.serve.metrics import ServingMetrics
 from repro.serve.requests import (
     STATUS_CONVERGED,
     STATUS_ERROR,
     STATUS_ITERATION_LIMIT,
     STATUS_REJECTED,
+    STATUS_TIMEOUT,
     OPFRequest,
     OPFResponse,
 )
@@ -71,7 +75,12 @@ class _ScenarioComponent:
 
 @dataclass
 class ScenarioProblem:
-    """A fully assembled scenario: perturbed LP + per-component systems."""
+    """A fully assembled scenario: perturbed LP + per-component systems.
+
+    ``lp`` is retained for the graceful-degradation path: when the batched
+    ADMM solve of this scenario diverges and retries run out, the engine
+    falls back to a centralized reference solve of exactly this LP.
+    """
 
     request: OPFRequest
     cost: np.ndarray
@@ -81,6 +90,7 @@ class ScenarioProblem:
     components: list[_ScenarioComponent]
     projections: list[tuple[np.ndarray, np.ndarray]]
     signature: np.ndarray
+    lp: object = None
 
 
 class TopologyPlan:
@@ -199,6 +209,7 @@ class TopologyPlan:
             components=components,
             projections=projections,
             signature=self._signature(net),
+            lp=lp,
         )
 
 
@@ -207,6 +218,11 @@ class _BatchOutcome:
     responses: list[OPFResponse]
     iterations_run: int
     solve_seconds: float
+    diverged: list[int] = None  # indices into the problems list
+
+    def __post_init__(self) -> None:
+        if self.diverged is None:
+            self.diverged = []
 
 
 class ScenarioEngine:
@@ -230,6 +246,20 @@ class ScenarioEngine:
         per-iteration phases) and each batch additionally emits modeled
         GPU kernel spans on the ``gpu-modeled`` track via the kernel
         simulator.
+    resilience:
+        Hardening knobs (:class:`repro.resilience.ResilienceConfig`):
+        retry-with-backoff for diverged scenarios, per-topology circuit
+        breaker, graceful degradation to the reference LP, and the
+        in-solve deadline sweep period.  Defaults to enabled with the
+        standard settings; pass a config with
+        ``breaker_failure_threshold=0`` / ``degrade_to_reference=False``
+        to disable pieces.
+    fault_plan:
+        Optional seeded :class:`repro.resilience.FaultPlan` for chaos
+        testing: ``NaNCorruption`` specs targeting a request id (or
+        ``ANY_TARGET``) poison that scenario's local iterate mid-solve,
+        exercising the divergence-guard/retry/degrade path
+        deterministically.
 
     Examples
     --------
@@ -249,6 +279,8 @@ class ScenarioEngine:
         cache_capacity: int = 64,
         device: DeviceSpec = A100,
         tracer=None,
+        resilience: ResilienceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.queue = BoundedRequestQueue(maxsize=queue_size)
         self.scheduler = BatchScheduler(self.queue, max_batch=max_batch)
@@ -256,11 +288,15 @@ class ScenarioEngine:
         self.metrics = ServingMetrics(max_batch=max_batch)
         self.device = device
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.injector = FaultInjector(fault_plan, self.metrics.registry)
+        self.breakers: dict[str, CircuitBreaker] = {}
         self.plans: dict[str, TopologyPlan] = {}
         self.timers = PhaseTimer(
             registry=self.metrics.registry, prefix="serve.phase.", tracer=self.tracer
         )
         self._submit_times: dict[int, float] = {}
+        self._batch_latency_ewma_s = 0.0
         self._modeled_clock_s = 0.0  # virtual-clock cursor of the GPU track
 
     # ------------------------------------------------------------------
@@ -275,15 +311,21 @@ class ScenarioEngine:
 
     def submit(self, request: OPFRequest) -> OPFResponse | None:
         """Enqueue a request; returns a ``rejected`` response when the
-        queue is full (backpressure), ``None`` when accepted."""
+        queue is full (backpressure), ``None`` when accepted.
+
+        The rejection's ``error`` string comes from a structured
+        :class:`QueueFullError` whose ``queue_depth`` / ``maxsize`` /
+        ``retry_after_s`` also land on the serving gauges."""
         try:
             self.queue.submit(request)
         except QueueFullError as exc:
             self.metrics.record_submit(accepted=False)
+            self.metrics.record_backpressure(exc.queue_depth, exc.retry_after_s)
             return OPFResponse(
                 request_id=request.request_id, status=STATUS_REJECTED, error=str(exc)
             )
         self.metrics.record_submit(accepted=True)
+        self.metrics.record_backpressure(len(self.queue), self.queue.retry_after_hint)
         self._submit_times[id(request)] = time.perf_counter()
         return None
 
@@ -297,7 +339,18 @@ class ScenarioEngine:
                     break
                 self.metrics.record_batch(len(batch))
                 with self.tracer.span("serve.batch", cat="serve", size=len(batch)):
-                    responses.extend(self._serve_batch(batch))
+                    with Timer() as batch_wall:
+                        responses.extend(self._serve_batch(batch))
+                # Keep the backpressure hint fresh: an EWMA of batch wall
+                # time is roughly "when will the queue drain one batch".
+                ewma = self._batch_latency_ewma_s
+                self._batch_latency_ewma_s = (
+                    batch_wall.elapsed if ewma == 0.0 else 0.8 * ewma + 0.2 * batch_wall.elapsed
+                )
+                self.queue.retry_after_hint = self._batch_latency_ewma_s
+                self.metrics.record_backpressure(
+                    len(self.queue), self._batch_latency_ewma_s
+                )
         self.metrics.wall_seconds += wall.elapsed
         return responses
 
@@ -329,10 +382,38 @@ class ScenarioEngine:
             t_submit = self._submit_times.get(id(req))
             if t_submit is not None:
                 self.metrics.record_queue_wait(now - t_submit)
+
+        # Circuit breaker gate: an open breaker fails the whole batch fast
+        # (no build, no solve) with a machine-readable retry hint.
+        key = batch[0].topology_key()
+        breaker = self._breaker_for(key)
+        if breaker is not None and not breaker.allow():
+            exc = CircuitOpenError(key, breaker.retry_after_s())
+            responses = []
+            for req in batch:
+                self.metrics.record_breaker_rejection()
+                resp = OPFResponse(
+                    request_id=req.request_id, status=STATUS_REJECTED, error=str(exc)
+                )
+                resp.latency_seconds = self._latency(req)
+                self.metrics.record_response(resp.status, 0, False, resp.latency_seconds)
+                responses.append(resp)
+            return responses
+
         plan = self.plan_for(batch[0])
         problems: list[ScenarioProblem] = []
         responses: list[OPFResponse] = []
         for req in batch:
+            if self._deadline_expired(req):
+                resp = OPFResponse(
+                    request_id=req.request_id,
+                    status=STATUS_TIMEOUT,
+                    error=f"deadline_s={req.options.deadline_s} expired in queue",
+                )
+                resp.latency_seconds = self._latency(req)
+                self.metrics.record_response(resp.status, 0, False, resp.latency_seconds)
+                responses.append(resp)
+                continue
             try:
                 with self.timers.measure("build"):
                     problems.append(plan.build_scenario(req))
@@ -345,10 +426,105 @@ class ScenarioEngine:
                 responses.append(resp)
         if not problems:
             return responses
+        self.injector.begin_attempt(0)
         outcome = self._solve_stacked(plan, problems)
         self.metrics.solve_seconds += outcome.solve_seconds
         responses.extend(outcome.responses)
+
+        # Diverged scenarios get retried individually (backoff per policy),
+        # then degraded to the exact reference LP or errored out — the rest
+        # of the batch is untouched.
+        failed: list[int] = []
+        if outcome.diverged:
+            retried, failed = self._retry_or_degrade(plan, problems, outcome.diverged)
+            responses.extend(retried)
+
+        if breaker is not None:
+            if failed:
+                for _ in failed:
+                    if breaker.record_failure():
+                        self.metrics.record_breaker_open()
+            else:
+                breaker.record_success()
         return responses
+
+    def _breaker_for(self, key: str) -> CircuitBreaker | None:
+        if not self.resilience.breaker_enabled:
+            return None
+        breaker = self.breakers.get(key)
+        if breaker is None:
+            breaker = self.breakers[key] = CircuitBreaker(
+                failure_threshold=self.resilience.breaker_failure_threshold,
+                recovery_s=self.resilience.breaker_recovery_s,
+            )
+        return breaker
+
+    def _deadline_expired(self, request: OPFRequest) -> bool:
+        deadline = request.options.deadline_s
+        if deadline is None:
+            return False
+        t0 = self._submit_times.get(id(request))
+        return t0 is not None and time.perf_counter() - t0 > deadline
+
+    def _retry_or_degrade(
+        self, plan: TopologyPlan, problems: list[ScenarioProblem], diverged: list[int]
+    ) -> tuple[list[OPFResponse], list[int]]:
+        """Re-solve each diverged scenario alone (clean attempt, backoff per
+        the retry policy); degrade survivors of exhausted retries to the
+        reference LP.  Returns (responses, indices that never recovered)."""
+        policy = self.resilience.retry
+        responses: list[OPFResponse] = []
+        still_failed: list[int] = []
+        for k in diverged:
+            p = problems[k]
+            self.metrics.record_divergent()
+            resp = None
+            attempts = 1
+            for attempt in range(1, policy.max_retries + 1):
+                attempts += 1
+                self.metrics.record_retry()
+                delay = policy.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                self.injector.begin_attempt(attempt)
+                with self.tracer.span("serve.retry", cat="serve", attempt=attempt):
+                    retry_out = self._solve_stacked(plan, [p])
+                self.metrics.solve_seconds += retry_out.solve_seconds
+                if not retry_out.diverged:
+                    resp = retry_out.responses[0]
+                    resp.attempts = attempts
+                    break
+            if resp is None:
+                still_failed.append(k)
+                resp = self._degrade_or_error(p, attempts)
+            responses.append(resp)
+        self.injector.begin_attempt(0)
+        return responses, still_failed
+
+    def _degrade_or_error(self, p: ScenarioProblem, attempts: int) -> OPFResponse:
+        req = p.request
+        if self.resilience.degrade_to_reference and p.lp is not None:
+            with self.timers.measure("degrade"):
+                ref = solve_reference(p.lp)
+            self.metrics.record_degraded()
+            resp = OPFResponse(
+                request_id=req.request_id,
+                status=STATUS_CONVERGED,
+                objective=float(ref.objective),
+                iterations=0,
+                degraded=True,
+                attempts=attempts,
+            )
+        else:
+            resp = OPFResponse(
+                request_id=req.request_id,
+                status=STATUS_ERROR,
+                error=f"batched solve diverged after {attempts} attempts",
+                attempts=attempts,
+            )
+        resp.latency_seconds = self._latency(req)
+        self.metrics.record_response(resp.status, 0, False, resp.latency_seconds)
+        return resp
 
     def _latency(self, request: OPFRequest) -> float:
         t0 = self._submit_times.pop(id(request), None)
@@ -445,6 +621,18 @@ class ScenarioEngine:
         snap_lam = lam.copy()
         pres_at = np.full(k_n, np.inf)
         dres_at = np.full(k_n, np.inf)
+        diverged_mask = np.zeros(k_n, dtype=bool)
+        timed_out = np.zeros(k_n, dtype=bool)
+        # Per-scenario absolute deadlines (submit-relative when known).
+        deadline_at = np.full(k_n, np.inf)
+        for k, p in enumerate(problems):
+            d = p.request.options.deadline_s
+            if d is not None:
+                t0 = self._submit_times.get(id(p.request))
+                deadline_at[k] = (t0 if t0 is not None else time.perf_counter()) + d
+        has_deadline = bool(np.isfinite(deadline_at).any())
+        check_every = self.resilience.deadline_check_every
+        injector = self.injector if self.injector else None
         max_budget = int(budget_k.max())
         iteration = 0
         trc = self.tracer
@@ -460,6 +648,16 @@ class ScenarioEngine:
                 t1 = time.perf_counter()
                 trc.add_complete("admm.global", t0, t1, cat="admm")
             z = solver.solve(bx + lam / rho_l)
+            if injector is not None:
+                # Chaos hook: seeded NaN corruption of a target scenario's
+                # local iterate (the batched-kernel payload), applied to
+                # the scenario's own slice only.
+                injector.begin_iteration(iteration)
+                for k, p in enumerate(problems):
+                    if not done[k]:
+                        injector.corrupt(
+                            z[k * n_local : (k + 1) * n_local], p.request.request_id
+                        )
             if trc:
                 t2 = time.perf_counter()
                 trc.add_complete("admm.local", t1, t2, cat="admm")
@@ -477,6 +675,27 @@ class ScenarioEngine:
             norm_z = np.linalg.norm(z.reshape(k_n, n_local), axis=1)
             eps_prim = eps_k * np.maximum(norm_bx, norm_z)
             eps_dual = eps_k * np.linalg.norm(lam.reshape(k_n, n_local), axis=1)
+            # Divergence guard: a non-finite iterate retires its scenario
+            # immediately (for retry/degradation by the caller) and its
+            # slices are reset so no NaN survives into later iterations.
+            bad = ~done & ~(np.isfinite(pres) & np.isfinite(dres))
+            if bad.any():
+                diverged_mask |= bad
+                done |= bad
+                iters[bad] = iteration
+                for k in np.flatnonzero(bad):
+                    gs = slice(k * n, (k + 1) * n)
+                    ls = slice(k * n_local, (k + 1) * n_local)
+                    x[gs] = problems[k].x0_default
+                    z[ls] = problems[k].x0_default[plan.global_cols]
+                    lam[ls] = 0.0
+            # Deadline sweep: cheap, so only every `check_every` iterations.
+            if has_deadline and iteration % check_every == 0:
+                late = ~done & (deadline_at < time.perf_counter())
+                if late.any():
+                    timed_out |= late
+                    done |= late
+                    iters[late] = iteration
             converged_now = (pres <= eps_prim) & (dres <= eps_dual)
             newly = ~done & (converged_now | (iteration >= budget_k))
             if newly.any():
@@ -509,13 +728,22 @@ class ScenarioEngine:
 
         responses = []
         for k, p in enumerate(problems):
+            if diverged_mask[k]:
+                # The caller owns diverged scenarios (retry, then degrade
+                # or error) — no response, and latency is settled there.
+                continue
             gs = slice(k * n, (k + 1) * n)
             ls = slice(k * n_local, (k + 1) * n_local)
-            status = STATUS_CONVERGED if conv[k] else STATUS_ITERATION_LIMIT
+            if conv[k]:
+                status = STATUS_CONVERGED
+            elif timed_out[k]:
+                status = STATUS_TIMEOUT
+            else:
+                status = STATUS_ITERATION_LIMIT
             resp = OPFResponse(
                 request_id=p.request.request_id,
                 status=status,
-                objective=float(p.cost @ snap_x[gs]),
+                objective=None if timed_out[k] else float(p.cost @ snap_x[gs]),
                 iterations=int(iters[k]) if iters[k] else iteration,
                 pres=float(pres_at[k]),
                 dres=float(dres_at[k]),
@@ -524,6 +752,11 @@ class ScenarioEngine:
                 solve_seconds=solve_seconds,
                 latency_seconds=self._latency(p.request),
             )
+            if timed_out[k]:
+                resp.error = (
+                    f"deadline_s={p.request.options.deadline_s} expired at "
+                    f"iteration {int(iters[k])}"
+                )
             if conv[k]:
                 self.cache.store(
                     p.request.topology_key(),
@@ -539,5 +772,8 @@ class ScenarioEngine:
             )
             responses.append(resp)
         return _BatchOutcome(
-            responses=responses, iterations_run=iteration, solve_seconds=solve_seconds
+            responses=responses,
+            iterations_run=iteration,
+            solve_seconds=solve_seconds,
+            diverged=[int(k) for k in np.flatnonzero(diverged_mask)],
         )

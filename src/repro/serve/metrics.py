@@ -38,6 +38,17 @@ class ServingMetrics:
         self._n_batches = reg.counter("serve.n_batches")
         self._factorizations_computed = reg.counter("serve.factorizations_computed")
         self._factorizations_reused = reg.counter("serve.factorizations_reused")
+        # Resilience counters (docs/RESILIENCE.md): retries of diverged
+        # solves, degradations to the reference LP, divergent scenarios,
+        # deadline timeouts, breaker trips and breaker-rejected requests.
+        self._retries = reg.counter("solve.retry")
+        self._breaker_opened = reg.counter("breaker.open")
+        self._degraded = reg.counter("serve.degraded")
+        self._divergent = reg.counter("serve.divergent")
+        self._timeouts = reg.counter("serve.timeouts")
+        self._breaker_rejections = reg.counter("serve.breaker_rejections")
+        self._queue_depth = reg.gauge("serve.queue_depth")
+        self._retry_after = reg.gauge("serve.backpressure_retry_after_s")
 
         def hist(name: str) -> ReservoirHistogram:
             return reg.histogram(name, max_samples=RESERVOIR_SAMPLES)
@@ -90,6 +101,30 @@ class ServingMetrics:
     def factorizations_reused(self) -> int:
         return self._factorizations_reused.value
 
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @property
+    def breaker_opened(self) -> int:
+        return self._breaker_opened.value
+
+    @property
+    def degraded(self) -> int:
+        return self._degraded.value
+
+    @property
+    def divergent(self) -> int:
+        return self._divergent.value
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @property
+    def breaker_rejections(self) -> int:
+        return self._breaker_rejections.value
+
     # ------------------------------------------------------------------
     # Recording hooks (called by the engine)
     # ------------------------------------------------------------------
@@ -112,12 +147,36 @@ class ServingMetrics:
         self.latencies_s.observe(float(latency_s))
         if status == "converged":
             self._converged.inc()
-            target = self.warm_iterations if warm else self.cold_iterations
-            target.observe(int(iterations))
+            if iterations > 0:  # degraded responses carry no ADMM iterations
+                target = self.warm_iterations if warm else self.cold_iterations
+                target.observe(int(iterations))
         elif status == "iteration_limit":
             self._iteration_limit.inc()
+        elif status == "timeout":
+            self._timeouts.inc()
+        elif status == "rejected":
+            self._rejected.inc()
         else:
             self._errors.inc()
+
+    def record_retry(self) -> None:
+        self._retries.inc()
+
+    def record_divergent(self) -> None:
+        self._divergent.inc()
+
+    def record_degraded(self) -> None:
+        self._degraded.inc()
+
+    def record_breaker_open(self) -> None:
+        self._breaker_opened.inc()
+
+    def record_breaker_rejection(self) -> None:
+        self._breaker_rejections.inc()
+
+    def record_backpressure(self, queue_depth: int, retry_after_s: float) -> None:
+        self._queue_depth.set(queue_depth)
+        self._retry_after.set(retry_after_s)
 
     def record_factorizations(self, computed: int, reused: int) -> None:
         self._factorizations_computed.inc(int(computed))
@@ -167,6 +226,14 @@ class ServingMetrics:
             "converged": self.converged,
             "iteration_limit": self.iteration_limit,
             "errors": self.errors,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "divergent": self.divergent,
+            "degraded": self.degraded,
+            "breaker_opened": self.breaker_opened,
+            "breaker_rejections": self.breaker_rejections,
+            "queue_depth": int(self._queue_depth.value),
+            "backpressure_retry_after_s": round(self._retry_after.value, 4),
             "n_batches": self.n_batches,
             "batch_occupancy": round(self.batch_occupancy, 4),
             "mean_warm_iterations": round(self.mean_warm_iterations, 1),

@@ -12,8 +12,14 @@ serves all matching requests from that plan.
 
 * ``converged`` — ADMM met the relative criterion (16) within budget,
 * ``iteration_limit`` — the per-request budget ran out first,
-* ``rejected`` — the engine's bounded queue was full (backpressure),
+* ``rejected`` — the engine's bounded queue was full (backpressure) or the
+  topology's circuit breaker is open,
+* ``timeout`` — the request's ``deadline_s`` expired (in queue or mid-solve),
 * ``error`` — the scenario could not be built or solved.
+
+A response may additionally be ``degraded``: its batch solve diverged and
+the engine fell back to the centralized reference LP (exact, unbatched)
+after retries ran out — see docs/RESILIENCE.md.
 
 Both records round-trip through plain dicts (``to_dict``/``from_dict``)
 so scenario files are ordinary JSON.
@@ -28,22 +34,31 @@ from dataclasses import asdict, dataclass, field
 STATUS_CONVERGED = "converged"
 STATUS_ITERATION_LIMIT = "iteration_limit"
 STATUS_REJECTED = "rejected"
+STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
 
 
 @dataclass(frozen=True)
 class SolveOptions:
-    """Per-request ADMM settings (paper defaults, Section V-A)."""
+    """Per-request ADMM settings (paper defaults, Section V-A).
+
+    ``deadline_s`` is a submit-to-response latency budget: the engine
+    times out the request (status ``timeout``) if it is still waiting or
+    solving when the budget expires.  ``None`` (the default) disables it.
+    """
 
     rho: float = 100.0
     eps_rel: float = 1e-3
     max_iter: int = 20_000
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.rho <= 0 or self.eps_rel <= 0:
             raise ValueError("rho and eps_rel must be positive")
         if self.max_iter < 1:
             raise ValueError("max_iter must be at least 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
 
 
 @dataclass
@@ -147,6 +162,8 @@ class OPFResponse:
     solve_seconds: float = 0.0
     latency_seconds: float = 0.0
     error: str | None = None
+    degraded: bool = False
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:

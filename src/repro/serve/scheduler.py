@@ -24,14 +24,42 @@ from repro.utils.exceptions import ReproError
 
 
 class QueueFullError(ReproError):
-    """Raised on submit when the bounded request queue is at capacity."""
+    """Raised on submit when the bounded request queue is at capacity.
+
+    Carries machine-readable backpressure information so callers can back
+    off intelligently instead of parsing the message:
+
+    Attributes
+    ----------
+    queue_depth:
+        Requests waiting at rejection time (== ``maxsize`` by definition).
+    maxsize:
+        The queue's capacity bound.
+    retry_after_s:
+        Suggested wait before retrying, derived from the engine's recent
+        batch latency (0.0 when the engine has not served a batch yet).
+    """
+
+    def __init__(self, queue_depth: int, maxsize: int, retry_after_s: float = 0.0):
+        self.queue_depth = int(queue_depth)
+        self.maxsize = int(maxsize)
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(
+            f"request queue full ({self.queue_depth}/{self.maxsize} waiting); "
+            f"retry in {self.retry_after_s:.3f}s"
+        )
 
 
 @dataclass
 class BoundedRequestQueue:
-    """FIFO queue with a hard capacity bound."""
+    """FIFO queue with a hard capacity bound.
+
+    ``retry_after_hint`` is the backoff suggestion attached to rejections;
+    the engine keeps it fresh with an EWMA of recent batch latency.
+    """
 
     maxsize: int = 256
+    retry_after_hint: float = 0.0
     _items: deque = field(default_factory=deque, repr=False)
 
     def __post_init__(self) -> None:
@@ -49,7 +77,9 @@ class BoundedRequestQueue:
         """Enqueue or raise :class:`QueueFullError` (backpressure)."""
         if self.full:
             raise QueueFullError(
-                f"request queue full ({self.maxsize} waiting); retry later"
+                queue_depth=len(self._items),
+                maxsize=self.maxsize,
+                retry_after_s=self.retry_after_hint,
             )
         self._items.append(request)
 

@@ -3,6 +3,7 @@
 from repro.utils.exceptions import (
     ConvergenceError,
     DecompositionError,
+    DivergenceError,
     FormulationError,
     InfeasibleError,
     NetworkValidationError,
@@ -18,6 +19,7 @@ __all__ = [
     "FormulationError",
     "DecompositionError",
     "ConvergenceError",
+    "DivergenceError",
     "InfeasibleError",
     "QPSolverError",
     "Timer",

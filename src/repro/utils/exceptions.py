@@ -30,5 +30,35 @@ class ConvergenceError(ReproError):
     """An iterative method failed to converge within its iteration budget."""
 
 
+class DivergenceError(ReproError):
+    """An iterate sequence produced non-finite values (NaN/inf).
+
+    Raised by the divergence guards instead of silently iterating to the
+    budget.  Carries the offending iteration, the last residuals, and the
+    best (last all-finite) iterates so callers can recover or degrade.
+
+    Attributes
+    ----------
+    iteration:
+        First iteration at which a non-finite value was detected.
+    pres, dres:
+        Residuals at the offending iteration (may themselves be NaN).
+    result:
+        Optional best-so-far :class:`~repro.core.results.ADMMResult` built
+        from the last iteration whose state was entirely finite
+        (``converged=False``); ``None`` when divergence hit on the very
+        first iteration.
+    """
+
+    def __init__(self, message: str, iteration: int = 0,
+                 pres: float = float("nan"), dres: float = float("nan"),
+                 result=None):
+        super().__init__(message)
+        self.iteration = int(iteration)
+        self.pres = float(pres)
+        self.dres = float(dres)
+        self.result = result
+
+
 class QPSolverError(ReproError):
     """The dense active-set QP solver failed."""

@@ -87,6 +87,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "modeled A100" in out
 
+    def test_solve_require_convergence_exit_code(self, capsys):
+        """--require-convergence escalates non-convergence from the soft
+        exit code 2 to the hard error 3 with a diagnostic on stderr."""
+        rc = main(["solve", "--feeder", "ieee13", "--max-iter", "5",
+                   "--require-convergence"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "did not converge within 5 iterations" in err
+
+    def test_serve_batch_require_convergence_exit_code(self, capsys, tmp_path):
+        from repro.serve import OPFRequest, SolveOptions, save_requests_json
+
+        scen = tmp_path / "scenarios.json"
+        save_requests_json(
+            [OPFRequest(request_id="tight", options=SolveOptions(max_iter=5))],
+            scen,
+        )
+        rc = main(["serve-batch", "--scenarios", str(scen),
+                   "--require-convergence"])
+        assert rc == 3
+        assert "1 of 1 scenarios did not converge" in capsys.readouterr().err
+
+    def test_require_convergence_quiet_when_converged(self, capsys):
+        rc = main(["solve", "--feeder", "ieee13", "--max-iter", "20000",
+                   "--require-convergence"])
+        assert rc == 0
+        assert capsys.readouterr().err == ""
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

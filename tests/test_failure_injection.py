@@ -4,13 +4,14 @@ when fed inconsistent or degenerate problems, not produce silent garbage."""
 import numpy as np
 import pytest
 
-from repro.core import ADMMConfig, SolverFreeADMM
+from repro.core import ADMMConfig, BenchmarkADMM, SolverFreeADMM
 from repro.core.batch import BatchedLocalSolver
 from repro.decomposition import decompose
 from repro.formulation import Row, build_centralized_lp
 from repro.network import Bus, DistributionNetwork, Generator, Line, Load
 from repro.utils.exceptions import (
     DecompositionError,
+    DivergenceError,
     InfeasibleError,
 )
 
@@ -83,6 +84,54 @@ class TestDegenerateSolves:
         assert res.converged
         # Nothing to serve: optimal generation is ~0.
         assert abs(res.objective) < 1e-3
+
+
+class TestDivergenceGuard:
+    """Non-finite iterates must raise DivergenceError immediately, with the
+    best (last all-finite) state attached — never burn the budget on NaN."""
+
+    def dec(self):
+        return decompose(build_centralized_lp(tiny_net()))
+
+    def test_nan_seed_raises_at_first_iteration(self):
+        solver = SolverFreeADMM(self.dec(), ADMMConfig(max_iter=100))
+        lam0 = np.full(solver.dec.n_local, np.nan)
+        with pytest.raises(DivergenceError, match="non-finite iterate") as exc_info:
+            solver.solve(lam0=lam0)
+        err = exc_info.value
+        assert err.iteration == 1
+        assert err.result is None  # no finite state ever existed
+
+    def test_midway_corruption_carries_best_so_far(self):
+        solver = SolverFreeADMM(self.dec(), ADMMConfig(max_iter=100, eps_rel=1e-12))
+
+        def poison(iteration, x, z, lam, res):
+            if iteration == 5:
+                lam[0] = np.inf
+
+        with pytest.raises(DivergenceError) as exc_info:
+            solver.solve(callback=poison)
+        err = exc_info.value
+        assert err.iteration == 6
+        assert err.result is not None
+        assert err.result.iterations == 5
+        assert np.isfinite(err.result.x).all()
+        assert not err.result.converged
+
+    def test_guard_disabled_runs_to_budget(self):
+        cfg = ADMMConfig(max_iter=20, divergence_guard=False)
+        solver = SolverFreeADMM(self.dec(), cfg)
+        res = solver.solve(lam0=np.full(solver.dec.n_local, np.nan))
+        assert not res.converged
+        assert res.iterations == 20
+        assert not np.isfinite(res.pres)
+
+    def test_benchmark_admm_guard(self):
+        solver = BenchmarkADMM(self.dec(), ADMMConfig(max_iter=100))
+        lam0 = np.full(solver.dec.n_local, np.nan)
+        with pytest.raises(DivergenceError, match="non-finite iterate") as exc_info:
+            solver.solve(lam0=lam0)
+        assert exc_info.value.iteration == 1
 
 
 class TestBatchDegeneracy:

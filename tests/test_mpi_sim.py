@@ -94,6 +94,108 @@ class TestSimComm:
         np.testing.assert_array_equal(c1.clocks, c2.clocks)
 
 
+class _StubInjector:
+    """Minimal message_fault hook (drop/delay lists of (src, dst))."""
+
+    def __init__(self, drops=(), delays=(), delay_s=1e-3):
+        self.drops = set(drops)
+        self.delays = set(delays)
+        self.delay_s = delay_s
+
+    def message_fault(self, src, dst):
+        return (src, dst) in self.drops, (
+            self.delay_s if (src, dst) in self.delays else 0.0
+        )
+
+
+class TestSimCommEdgeCases:
+    def make(self, size=3, injector=None):
+        comm = SimComm(size, CommModel(latency_s=1e-6, bandwidth_bytes_s=8e9))
+        comm.injector = injector
+        return comm
+
+    def test_zero_byte_parts_still_pay_latency(self):
+        """Empty messages move no bytes but each one still costs alpha."""
+        comm = self.make()
+        out = comm.scatterv(0, [np.zeros(0) for _ in range(3)])
+        for r in range(3):
+            assert out[r].size == 0
+        assert comm.clocks[0] == pytest.approx(2 * comm.comm_model.latency_s)
+        comm.gatherv(0, {r: np.zeros(0) for r in range(3)})
+        assert comm.clocks[0] == pytest.approx(4 * comm.comm_model.latency_s)
+
+    def test_single_rank_collectives_are_free(self):
+        comm = self.make(size=1)
+        value = np.arange(3.0)
+        np.testing.assert_array_equal(comm.scatterv(0, [value])[0], value)
+        np.testing.assert_array_equal(comm.gatherv(0, {0: value})[0], value)
+        np.testing.assert_array_equal(comm.bcast(0, value)[0], value)
+        comm.barrier()
+        assert comm.elapsed() == 0.0
+
+    def test_clocks_monotone_under_out_of_order_advance(self):
+        """However compute time is charged across ranks, no operation ever
+        moves a clock backwards."""
+        comm = self.make(4)
+        rng = np.random.default_rng(0)
+        before = comm.clocks.copy()
+        for _ in range(50):
+            op = rng.integers(0, 4)
+            if op == 0:
+                comm.advance(int(rng.integers(0, 4)), float(rng.uniform(0, 1e-3)))
+            elif op == 1:
+                comm.scatterv(0, [np.zeros(int(rng.integers(0, 8))) for _ in range(4)])
+            elif op == 2:
+                comm.gatherv(0, {r: np.zeros(2) for r in range(4)})
+            else:
+                comm.barrier(sorted(rng.choice(4, size=2, replace=False).tolist()))
+            assert (comm.clocks >= before).all()
+            before = comm.clocks.copy()
+
+    def test_scatterv_none_part_skips_rank(self):
+        comm = self.make()
+        out = comm.scatterv(0, [np.zeros(4), None, np.ones(4)])
+        assert out[1] is None
+        np.testing.assert_array_equal(out[2], np.ones(4))
+        # Only one message left the root.
+        assert comm.clocks[0] == pytest.approx(comm.comm_model.message_time(32))
+        assert comm.clocks[1] == 0.0
+
+    def test_gatherv_partial_subset(self):
+        comm = self.make()
+        out = comm.gatherv(0, {0: np.zeros(2), 2: np.ones(2)}, partial=True)
+        assert out[1] is None
+        np.testing.assert_array_equal(out[2], np.ones(2))
+        with pytest.raises(ValueError, match="unknown ranks"):
+            comm.gatherv(0, {5: np.zeros(1)}, partial=True)
+
+    def test_subset_barrier_leaves_others_alone(self):
+        comm = self.make()
+        comm.advance(2, 1.0)
+        comm.barrier([0, 2])
+        assert comm.clocks[0] == pytest.approx(1.0)
+        assert comm.clocks[1] == 0.0
+        comm.barrier([])  # no-op, not an error
+        assert comm.clocks[1] == 0.0
+
+    def test_injected_drop_loses_data_but_charges_wire_time(self):
+        comm = self.make(injector=_StubInjector(drops=[(0, 1)]))
+        out = comm.scatterv(0, [np.zeros(4), np.ones(4), np.full(4, 2.0)])
+        assert out[1] is None  # the network lost it
+        np.testing.assert_array_equal(out[2], np.full(4, 2.0))
+        # The bytes still left the root: both sends occupy its endpoint.
+        assert comm.clocks[0] == pytest.approx(2 * comm.comm_model.message_time(32))
+
+    def test_injected_delay_slows_both_endpoints(self):
+        clean = self.make()
+        slow = self.make(injector=_StubInjector(delays=[(1, 0)], delay_s=2e-3))
+        part = {r: np.zeros(4) for r in range(3)}
+        clean.gatherv(0, dict(part))
+        slow.gatherv(0, dict(part))
+        assert slow.clocks[0] == pytest.approx(clean.clocks[0] + 2e-3)
+        assert slow.clocks[1] == pytest.approx(clean.clocks[1] + 2e-3)
+
+
 class TestDistributedRunner:
     def test_parity_with_serial(self, ieee13_dec):
         cfg = ADMMConfig(max_iter=300)
