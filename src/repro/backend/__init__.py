@@ -1,0 +1,132 @@
+"""repro.backend — the pluggable array-execution layer.
+
+Every ADMM hot loop in this repository runs through a
+:class:`~repro.backend.base.Backend`: a small protocol (batched matmul,
+scatter-add, clip, fp64-accumulated norms, allocation under an explicit
+dtype policy) with three implementations:
+
+``numpy64``
+    The default.  fp64 NumPy, bit-identical to the historical
+    implementation (same ops in the same order).
+``numpy32``
+    fp32 compute with fp64 residual accumulation and the automatic
+    fp64-refinement fallback (re-run the tail of a stalled solve in fp64,
+    warm-started from the fp32 iterate).
+``cupy``
+    CUDA execution via CuPy, auto-detected; absent on CPU-only machines.
+
+Selection precedence: an explicit ``backend=`` argument > the
+``REPRO_BACKEND`` environment variable > ``numpy64``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backend.base import Backend
+from repro.backend.cupy_backend import CupyBackend, make_cupy
+from repro.backend.numpy_backend import NumpyBackend, make_numpy32, make_numpy64
+from repro.backend.policy import FP32, FP64, MIXED, PrecisionPolicy, policy_for
+
+#: Environment variable naming the default backend for the process.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_FACTORIES = {
+    "numpy64": (make_numpy64, NumpyBackend.is_available),
+    "numpy32": (make_numpy32, NumpyBackend.is_available),
+    "cupy": (make_cupy, CupyBackend.is_available),
+}
+
+_INSTANCES: dict[str, Backend] = {}
+
+
+def backend_names() -> list[str]:
+    """All registered backend names, available or not."""
+    return list(_FACTORIES)
+
+
+def available_backends() -> list[str]:
+    """Names of the backends usable on this machine."""
+    return [name for name, (_, avail) in _FACTORIES.items() if avail()]
+
+
+def get_backend(name: str) -> Backend:
+    """The (cached) backend instance for ``name``.
+
+    Raises
+    ------
+    ValueError
+        Unknown name, or a registered backend whose runtime requirements
+        (e.g. CuPy + a CUDA device) are not met.
+    """
+    try:
+        factory, avail = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (registered: {', '.join(_FACTORIES)})"
+        ) from None
+    if not avail():
+        raise ValueError(
+            f"backend {name!r} is not available on this machine "
+            f"(available: {', '.join(available_backends())})"
+        )
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        backend = _INSTANCES[name] = factory()
+    return backend
+
+
+def default_backend() -> Backend:
+    """The process default: ``$REPRO_BACKEND`` if set, else ``numpy64``."""
+    return get_backend(os.environ.get(BACKEND_ENV_VAR, "numpy64"))
+
+
+def resolve_backend(
+    backend: "Backend | str | None" = None,
+    precision: str | None = None,
+) -> Backend:
+    """Normalize a user-facing backend/precision spec to an instance.
+
+    ``backend`` may be an instance (returned as-is unless ``precision``
+    overrides its policy), a registry name, or ``None`` (process
+    default).  ``precision`` (``fp64`` / ``fp32`` / ``mixed``) overlays a
+    policy on the chosen backend family.
+    """
+    if backend is None:
+        resolved = default_backend()
+    elif isinstance(backend, Backend):
+        resolved = backend
+    else:
+        resolved = get_backend(backend)
+    if precision is None or resolved.policy.name == precision:
+        return resolved
+    policy = policy_for(precision)
+    if isinstance(resolved, CupyBackend):  # pragma: no cover - hardware
+        return CupyBackend(policy)
+    return NumpyBackend(policy)
+
+
+def refinement_backend(backend: Backend) -> Backend:
+    """The fp64 twin used by the mixed-precision refinement fallback."""
+    if isinstance(backend, CupyBackend):  # pragma: no cover - hardware
+        return CupyBackend(FP64)
+    return get_backend("numpy64")
+
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "CupyBackend",
+    "PrecisionPolicy",
+    "FP64",
+    "FP32",
+    "MIXED",
+    "policy_for",
+    "BACKEND_ENV_VAR",
+    "backend_names",
+    "available_backends",
+    "get_backend",
+    "default_backend",
+    "resolve_backend",
+    "refinement_backend",
+]

@@ -1,0 +1,93 @@
+"""Precision policies for the array-execution backends.
+
+A policy separates the **compute** dtype (what the iterate arrays and the
+batched projection tensors are stored and multiplied in) from the
+**accumulate** dtype (what reductions — residual norms, objectives, the
+scatter-add of the global update — are accumulated in).  The solver-free
+iteration is a fixed-point map, so fp32 compute is usually fine *until*
+the residuals approach fp32 round-off; accumulating the residual norms in
+fp64 keeps the termination test (16) honest, and the optional refinement
+fallback re-runs the tail of a stalled fp32 solve in fp64, warm-started
+from the fp32 iterate (classical mixed-precision iterative refinement,
+applied at the ADMM level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Dtype and refinement rules a backend allocates and reduces under.
+
+    Attributes
+    ----------
+    name:
+        ``"fp64"``, ``"fp32"`` or ``"mixed"``.
+    compute:
+        Dtype name of iterate arrays and projection operators.
+    accumulate:
+        Dtype name reductions (norms, objectives, scatter-adds) use.
+    refine:
+        Enable the automatic fp64-refinement fallback: when the relative
+        residuals stall above tolerance (fp32 round-off floor), the solve
+        is continued under an fp64 backend, warm-started from the current
+        iterate.
+    refine_check_every:
+        Stall-detection period in iterations.
+    refine_min_progress:
+        Relative improvement of the *running best* of
+        ``max(pres/eps_prim, dres/eps_dual)`` between consecutive checks
+        below which the run is declared stalled.  ADMM residuals
+        oscillate, so the watch compares best-so-far values over whole
+        windows, not single iterates.
+    refine_after:
+        Earliest iteration at which a stall may be declared (early
+        iterations legitimately plateau).
+    """
+
+    name: str
+    compute: str = "float64"
+    accumulate: str = "float64"
+    refine: bool = False
+    refine_check_every: int = 500
+    refine_min_progress: float = 0.02
+    refine_after: int = 500
+
+    def __post_init__(self) -> None:
+        if self.compute not in ("float32", "float64"):
+            raise ValueError(f"unsupported compute dtype {self.compute!r}")
+        if self.accumulate != "float64":
+            raise ValueError("reductions must accumulate in float64")
+        if self.refine_check_every < 1:
+            raise ValueError("refine_check_every must be at least 1")
+        if not 0.0 <= self.refine_min_progress < 1.0:
+            raise ValueError("refine_min_progress must lie in [0, 1)")
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per compute-dtype value (feeds the GPU cost models)."""
+        return 4 if self.compute == "float32" else 8
+
+
+#: Full double precision — the default, bit-identical to the historical
+#: NumPy implementation.
+FP64 = PrecisionPolicy(name="fp64")
+
+#: Pure fp32 compute with fp64 residual accumulation, no fallback.
+FP32 = PrecisionPolicy(name="fp32", compute="float32", refine=False)
+
+#: fp32 compute with fp64 residual accumulation *and* the automatic
+#: fp64-refinement fallback — what the ``numpy32`` backend ships with.
+MIXED = PrecisionPolicy(name="mixed", compute="float32", refine=True)
+
+
+def policy_for(precision: str) -> PrecisionPolicy:
+    """Look up a policy by CLI-level name (``fp64`` / ``fp32`` / ``mixed``)."""
+    try:
+        return {"fp64": FP64, "fp32": FP32, "mixed": MIXED}[precision]
+    except KeyError:
+        raise ValueError(
+            f"unknown precision {precision!r} (choose fp64, fp32 or mixed)"
+        ) from None

@@ -18,6 +18,13 @@ Commands
 ``trace-summary``
     Aggregate a trace captured with ``--trace`` into a per-phase table
     (see docs/OBSERVABILITY.md).
+``backends``
+    List the registered array-execution backends and their capabilities
+    (see docs/BACKENDS.md).
+
+``solve`` and ``serve-batch`` accept ``--backend {numpy64,numpy32,cupy}``
+and ``--precision {fp64,fp32,mixed}`` to pick the array-execution layer;
+the default honours the ``REPRO_BACKEND`` environment variable.
 
 ``solve`` and ``serve-batch`` accept ``--trace out.json`` to capture a
 Chrome-trace/Perfetto span timeline of the run (``.jsonl`` extension
@@ -89,10 +96,22 @@ def cmd_solve(args) -> int:
         record_history=args.diagnostics,
     )
     tracer = Tracer() if args.trace else None
-    if args.algorithm == "solver-free":
-        solver = SolverFreeADMM(dec, cfg, tracer=tracer)
-    else:
-        solver = BenchmarkADMM(dec, cfg, local_mode=args.local_mode, tracer=tracer)
+    try:
+        if args.algorithm == "solver-free":
+            solver = SolverFreeADMM(
+                dec, cfg, tracer=tracer,
+                backend=args.backend, precision=args.precision,
+            )
+        else:
+            solver = BenchmarkADMM(
+                dec, cfg, local_mode=args.local_mode, tracer=tracer,
+                backend=args.backend, precision=args.precision,
+            )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    policy = solver.backend.policy
+    print(f"backend: {solver.backend.name} (precision {policy.name}, "
+          f"compute {policy.compute})")
     result = solver.solve()
     if tracer is not None:
         tracer.save(args.trace)
@@ -255,9 +274,14 @@ def cmd_serve_batch(args) -> int:
             queue_size=args.queue_size,
             cache_capacity=args.cache_capacity,
             tracer=tracer,
+            backend=args.backend,
+            precision=args.precision,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    policy = engine.backend.policy
+    print(f"backend: {engine.backend.name} (precision {policy.name}, "
+          f"compute {policy.compute})")
     responses = engine.serve(requests)
     snap = engine.snapshot()
     if tracer is not None:
@@ -307,6 +331,50 @@ def cmd_serve_batch(args) -> int:
     return 0 if failed == 0 else 2
 
 
+def cmd_backends(args) -> int:
+    import os
+
+    from repro.backend import (
+        BACKEND_ENV_VAR,
+        available_backends,
+        backend_names,
+        default_backend,
+        get_backend,
+    )
+
+    avail = set(available_backends())
+    default = default_backend().name
+    rows = []
+    for name in backend_names():
+        if name not in avail:
+            rows.append([name, "no", "-", "-", "-", "-"])
+            continue
+        caps = get_backend(name).capabilities()
+        rows.append(
+            [
+                name + (" *" if name == default else ""),
+                "yes",
+                caps["precision"],
+                caps["compute_dtype"],
+                "device" if caps["device"] else "host",
+                "yes" if caps["refinement"] else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["backend", "available", "precision", "compute", "memory", "refinement"],
+            rows,
+            title="registered array-execution backends (* = default)",
+        )
+    )
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        print(f"{BACKEND_ENV_VAR}={env} (set)")
+    else:
+        print(f"{BACKEND_ENV_VAR} unset — default is numpy64")
+    return 0
+
+
 def cmd_trace_summary(args) -> int:
     try:
         events = load_trace_events(args.trace)
@@ -317,6 +385,19 @@ def cmd_trace_summary(args) -> int:
         return 2
     print(format_trace_summary(events))
     return 0
+
+
+def _add_backend_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        choices=["numpy64", "numpy32", "cupy"],
+        help="array-execution backend (default: $REPRO_BACKEND or numpy64)",
+    )
+    p.add_argument(
+        "--precision",
+        choices=["fp64", "fp32", "mixed"],
+        help="precision policy overlay (default: the backend's own policy)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -334,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--feeder", default="ieee13")
     p.add_argument("--algorithm", choices=["solver-free", "benchmark"], default="solver-free")
     p.add_argument("--local-mode", choices=["interior_point", "projection"], default="projection")
+    _add_backend_flags(p)
     p.add_argument("--rho", type=float, default=100.0)
     p.add_argument("--eps-rel", type=float, default=1e-3)
     p.add_argument("--max-iter", type=int, default=100_000)
@@ -384,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=16)
     p.add_argument("--queue-size", type=int, default=256)
     p.add_argument("--cache-capacity", type=int, default=64)
+    _add_backend_flags(p)
     p.add_argument("--verbose", action="store_true", help="per-response table")
     p.add_argument("--output", help="write metrics + responses as JSON")
     p.add_argument(
@@ -403,6 +486,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("trace", help="trace file written by --trace")
     p.set_defaults(func=cmd_trace_summary)
+
+    p = sub.add_parser(
+        "backends", help="list the array-execution backends on this machine"
+    )
+    p.set_defaults(func=cmd_backends)
     return parser
 
 

@@ -22,6 +22,11 @@ Two local execution modes:
   produces the *same iterate sequence* — used to count iterations on large
   instances where running thousands of solver-based iterations is
   impractical on this machine.  Timing benchmarks never use it.
+
+The iteration skeleton is :class:`repro.core.loop.ADMMLoop`; this class
+supplies the benchmark's update rules.  The per-component QP solves are
+always fp64 (SciPy); under an fp32 backend only the consensus state is
+reduced precision.
 """
 
 from __future__ import annotations
@@ -30,22 +35,25 @@ import time
 
 import numpy as np
 
+from repro.backend import refinement_backend, resolve_backend
 from repro.core.config import ADMMConfig
-from repro.core.residuals import compute_residuals
-from repro.core.results import ADMMResult, IterationHistory
-from repro.core.solver_free import _raise_divergence
+from repro.core.loop import ADMMLoop, IterationStrategy, LoopOutcome
+from repro.core.results import ADMMResult
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.qp.interior_point import solve_qp_box_eq
 from repro.qp.projection import project_box_affine
 from repro.telemetry import NULL_TRACER
-from repro.utils.exceptions import ConvergenceError
-from repro.utils.timing import PhaseTimer
 
 
-class BenchmarkADMM:
+class BenchmarkADMM(IterationStrategy):
     """Solver-based component ADMM (the paper's comparison baseline)."""
 
     algorithm_name = "benchmark ADMM (solver-based)"
+    # The baseline deliberately runs the plain algorithm: no
+    # over-relaxation, no residual balancing.
+    use_relaxation = False
+    supports_balancing = False
+    refinement_supported = True
 
     def __init__(
         self,
@@ -53,6 +61,8 @@ class BenchmarkADMM:
         config: ADMMConfig | None = None,
         local_mode: str = "interior_point",
         tracer=None,
+        backend=None,
+        precision: str | None = None,
     ):
         if local_mode not in ("interior_point", "projection"):
             raise ValueError(f"unknown local_mode {local_mode!r}")
@@ -60,19 +70,22 @@ class BenchmarkADMM:
         self.config = config or ADMMConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.local_mode = local_mode
+        self.backend = resolve_backend(backend, precision)
+        b = self.backend
         lp = dec.lp
         self.n = lp.n_vars
         self.n_local = dec.n_local
-        self.c = lp.cost
-        self.gcols = dec.global_cols
-        self.counts = dec.counts
+        self.c = b.asarray(lp.cost)
+        self.gcols = b.index_array(dec.global_cols)
+        self.counts = b.asarray(dec.counts)
         self.components = dec.components
         self.offsets = dec.offsets
 
     # ------------------------------------------------------------------
-    def global_update(self, z: np.ndarray, lam: np.ndarray, rho: float) -> np.ndarray:
+    def global_update(self, z, lam, rho: float):
         """Unclipped x_hat of (10) — bounds live in the local subproblems."""
-        scatter = np.bincount(self.gcols, weights=z - lam / rho, minlength=self.n)
+        b = self.backend
+        scatter = b.scatter_add(self.gcols, z - lam / rho, self.n)
         return (scatter - self.c / rho) / self.counts
 
     def solve_local(self, s: int, v_s: np.ndarray, rho: float) -> np.ndarray:
@@ -92,97 +105,106 @@ class BenchmarkADMM:
         )
         return result.x
 
-    def local_update(self, bx: np.ndarray, lam: np.ndarray, rho: float) -> np.ndarray:
+    def local_update(self, bx, lam, rho: float):
         v = bx + lam / rho
-        z = np.empty(self.n_local)
+        z = self.backend.empty(self.n_local)
         for s in range(len(self.components)):
             sl = self.dec.component_slice(s)
             z[sl] = self.solve_local(s, v[sl], rho)
         return z
 
+    def dual_update(self, lam, bx, z, rho: float):
+        return lam + rho * (bx - z)
+
     # ------------------------------------------------------------------
+    # Engine hooks (repro.core.loop)
+    # ------------------------------------------------------------------
+    def global_step(self, z, lam, rho):
+        return self.global_update(z, lam, rho)
+
+    def local_step(self, bx_eff, z_prev, lam, rho):
+        return self.local_update(bx_eff, lam, rho)
+
+    def dual_step(self, lam, bx_eff, z, rho):
+        return self.dual_update(lam, bx_eff, z, rho)
+
+    def span_args(self) -> dict:
+        return {"n_vars": self.n, "local_mode": self.local_mode}
+
+    # ------------------------------------------------------------------
+    def initial_state(self, x0=None, z0=None, lam0=None):
+        b = self.backend
+        x = (
+            b.from_numpy(self.dec.lp.initial_point())
+            if x0 is None
+            else b.asarray(x0, copy=True)
+        )
+        z = x[self.gcols].copy() if z0 is None else b.asarray(z0, copy=True)
+        lam = b.zeros(self.n_local) if lam0 is None else b.asarray(lam0, copy=True)
+        return x, z, lam
+
+    def _make_loop(self, *, watch_stall: bool = True) -> ADMMLoop:
+        return ADMMLoop(
+            self,
+            self.config,
+            backend=self.backend,
+            tracer=self.tracer,
+            watch_stall=watch_stall,
+        )
+
     def solve(
         self,
-        x0: np.ndarray | None = None,
-        z0: np.ndarray | None = None,
-        lam0: np.ndarray | None = None,
+        x0=None,
+        z0=None,
+        lam0=None,
         max_iter: int | None = None,
         callback=None,
     ) -> ADMMResult:
         """Run the benchmark ADMM until (16) holds or the budget is hit."""
         cfg = self.config
         budget = cfg.max_iter if max_iter is None else max_iter
-        rho = cfg.rho
-        x = self.dec.lp.initial_point() if x0 is None else np.asarray(x0, dtype=float).copy()
-        z = x[self.gcols].copy() if z0 is None else np.asarray(z0, dtype=float).copy()
-        lam = np.zeros(self.n_local) if lam0 is None else np.asarray(lam0, dtype=float).copy()
-        history = IterationHistory() if cfg.record_history else None
-        timers = PhaseTimer()
-        tracer = self.tracer
-        solve_span = tracer.span(
-            "admm.solve",
-            algorithm=self.algorithm_name,
-            n_vars=self.n,
-            local_mode=self.local_mode,
+        x, z, lam = self.initial_state(x0, z0, lam0)
+        loop = self._make_loop()
+        outcome = loop.run(x, z, lam, budget=budget, callback=callback)
+        if outcome.stalled and self.refinement_supported:
+            return self._refine(loop, outcome, budget, callback)
+        return loop.result(outcome)
+
+    # ------------------------------------------------------------------
+    def _refinement_solver(self, backend) -> "BenchmarkADMM":
+        return type(self)(
+            self.dec, self.config, local_mode=self.local_mode,
+            tracer=self.tracer, backend=backend,
         )
-        solve_span.__enter__()
-        res = None
-        iteration = 0
-        best = None  # (iteration, x, z, lam, res) of the last finite state
-        try:
-            for iteration in range(1, budget + 1):
-                t0 = time.perf_counter()
-                x = self.global_update(z, lam, rho)
-                t1 = time.perf_counter()
-                bx = x[self.gcols]
-                z_prev = z
-                z = self.local_update(bx, lam, rho)
-                t2 = time.perf_counter()
-                lam = lam + rho * (bx - z)
-                t3 = time.perf_counter()
-                res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-                t4 = time.perf_counter()
-                timers.add("global", t1 - t0)
-                timers.add("local", t2 - t1)
-                timers.add("dual", t3 - t2)
-                timers.add("residual", t4 - t3)
-                if tracer:
-                    tracer.add_complete("admm.global", t0, t1, cat="admm")
-                    tracer.add_complete("admm.local", t1, t2, cat="admm")
-                    tracer.add_complete("admm.dual", t2, t3, cat="admm")
-                    tracer.add_complete("admm.residual", t3, t4, cat="admm")
-                if cfg.divergence_guard:
-                    if res.finite:
-                        best = (iteration, x, z, lam, res)
-                    else:
-                        _raise_divergence(
-                            self.algorithm_name, iteration, res, best,
-                            self.c, history, timers,
-                        )
-                if history is not None:
-                    history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-                if callback is not None:
-                    callback(iteration, x, z, lam, res)
-                if res.converged:
-                    break
-        finally:
-            solve_span.__exit__(None, None, None)
-        converged = bool(res is not None and res.converged)
-        if not converged and cfg.raise_on_max_iter:
-            raise ConvergenceError(f"benchmark ADMM: no convergence in {budget} iterations")
-        return ADMMResult(
-            x=x,
-            z=z,
-            lam=lam,
-            objective=float(self.c @ x),
-            iterations=iteration,
-            converged=converged,
-            pres=res.pres if res else float("inf"),
-            dres=res.dres if res else float("inf"),
-            history=history,
-            timers=timers.as_dict(),
-            algorithm=self.algorithm_name,
+
+    def _refine(
+        self, loop: ADMMLoop, outcome: LoopOutcome, budget: int, callback
+    ) -> ADMMResult:
+        """Continue a stalled low-precision solve in fp64 (same scheme as
+        :meth:`repro.core.solver_free.SolverFreeADMM._refine`)."""
+        remaining = budget - outcome.iterations
+        twin = self._refinement_solver(refinement_backend(self.backend))
+        if remaining <= 0 or twin is None:
+            return loop.result(outcome)
+        b = self.backend
+        x64, z64, lam64 = twin.initial_state(
+            b.to_numpy(outcome.x), b.to_numpy(outcome.z), b.to_numpy(outcome.lam)
         )
+        loop64 = twin._make_loop(watch_stall=False)
+        out64 = loop64.run(x64, z64, lam64, budget=remaining, callback=callback)
+        result = loop64.result(out64)
+        result.iterations += outcome.iterations
+        if outcome.history is not None and out64.history is not None:
+            merged = outcome.history
+            for name in ("pres", "dres", "eps_prim", "eps_dual", "rho"):
+                getattr(merged, name).extend(getattr(out64.history, name))
+            result.history = merged
+        timers = dict(outcome.timers)
+        for key, val in result.timers.items():
+            timers[key] = timers.get(key, 0.0) + val
+        result.timers = timers
+        result.algorithm = f"{self.algorithm_name} (fp32 + fp64 refinement)"
+        return result
 
     # ------------------------------------------------------------------
     def measure_local_costs(self, repeats: int = 3, rho: float | None = None) -> np.ndarray:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.linalg as sla
 
+from repro.backend import Backend, get_backend
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.utils.exceptions import DecompositionError
 
@@ -71,14 +72,11 @@ def _bucket_width(n: int, minimum: int = 4) -> int:
 class _Bucket:
     width: int
     comp_indices: np.ndarray  # (S_b,)
-    proj: np.ndarray  # (S_b, width, width)
+    proj: np.ndarray  # (S_b, width, width) in the backend's compute dtype
     bbar: np.ndarray  # (S_b, width)
     stack_idx: np.ndarray  # positions of bucket entries in the stacked z
     pad_idx: np.ndarray  # flat positions into (S_b * width,)
     v_pad: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        self.v_pad = np.zeros(self.proj.shape[0] * self.width)
 
 
 @dataclass
@@ -91,13 +89,18 @@ class BatchedLocalSolver:
     component_location: dict[int, tuple[int, int]]  # comp -> (bucket, row)
     sizes: np.ndarray  # (S,) n_s per component
     flops: np.ndarray  # (S,) flop count of one local update per component
+    backend: Backend = None  # type: ignore[assignment]
 
     @classmethod
-    def from_decomposition(cls, dec: DecomposedOPF) -> "BatchedLocalSolver":
-        return cls.from_parts(dec.components, dec.offsets)
+    def from_decomposition(
+        cls, dec: DecomposedOPF, backend: Backend | None = None
+    ) -> "BatchedLocalSolver":
+        return cls.from_parts(dec.components, dec.offsets, backend=backend)
 
     @classmethod
-    def from_parts(cls, comps, offsets, projections=None) -> "BatchedLocalSolver":
+    def from_parts(
+        cls, comps, offsets, projections=None, backend: Backend | None = None
+    ) -> "BatchedLocalSolver":
         """Build from any sequence of equality components.
 
         Each component needs ``a`` (full-row-rank), ``b`` and ``n_vars``;
@@ -110,7 +113,14 @@ class BatchedLocalSolver:
         :func:`projection_data`); matching entries skip the factorization.
         The serving engine uses this to share factorizations across
         scenarios that leave a component's local system unchanged.
+
+        ``backend`` chooses the execution substrate and dtype of the
+        projection tensors; factorizations always run in fp64 (SciPy) and
+        are rounded once when stored.  Defaults to pinned ``numpy64``
+        (bit-identical to the historical implementation) — callers wanting
+        the process default must resolve it themselves.
         """
+        backend = backend if backend is not None else get_backend("numpy64")
         offsets = np.asarray(offsets, dtype=np.int64)
         if projections is not None and len(projections) != len(comps):
             raise ValueError("projections must align with comps")
@@ -141,16 +151,16 @@ class BatchedLocalSolver:
                 stack_parts.append(np.arange(start, start + n_s, dtype=np.int64))
                 pad_parts.append(np.arange(row * width, row * width + n_s, dtype=np.int64))
                 location[s] = (len(buckets), row)
-            buckets.append(
-                _Bucket(
-                    width=width,
-                    comp_indices=np.asarray(idxs, dtype=np.int64),
-                    proj=proj,
-                    bbar=bbar,
-                    stack_idx=np.concatenate(stack_parts),
-                    pad_idx=np.concatenate(pad_parts),
-                )
+            bucket = _Bucket(
+                width=width,
+                comp_indices=np.asarray(idxs, dtype=np.int64),
+                proj=backend.asarray(proj),
+                bbar=backend.asarray(bbar),
+                stack_idx=backend.index_array(np.concatenate(stack_parts)),
+                pad_idx=backend.index_array(np.concatenate(pad_parts)),
             )
+            bucket.v_pad = backend.zeros(sb * width)
+            buckets.append(bucket)
         sizes = np.array([c.n_vars for c in comps], dtype=np.int64)
         # One local update per component: dense matvec (2 n^2) plus the add.
         flops = 2.0 * sizes.astype(float) ** 2 + sizes
@@ -161,6 +171,7 @@ class BatchedLocalSolver:
             component_location=location,
             sizes=sizes,
             flops=flops,
+            backend=backend,
         )
 
     def solve(self, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
@@ -171,12 +182,12 @@ class BatchedLocalSolver:
         """
         if v.shape != (self.n_local,):
             raise ValueError(f"expected stacked vector of length {self.n_local}")
-        z = out if out is not None else np.empty(self.n_local)
+        b = self.backend
+        z = out if out is not None else b.empty(self.n_local)
         for bucket in self.buckets:
             vp = bucket.v_pad
             vp[bucket.pad_idx] = v[bucket.stack_idx]
-            sb = bucket.proj.shape[0]
-            zp = np.matmul(bucket.proj, vp.reshape(sb, bucket.width, 1)).reshape(-1)
+            zp = b.matmul_batched(bucket.proj, vp)
             zp += bucket.bbar.reshape(-1)
             z[bucket.stack_idx] = zp[bucket.pad_idx]
         return z

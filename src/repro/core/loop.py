@@ -1,0 +1,415 @@
+"""The one ADMM iteration engine every solver variant runs on.
+
+Historically each variant — solver-free, solver-based benchmark,
+compressed-upload, differentially private, conic, the two simulated-MPI
+runners and the serving engine's stacked batch solve — re-implemented the
+same iteration skeleton:
+
+    global update -> gather B x -> (over-relax) -> local update
+        -> dual update -> residuals (16) -> guard / history / callback
+        -> termination -> rho balancing
+
+:class:`ADMMLoop` owns that skeleton exactly once.  Variants are thin
+:class:`IterationStrategy` objects that supply the update rules (and
+optional hooks for per-iteration bookkeeping such as virtual-clock
+timelines or consensus checkpoints); the engine owns control flow,
+divergence guarding with best-so-far capture, phase timing, telemetry
+spans, iteration history, residual balancing, and the mixed-precision
+stall watch that triggers the fp64 refinement fallback.
+
+All array work flows through a :class:`repro.backend.Backend`, so the
+same engine runs fp64 NumPy (bit-identical to the historical loops),
+fp32 with fp64 residual accumulation, or CuPy.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backend import Backend, resolve_backend
+from repro.core.config import ADMMConfig
+from repro.core.residuals import Residuals
+from repro.core.results import ADMMResult, IterationHistory
+from repro.core.rho import ResidualBalancer
+from repro.telemetry import NULL_TRACER
+from repro.utils.exceptions import ConvergenceError, DivergenceError
+from repro.utils.timing import PhaseTimer
+
+
+def truncate_history(history: IterationHistory | None, n: int) -> None:
+    """Drop entries beyond iteration ``n`` (checkpoint rewind support)."""
+    if history is None:
+        return
+    for name in ("pres", "dres", "eps_prim", "eps_dual", "rho"):
+        del getattr(history, name)[n:]
+
+
+class RewindSignal(Exception):
+    """Raised from a strategy update hook to rewind the loop.
+
+    Carries the iteration number and the consensus state ``(z, lam)`` to
+    resume from; the engine truncates the history accordingly and
+    continues.  Used by the fault-tolerant runner to replay from the last
+    checkpoint after a failover.
+    """
+
+    def __init__(self, iteration: int, z, lam):
+        super().__init__(f"rewind to iteration {iteration}")
+        self.iteration = int(iteration)
+        self.z = z
+        self.lam = lam
+
+
+class LoopOutcome:
+    """Raw outcome of :meth:`ADMMLoop.run` (pre-:class:`ADMMResult`)."""
+
+    __slots__ = ("x", "z", "lam", "res", "iterations", "converged", "stalled",
+                 "history", "timers")
+
+    def __init__(self, x, z, lam, res, iterations, converged, stalled,
+                 history, timers):
+        self.x = x
+        self.z = z
+        self.lam = lam
+        self.res = res
+        self.iterations = iterations
+        self.converged = converged
+        self.stalled = stalled
+        self.history = history
+        self.timers = timers
+
+
+class IterationStrategy:
+    """Update rules + hooks one ADMM variant plugs into :class:`ADMMLoop`.
+
+    Concrete strategies must provide :meth:`global_step` and
+    :meth:`local_step` (or the fused :attr:`local_dual_step`) and set
+    the attributes ``algorithm_name``, ``gcols`` (the consensus gather
+    index), ``c`` (the cost vector) and ``backend``.
+    """
+
+    algorithm_name = "ADMM"
+    #: Honor ``config.relaxation`` (the benchmark baseline never did).
+    use_relaxation = True
+    #: Honor ``config.residual_balancing`` (fixed-rho variants opt out).
+    supports_balancing = True
+    #: Honor ``config.divergence_guard`` (variants that handle non-finite
+    #: iterates themselves, like the stacked serving solve, opt out).
+    guard_enabled = True
+    #: Set to a callable to replace the engine's residual computation.
+    residuals = None
+    #: Set to a callable ``(bx_eff, z_prev, lam, rho) -> (z, lam)`` to fuse
+    #: the local and dual updates (rank-explicit runners do both per rank).
+    local_dual_step = None
+
+    backend: Backend
+    gcols = None
+    c = None
+
+    # -- update rules ---------------------------------------------------
+    def global_step(self, z, lam, rho):
+        raise NotImplementedError
+
+    def gather(self, x):
+        """``B x`` — the consensus gather."""
+        return x[self.gcols]
+
+    def local_step(self, bx_eff, z_prev, lam, rho):
+        raise NotImplementedError
+
+    def dual_step(self, lam, bx_eff, z, rho):
+        """Eq. (19)."""
+        return lam + rho * (bx_eff - z)
+
+    def objective(self, x) -> float:
+        """Cost of a (possibly fp32 / device) solution, fp64-accumulated."""
+        return self.backend.dot(self.c, x)
+
+    # -- hooks ----------------------------------------------------------
+    def span_args(self) -> dict:
+        """Extra attributes for the ``admm.solve`` telemetry span."""
+        return {}
+
+    def on_iteration_start(self, iteration: int, z, lam, rho):
+        """Called before the global update; may transform ``(z, lam)``."""
+        return z, lam
+
+    def after_residuals(self, iteration: int, res) -> None:
+        """Called after the residual test (timelines, barriers)."""
+
+    def on_iteration_continue(self, iteration: int, z, lam, rho) -> None:
+        """Called when the loop continues past ``iteration`` (checkpoints)."""
+
+    def final_timers(self, timers: dict) -> dict:
+        """Map the engine's phase timers to the result's ``timers`` dict."""
+        return timers
+
+    def final_algorithm_name(self) -> str:
+        return self.algorithm_name
+
+
+class ADMMLoop:
+    """The shared iteration engine.
+
+    Parameters
+    ----------
+    strategy:
+        The variant's update rules and hooks.
+    config:
+        ADMM hyper-parameters.
+    backend:
+        Array-execution backend; defaults to the strategy's.
+    tracer:
+        Optional telemetry tracer (``admm.solve`` + per-phase spans).
+    record_timers:
+        Accumulate wall time per phase (serial solvers do; the simulated
+        runners charge virtual clocks instead).
+    phase_spans:
+        Emit ``admm.{global,local,dual,residual}`` spans when the tracer
+        is enabled (rank-explicit runners emit per-rank spans instead).
+    watch_stall:
+        Arm the mixed-precision stall watch when the backend's policy has
+        refinement enabled; a stalled run breaks with ``stalled=True`` so
+        the caller can continue under an fp64 backend.
+    """
+
+    def __init__(
+        self,
+        strategy: IterationStrategy,
+        config: ADMMConfig,
+        *,
+        backend: Backend | None = None,
+        tracer=None,
+        record_timers: bool = True,
+        phase_spans: bool = True,
+        record_history: bool | None = None,
+        watch_stall: bool = True,
+        balancer: ResidualBalancer | None = None,
+    ):
+        self.strategy = strategy
+        self.config = config
+        self.backend = backend if backend is not None else resolve_backend(
+            getattr(strategy, "backend", None)
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.record_timers = record_timers
+        self.phase_spans = phase_spans
+        self.record_history = (
+            config.record_history if record_history is None else record_history
+        )
+        self.watch_stall = watch_stall
+        self.balancer = balancer
+
+    # ------------------------------------------------------------------
+    def _default_residuals(self, bx, z, z_prev, lam, rho) -> Residuals:
+        """Eq. (16) with norms accumulated per the backend's policy."""
+        b = self.backend
+        eps_rel = self.config.eps_rel
+        pres = b.norm(bx - z)
+        dres = float(rho * b.norm(z - z_prev))
+        eps_prim = float(eps_rel * max(b.norm(bx), b.norm(z)))
+        eps_dual = float(eps_rel * b.norm(lam))
+        return Residuals(pres=pres, dres=dres, eps_prim=eps_prim, eps_dual=eps_dual)
+
+    def _raise_divergence(self, iteration, res, best, history, timers) -> None:
+        """Build the best-so-far result and raise :class:`DivergenceError`.
+
+        ``best`` is ``(iteration, x, z, lam, res)`` from the last iteration
+        whose state was entirely finite, or ``None``.
+        """
+        strat = self.strategy
+        b = self.backend
+        result = None
+        if best is not None:
+            b_iter, b_x, b_z, b_lam, b_res = best
+            result = ADMMResult(
+                x=b.to_numpy(b_x),
+                z=b.to_numpy(b_z),
+                lam=b.to_numpy(b_lam),
+                objective=strat.objective(b_x),
+                iterations=b_iter,
+                converged=False,
+                pres=b_res.pres,
+                dres=b_res.dres,
+                history=history,
+                timers=strat.final_timers(timers.as_dict() if timers else {}),
+                algorithm=strat.final_algorithm_name(),
+            )
+        raise DivergenceError(
+            f"{strat.algorithm_name}: non-finite iterate at iteration {iteration} "
+            f"(pres {res.pres}, dres {res.dres}); "
+            f"best finite state is iteration {best[0] if best else 0}",
+            iteration=iteration,
+            pres=res.pres,
+            dres=res.dres,
+            result=result,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, x, z, lam, *, budget: int | None = None,
+            rho: float | None = None, callback=None) -> LoopOutcome:
+        """Iterate until (16) holds, the budget runs out, a non-finite
+        iterate trips the guard, or the mixed-precision stall watch fires.
+        """
+        cfg = self.config
+        strat = self.strategy
+        budget = cfg.max_iter if budget is None else budget
+        rho = cfg.rho if rho is None else rho
+        relax = cfg.relaxation if strat.use_relaxation else 1.0
+        history = IterationHistory() if self.record_history else None
+        timers = PhaseTimer() if self.record_timers else None
+        tracer = self.tracer
+        balancing = (
+            cfg.residual_balancing
+            and strat.supports_balancing
+            and self.balancer is not None
+        )
+        policy = self.backend.policy
+        stall_watch = self.watch_stall and policy.refine
+        stall_best = None  # running best of the stall metric
+        stall_best_at_check = None  # its value at the previous check
+        fused = strat.local_dual_step is not None
+        guard = cfg.divergence_guard and strat.guard_enabled
+        spans = self.phase_spans
+        # perf_counter stamps feed the phase timers and/or the phase spans.
+        solve_span = None
+        if spans:
+            solve_span = tracer.span(
+                "admm.solve",
+                algorithm=strat.algorithm_name,
+                backend=self.backend.name,
+                precision=policy.name,
+                **strat.span_args(),
+            )
+            solve_span.__enter__()
+        res = None
+        iteration = 0
+        best = None  # (iteration, x, z, lam, res) of the last finite state
+        stalled = False
+        try:
+            while iteration < budget:
+                iteration += 1
+                z, lam = strat.on_iteration_start(iteration, z, lam, rho)
+                stamp = self.record_timers or (spans and tracer)
+                try:
+                    t0 = time.perf_counter() if stamp else 0.0
+                    x = strat.global_step(z, lam, rho)
+                    t1 = time.perf_counter() if stamp else 0.0
+                    bx = strat.gather(x)
+                    z_prev = z
+                    # Over-relaxation (alpha = 1 is the plain algorithm).
+                    bx_eff = bx if relax == 1.0 else (
+                        relax * bx + (1.0 - relax) * z_prev
+                    )
+                    if fused:
+                        z, lam = strat.local_dual_step(bx_eff, z_prev, lam, rho)
+                        t2 = t3 = time.perf_counter() if stamp else 0.0
+                    else:
+                        z = strat.local_step(bx_eff, z_prev, lam, rho)
+                        t2 = time.perf_counter() if stamp else 0.0
+                        lam = strat.dual_step(lam, bx_eff, z, rho)
+                        t3 = time.perf_counter() if stamp else 0.0
+                except RewindSignal as rewind:
+                    z, lam = rewind.z, rewind.lam
+                    truncate_history(history, rewind.iteration)
+                    iteration = rewind.iteration
+                    continue
+                if strat.residuals is not None:
+                    res = strat.residuals(iteration, x, bx, z, z_prev, lam, rho)
+                else:
+                    res = self._default_residuals(bx, z, z_prev, lam, rho)
+                t4 = time.perf_counter() if stamp else 0.0
+                if timers is not None:
+                    timers.add("global", t1 - t0)
+                    timers.add("local", t2 - t1)
+                    timers.add("dual", t3 - t2)
+                    timers.add("residual", t4 - t3)
+                if spans and tracer:
+                    tracer.add_complete("admm.global", t0, t1, cat="admm")
+                    tracer.add_complete("admm.local", t1, t2, cat="admm")
+                    tracer.add_complete("admm.dual", t2, t3, cat="admm")
+                    tracer.add_complete("admm.residual", t3, t4, cat="admm")
+                if guard:
+                    if res.finite:
+                        # Updates never mutate x/z/lam in place, so keeping
+                        # references (no copies) is safe.
+                        best = (iteration, x, z, lam, res)
+                    else:
+                        self._raise_divergence(iteration, res, best, history, timers)
+                strat.after_residuals(iteration, res)
+                if history is not None:
+                    history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
+                if callback is not None:
+                    callback(iteration, x, z, lam, res)
+                if res.converged:
+                    break
+                if balancing:
+                    rho = self.balancer.adapt(
+                        rho, iteration, res.pres, res.dres, res.eps_prim, res.eps_dual
+                    )
+                strat.on_iteration_continue(iteration, z, lam, rho)
+                if stall_watch:
+                    # ADMM residuals oscillate, so single-iterate
+                    # comparisons would routinely flag healthy runs; the
+                    # watch tracks the *running best* of the worst
+                    # residual-to-tolerance ratio and fires only when a
+                    # whole check window fails to improve it.
+                    metric = max(
+                        res.pres / max(res.eps_prim, 1e-300),
+                        res.dres / max(res.eps_dual, 1e-300),
+                    )
+                    if stall_best is None or metric < stall_best:
+                        stall_best = metric
+                    if (
+                        iteration >= policy.refine_after
+                        and iteration % policy.refine_check_every == 0
+                    ):
+                        if stall_best_at_check is not None and stall_best > 1.0:
+                            progress = (
+                                stall_best_at_check - stall_best
+                            ) / stall_best_at_check
+                            if progress < policy.refine_min_progress:
+                                stalled = True
+                                break
+                        stall_best_at_check = stall_best
+        finally:
+            if solve_span is not None:
+                solve_span.__exit__(None, None, None)
+        converged = bool(res is not None and res.converged)
+        if not converged and not stalled and cfg.raise_on_max_iter:
+            detail = ""
+            if res is not None:
+                detail = (
+                    f" (pres {res.pres:.2e} vs {res.eps_prim:.2e}, "
+                    f"dres {res.dres:.2e} vs {res.eps_dual:.2e})"
+                )
+            raise ConvergenceError(
+                f"{strat.algorithm_name}: no convergence in {budget} iterations"
+                + detail
+            )
+        return LoopOutcome(
+            x=x, z=z, lam=lam, res=res, iterations=iteration,
+            converged=converged, stalled=stalled, history=history,
+            timers=timers.as_dict() if timers is not None else {},
+        )
+
+    # ------------------------------------------------------------------
+    def result(self, outcome: LoopOutcome) -> ADMMResult:
+        """Package a :class:`LoopOutcome` as the public :class:`ADMMResult`
+        (host fp64 arrays, whatever the execution backend was)."""
+        strat = self.strategy
+        b = self.backend
+        res = outcome.res
+        return ADMMResult(
+            x=b.to_numpy(outcome.x),
+            z=b.to_numpy(outcome.z),
+            lam=b.to_numpy(outcome.lam),
+            objective=strat.objective(outcome.x),
+            iterations=outcome.iterations,
+            converged=outcome.converged,
+            pres=res.pres if res else float("inf"),
+            dres=res.dres if res else float("inf"),
+            history=outcome.history,
+            timers=strat.final_timers(outcome.timers),
+            algorithm=strat.final_algorithm_name(),
+        )

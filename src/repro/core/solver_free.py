@@ -12,9 +12,12 @@ consensus structure of Section IV-C:
 * **dual update** (12)/(19).
 
 Termination follows the relative primal/dual criterion (16).  The
-implementation is fully vectorized over components — the NumPy equivalent
-of the paper's CUDA kernels — and supports warm starting from a previous
-result, which the dynamic-topology examples rely on.
+iteration skeleton itself lives in :class:`repro.core.loop.ADMMLoop`;
+this class supplies Algorithm 1's update rules and runs on any
+:class:`repro.backend.Backend` — fp64 NumPy (default, bit-identical to
+the historical implementation), fp32 with the automatic fp64-refinement
+fallback, or CuPy.  Warm starting from a previous result is supported,
+which the dynamic-topology examples rely on.
 """
 
 from __future__ import annotations
@@ -23,60 +26,17 @@ import time
 
 import numpy as np
 
+from repro.backend import refinement_backend, resolve_backend
 from repro.core.batch import BatchedLocalSolver
 from repro.core.config import ADMMConfig
-from repro.core.residuals import compute_residuals
-from repro.core.results import ADMMResult, IterationHistory
+from repro.core.loop import ADMMLoop, IterationStrategy, LoopOutcome
+from repro.core.results import ADMMResult
 from repro.core.rho import ResidualBalancer
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.telemetry import NULL_TRACER
-from repro.utils.exceptions import ConvergenceError, DivergenceError
-from repro.utils.timing import PhaseTimer
 
 
-def _raise_divergence(
-    algorithm: str,
-    iteration: int,
-    res,
-    best: tuple | None,
-    cost: np.ndarray,
-    history,
-    timers,
-) -> None:
-    """Build the best-so-far result and raise :class:`DivergenceError`.
-
-    ``best`` is ``(iteration, x, z, lam, res)`` from the last iteration whose
-    state was entirely finite, or ``None`` if divergence hit immediately.
-    Shared by the solver-free and benchmark ADMM loops.
-    """
-    result = None
-    if best is not None:
-        b_iter, b_x, b_z, b_lam, b_res = best
-        result = ADMMResult(
-            x=b_x,
-            z=b_z,
-            lam=b_lam,
-            objective=float(cost @ b_x),
-            iterations=b_iter,
-            converged=False,
-            pres=b_res.pres,
-            dres=b_res.dres,
-            history=history,
-            timers=timers.as_dict(),
-            algorithm=algorithm,
-        )
-    raise DivergenceError(
-        f"{algorithm}: non-finite iterate at iteration {iteration} "
-        f"(pres {res.pres}, dres {res.dres}); "
-        f"best finite state is iteration {best[0] if best else 0}",
-        iteration=iteration,
-        pres=res.pres,
-        dres=res.dres,
-        result=result,
-    )
-
-
-class SolverFreeADMM:
+class SolverFreeADMM(IterationStrategy):
     """Algorithm 1 on a decomposed OPF model.
 
     Parameters
@@ -89,6 +49,12 @@ class SolverFreeADMM:
         Optional :class:`repro.telemetry.Tracer`; when enabled, every
         iteration's global/local/dual/residual phases become spans (from
         the ``perf_counter`` stamps the phase timers take anyway).
+    backend:
+        Array-execution backend (instance or registry name); defaults to
+        the process default (``$REPRO_BACKEND`` or ``numpy64``).
+    precision:
+        Optional ``fp64`` / ``fp32`` / ``mixed`` overlay on the backend's
+        dtype policy.
 
     Examples
     --------
@@ -102,26 +68,34 @@ class SolverFreeADMM:
     """
 
     algorithm_name = "solver-free ADMM"
+    #: Mixed-precision runs may continue a stalled fp32 solve in fp64;
+    #: variants with solver state the continuation cannot reconstruct
+    #: (compression codecs, privacy accountants) opt out.
+    refinement_supported = True
 
     def __init__(
         self,
         dec: DecomposedOPF,
         config: ADMMConfig | None = None,
         tracer=None,
+        backend=None,
+        precision: str | None = None,
     ):
         self.dec = dec
         self.config = config or ADMMConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.backend = resolve_backend(backend, precision)
+        b = self.backend
         lp = dec.lp
         self.n = lp.n_vars
         self.n_local = dec.n_local
-        self.c = lp.cost
-        self.lb = lp.lb
-        self.ub = lp.ub
-        self.gcols = dec.global_cols
-        self.counts = dec.counts
+        self.c = b.asarray(lp.cost)
+        self.lb = b.asarray(lp.lb)
+        self.ub = b.asarray(lp.ub)
+        self.gcols = b.index_array(dec.global_cols)
+        self.counts = b.asarray(dec.counts)
         # Precomputation (Algorithm 1, lines 2-3): rho-independent.
-        self.local_solver = BatchedLocalSolver.from_decomposition(dec)
+        self.local_solver = BatchedLocalSolver.from_decomposition(dec, backend=b)
         self._balancer = ResidualBalancer(
             mu=self.config.balancing_mu,
             tau=self.config.balancing_tau,
@@ -131,46 +105,73 @@ class SolverFreeADMM:
     # ------------------------------------------------------------------
     # Update stages (exposed individually for tests and instrumentation)
     # ------------------------------------------------------------------
-    def global_update(self, z: np.ndarray, lam: np.ndarray, rho: float) -> np.ndarray:
+    def global_update(self, z, lam, rho: float):
         """Eq. (18): closed-form bound-projected global minimizer."""
-        scatter = np.bincount(self.gcols, weights=z - lam / rho, minlength=self.n)
+        b = self.backend
+        scatter = b.scatter_add(self.gcols, z - lam / rho, self.n)
         xhat = (scatter - self.c / rho) / self.counts
-        return np.clip(xhat, self.lb, self.ub)
+        return b.clip(xhat, self.lb, self.ub)
 
-    def local_update(self, bx: np.ndarray, lam: np.ndarray, rho: float) -> np.ndarray:
+    def local_update(self, bx, lam, rho: float):
         """Eq. (15): batched projection of ``v = B x + lam / rho``."""
         return self.local_solver.solve(bx + lam / rho)
 
-    def dual_update(
-        self, lam: np.ndarray, bx: np.ndarray, z: np.ndarray, rho: float
-    ) -> np.ndarray:
+    def dual_update(self, lam, bx, z, rho: float):
         """Eq. (19)."""
         return lam + rho * (bx - z)
 
     # ------------------------------------------------------------------
+    # Engine hooks (repro.core.loop) — delegate to the public stages
+    # ------------------------------------------------------------------
+    def global_step(self, z, lam, rho):
+        return self.global_update(z, lam, rho)
+
+    def local_step(self, bx_eff, z_prev, lam, rho):
+        return self.local_update(bx_eff, lam, rho)
+
+    def dual_step(self, lam, bx_eff, z, rho):
+        return self.dual_update(lam, bx_eff, z, rho)
+
+    def span_args(self) -> dict:
+        return {"n_vars": self.n, "n_components": self.dec.n_components}
+
+    # ------------------------------------------------------------------
     def initial_state(
         self,
-        x0: np.ndarray | None = None,
-        z0: np.ndarray | None = None,
-        lam0: np.ndarray | None = None,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x0=None,
+        z0=None,
+        lam0=None,
+    ):
         """Paper's initialization (line 1), or a warm start if given."""
-        x = self.dec.lp.initial_point() if x0 is None else np.asarray(x0, dtype=float).copy()
+        b = self.backend
+        x = (
+            b.from_numpy(self.dec.lp.initial_point())
+            if x0 is None
+            else b.asarray(x0, copy=True)
+        )
         if x.shape != (self.n,):
             raise ValueError("warm-start vectors have inconsistent shapes")
-        z = x[self.gcols].copy() if z0 is None else np.asarray(z0, dtype=float).copy()
-        lam = (
-            np.zeros(self.n_local) if lam0 is None else np.asarray(lam0, dtype=float).copy()
-        )
+        z = x[self.gcols].copy() if z0 is None else b.asarray(z0, copy=True)
+        lam = b.zeros(self.n_local) if lam0 is None else b.asarray(lam0, copy=True)
         if z.shape != (self.n_local,) or lam.shape != (self.n_local,):
             raise ValueError("warm-start vectors have inconsistent shapes")
         return x, z, lam
 
+    def _make_loop(self, *, watch_stall: bool = True) -> ADMMLoop:
+        return ADMMLoop(
+            self,
+            self.config,
+            backend=self.backend,
+            tracer=self.tracer,
+            balancer=self._balancer,
+            watch_stall=watch_stall,
+        )
+
     def solve(
         self,
-        x0: np.ndarray | None = None,
-        z0: np.ndarray | None = None,
-        lam0: np.ndarray | None = None,
+        x0=None,
+        z0=None,
+        lam0=None,
         max_iter: int | None = None,
         callback=None,
     ) -> ADMMResult:
@@ -194,93 +195,62 @@ class SolverFreeADMM:
         DivergenceError
             If ``config.divergence_guard`` and an iterate goes non-finite;
             the error carries the best (last finite) state as ``result``.
+
+        Notes
+        -----
+        Under a backend whose precision policy enables refinement (the
+        ``numpy32`` default), a solve whose relative residuals stall above
+        tolerance is continued in fp64, warm-started from the fp32
+        iterate; the returned result merges both segments.
         """
         cfg = self.config
         budget = cfg.max_iter if max_iter is None else max_iter
-        rho = cfg.rho
         x, z, lam = self.initial_state(x0, z0, lam0)
         self._balancer.reset()
-        history = IterationHistory() if cfg.record_history else None
-        timers = PhaseTimer()
-        tracer = self.tracer
-        solve_span = tracer.span(
-            "admm.solve",
-            algorithm=self.algorithm_name,
-            n_vars=self.n,
-            n_components=self.dec.n_components,
+        loop = self._make_loop()
+        outcome = loop.run(x, z, lam, budget=budget, callback=callback)
+        if outcome.stalled and self.refinement_supported:
+            return self._refine(loop, outcome, budget, callback)
+        return loop.result(outcome)
+
+    # ------------------------------------------------------------------
+    def _refinement_solver(self, backend) -> "SolverFreeADMM | None":
+        """An fp64 twin of this solver for the refinement continuation."""
+        return type(self)(self.dec, self.config, tracer=self.tracer, backend=backend)
+
+    def _refine(
+        self, loop: ADMMLoop, outcome: LoopOutcome, budget: int, callback
+    ) -> ADMMResult:
+        """Continue a stalled low-precision solve in fp64.
+
+        Classic ADMM-level iterative refinement: the fp32 iterate is a
+        good warm start, and the fp64 continuation recovers the digits
+        fp32 rounding cannot represent.
+        """
+        remaining = budget - outcome.iterations
+        twin = self._refinement_solver(refinement_backend(self.backend))
+        if remaining <= 0 or twin is None:
+            return loop.result(outcome)
+        b = self.backend
+        x64, z64, lam64 = twin.initial_state(
+            b.to_numpy(outcome.x), b.to_numpy(outcome.z), b.to_numpy(outcome.lam)
         )
-        solve_span.__enter__()
-        res = None
-        iteration = 0
-        best = None  # (iteration, x, z, lam, res) of the last finite state
-        try:
-            for iteration in range(1, budget + 1):
-                t0 = time.perf_counter()
-                x = self.global_update(z, lam, rho)
-                t1 = time.perf_counter()
-                bx = x[self.gcols]
-                z_prev = z
-                # Over-relaxation (alpha = 1 is plain Algorithm 1).
-                bx_eff = bx if cfg.relaxation == 1.0 else (
-                    cfg.relaxation * bx + (1.0 - cfg.relaxation) * z_prev
-                )
-                z = self.local_solver.solve(bx_eff + lam / rho)
-                t2 = time.perf_counter()
-                lam = lam + rho * (bx_eff - z)
-                t3 = time.perf_counter()
-                res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-                t4 = time.perf_counter()
-                timers.add("global", t1 - t0)
-                timers.add("local", t2 - t1)
-                timers.add("dual", t3 - t2)
-                timers.add("residual", t4 - t3)
-                if tracer:
-                    tracer.add_complete("admm.global", t0, t1, cat="admm")
-                    tracer.add_complete("admm.local", t1, t2, cat="admm")
-                    tracer.add_complete("admm.dual", t2, t3, cat="admm")
-                    tracer.add_complete("admm.residual", t3, t4, cat="admm")
-                if cfg.divergence_guard:
-                    if res.finite:
-                        # The loop never mutates x/z/lam in place, so keeping
-                        # references (no copies) is safe.
-                        best = (iteration, x, z, lam, res)
-                    else:
-                        _raise_divergence(
-                            self.algorithm_name, iteration, res, best,
-                            self.c, history, timers,
-                        )
-                if history is not None:
-                    history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-                if callback is not None:
-                    callback(iteration, x, z, lam, res)
-                if res.converged:
-                    break
-                if cfg.residual_balancing:
-                    rho = self._balancer.adapt(
-                        rho, iteration, res.pres, res.dres, res.eps_prim, res.eps_dual
-                    )
-        finally:
-            solve_span.__exit__(None, None, None)
-        converged = bool(res is not None and res.converged)
-        if not converged and cfg.raise_on_max_iter:
-            raise ConvergenceError(
-                f"solver-free ADMM: no convergence in {budget} iterations "
-                f"(pres {res.pres:.2e} vs {res.eps_prim:.2e}, "
-                f"dres {res.dres:.2e} vs {res.eps_dual:.2e})"
-            )
-        return ADMMResult(
-            x=x,
-            z=z,
-            lam=lam,
-            objective=float(self.c @ x),
-            iterations=iteration,
-            converged=converged,
-            pres=res.pres if res else float("inf"),
-            dres=res.dres if res else float("inf"),
-            history=history,
-            timers=timers.as_dict(),
-            algorithm=self.algorithm_name,
-        )
+        twin._balancer.reset()
+        loop64 = twin._make_loop(watch_stall=False)
+        out64 = loop64.run(x64, z64, lam64, budget=remaining, callback=callback)
+        result = loop64.result(out64)
+        result.iterations += outcome.iterations
+        if outcome.history is not None and out64.history is not None:
+            merged = outcome.history
+            for name in ("pres", "dres", "eps_prim", "eps_dual", "rho"):
+                getattr(merged, name).extend(getattr(out64.history, name))
+            result.history = merged
+        timers = dict(outcome.timers)
+        for key, val in result.timers.items():
+            timers[key] = timers.get(key, 0.0) + val
+        result.timers = timers
+        result.algorithm = f"{self.algorithm_name} (fp32 + fp64 refinement)"
+        return result
 
     # ------------------------------------------------------------------
     # Instrumentation for the parallel/GPU performance studies

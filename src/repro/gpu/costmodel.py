@@ -50,35 +50,46 @@ def _stream_time(device: DeviceSpec, flops: float, nbytes: float, kernels: int) 
     )
 
 
-def global_update_time(device: DeviceSpec, n: int, n_local: int) -> float:
+def global_update_time(
+    device: DeviceSpec, n: int, n_local: int, itemsize: int = BYTES_PER_VALUE
+) -> float:
     """Eq. (18): scatter-add of z - lam/rho, diagonal scale, clip.
 
     Roughly three fused kernels touching the stacked vector once and the
-    global vector a handful of times.
+    global vector a handful of times.  ``itemsize`` is the bytes per array
+    value (8 for fp64, 4 for fp32) — these stages are memory-bound, so a
+    reduced-precision backend halves the modeled traffic.
     """
-    nbytes = BYTES_PER_VALUE * (3.0 * n_local + 5.0 * n)
+    nbytes = itemsize * (3.0 * n_local + 5.0 * n)
     flops = 2.0 * n_local + 3.0 * n
     return _stream_time(device, flops, nbytes, kernels=3)
 
 
-def dual_update_time(device: DeviceSpec, n_local: int) -> float:
+def dual_update_time(
+    device: DeviceSpec, n_local: int, itemsize: int = BYTES_PER_VALUE
+) -> float:
     """Eq. (19): one saxpy-style kernel over the stacked dimension."""
-    nbytes = BYTES_PER_VALUE * 4.0 * n_local
+    nbytes = itemsize * 4.0 * n_local
     flops = 3.0 * n_local
     return _stream_time(device, flops, nbytes, kernels=1)
 
 
-def local_update_time_batched(device: DeviceSpec, sizes: np.ndarray) -> float:
+def local_update_time_batched(
+    device: DeviceSpec, sizes: np.ndarray, itemsize: int = BYTES_PER_VALUE
+) -> float:
     """Eq. (15) as a batched matvec: sum over components of 2 n_s^2 flops,
     streaming each projection operator from memory once."""
     sizes = np.asarray(sizes, dtype=float)
     flops = float(np.sum(2.0 * sizes**2 + 2.0 * sizes))
-    nbytes = BYTES_PER_VALUE * float(np.sum(sizes**2 + 3.0 * sizes))
+    nbytes = itemsize * float(np.sum(sizes**2 + 3.0 * sizes))
     return _stream_time(device, flops, nbytes, kernels=2)
 
 
 def local_update_time_threads(
-    device: DeviceSpec, sizes: np.ndarray, threads_per_block: int
+    device: DeviceSpec,
+    sizes: np.ndarray,
+    threads_per_block: int,
+    itemsize: int = BYTES_PER_VALUE,
 ) -> float:
     """The paper's custom kernel: one block per component, T threads/block.
 
@@ -93,8 +104,9 @@ def local_update_time_threads(
     blocks_per_sm = max(1, min(device.max_blocks_per_sm, device.max_threads_per_sm // max(int(t), 1)))
     concurrent = device.sm_count * blocks_per_sm
     # Cycles per block: rounds x dot-product length x cycles-per-MAC (memory
-    # stalls folded into a constant for these cache-resident operands).
-    cycles_per_mac = 8.0
+    # stalls folded into a constant for these cache-resident operands, so
+    # the stall term scales with the operand width).
+    cycles_per_mac = 8.0 * itemsize / BYTES_PER_VALUE
     block_cycles = np.ceil(sizes / t) * sizes * cycles_per_mac
     # Greedy wave packing of identical-priority blocks.
     total_cycles = float(np.sum(block_cycles)) / concurrent
@@ -108,6 +120,7 @@ def iteration_times_from_sizes(
     sizes: np.ndarray,
     n_vars: int,
     threads_per_block: int | None = None,
+    itemsize: int = BYTES_PER_VALUE,
 ) -> UpdateTimes:
     """Modeled single-device iteration times from raw problem dimensions.
 
@@ -115,18 +128,22 @@ def iteration_times_from_sizes(
     — one decomposition, or the stacked union of several same-topology
     scenarios (the serving engine's padded batch, where the component list
     is the K-fold concatenation and ``n_vars`` is ``K`` times the global
-    dimension).
+    dimension).  ``itemsize`` is the bytes per value of the execution
+    backend's compute dtype (``backend.policy.itemsize``); the default
+    keeps the paper's fp64 numbers.
     """
     sizes = np.asarray(sizes, dtype=float)
     n_local = int(np.sum(sizes))
     if threads_per_block is None:
-        local = local_update_time_batched(device, sizes)
+        local = local_update_time_batched(device, sizes, itemsize=itemsize)
     else:
-        local = local_update_time_threads(device, sizes, threads_per_block)
+        local = local_update_time_threads(
+            device, sizes, threads_per_block, itemsize=itemsize
+        )
     return UpdateTimes(
-        global_s=global_update_time(device, n_vars, n_local),
+        global_s=global_update_time(device, n_vars, n_local, itemsize=itemsize),
         local_s=local,
-        dual_s=dual_update_time(device, n_local),
+        dual_s=dual_update_time(device, n_local, itemsize=itemsize),
     )
 
 
@@ -134,11 +151,13 @@ def iteration_times(
     device: DeviceSpec,
     dec: DecomposedOPF,
     threads_per_block: int | None = None,
+    itemsize: int = BYTES_PER_VALUE,
 ) -> UpdateTimes:
     """Modeled single-device times of one full ADMM iteration."""
     sizes = np.array([c.n_vars for c in dec.components], dtype=float)
     return iteration_times_from_sizes(
-        device, sizes, dec.lp.n_vars, threads_per_block=threads_per_block
+        device, sizes, dec.lp.n_vars, threads_per_block=threads_per_block,
+        itemsize=itemsize,
     )
 
 

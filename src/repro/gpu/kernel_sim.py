@@ -124,15 +124,26 @@ def simulate_kernel(
 
 
 def local_update_kernel(
-    dec_or_sizes, threads_per_block: int, name: str = "local_update"
+    dec_or_sizes,
+    threads_per_block: int,
+    name: str = "local_update",
+    itemsize: float = 8.0,
 ) -> KernelSpec:
     """Build the Section IV-D kernel: one block per component, ``T`` threads
-    computing the entries of ``x_s`` by ``n_s``-long dot products."""
+    computing the entries of ``x_s`` by ``n_s``-long dot products.
+
+    ``itemsize`` (bytes per value, 8 for fp64, 4 for fp32) scales the
+    per-MAC cycle cost: the stall component of :data:`CYCLES_PER_MAC` is
+    memory traffic, so reduced precision moves proportionally fewer bytes
+    per dot-product step.  The default keeps the fp64 numbers the analytic
+    model (:mod:`repro.gpu.costmodel`) was validated against.
+    """
     if isinstance(dec_or_sizes, DecomposedOPF):
         sizes = np.array([c.n_vars for c in dec_or_sizes.components], dtype=float)
     else:
         sizes = np.asarray(dec_or_sizes, dtype=float)
-    cycles = np.ceil(sizes / threads_per_block) * sizes * CYCLES_PER_MAC
+    cycles_per_mac = CYCLES_PER_MAC * itemsize / 8.0
+    cycles = np.ceil(sizes / threads_per_block) * sizes * cycles_per_mac
     return KernelSpec(name=name, threads_per_block=threads_per_block, block_cycles=cycles)
 
 
@@ -142,11 +153,12 @@ def simulate_local_update(
     threads_per_block: int,
     tracer=None,
     t_start_s: float = 0.0,
+    itemsize: float = 8.0,
 ) -> KernelExecution:
     """Convenience wrapper: simulate one local-update launch."""
     return simulate_kernel(
         device,
-        local_update_kernel(dec_or_sizes, threads_per_block),
+        local_update_kernel(dec_or_sizes, threads_per_block, itemsize=itemsize),
         tracer=tracer,
         t_start_s=t_start_s,
     )

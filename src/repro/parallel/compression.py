@@ -22,8 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import ADMMConfig
-from repro.core.residuals import compute_residuals
-from repro.core.results import ADMMResult, IterationHistory
+from repro.core.loop import ADMMLoop
+from repro.core.results import ADMMResult
 from repro.core.solver_free import SolverFreeADMM
 from repro.decomposition.decomposed import DecomposedOPF
 
@@ -114,63 +114,52 @@ class CompressedSolverFreeADMM(SolverFreeADMM):
     """
 
     algorithm_name = "solver-free ADMM (compressed uploads)"
+    #: Compressor state (error-feedback memory, byte counters) cannot be
+    #: carried into an fp64 twin, so stalled fp32 runs are returned as-is.
+    refinement_supported = False
+    supports_balancing = False
 
     def __init__(
         self,
         dec: DecomposedOPF,
         compressor,
         config: ADMMConfig | None = None,
+        backend=None,
+        precision: str | None = None,
     ):
-        super().__init__(dec, config)
+        super().__init__(dec, config, backend=backend, precision=precision)
         if self.config.residual_balancing:
             raise ValueError("compression mode supports fixed rho only")
         self.compressor = compressor
         self.bytes_sent = 0
         self.bytes_dense = 0
 
+    def local_step(self, bx_eff, z_prev, lam, rho):
+        z_exact = self.local_solver.solve(bx_eff + lam / rho)
+        # Compress the innovation against the operator's current view.
+        msg = self.compressor.compress(z_exact - z_prev)
+        self.bytes_sent += msg.nbytes
+        self.bytes_dense += z_exact.itemsize * z_exact.size
+        return z_prev + msg.values
+
+    def _make_loop(self, *, watch_stall: bool = True) -> ADMMLoop:
+        # The historical compressed loop kept no phase timers or spans.
+        return ADMMLoop(
+            self,
+            self.config,
+            backend=self.backend,
+            tracer=self.tracer,
+            record_timers=False,
+            phase_spans=False,
+            watch_stall=False,
+        )
+
     def solve(self, x0=None, z0=None, lam0=None, max_iter=None, callback=None) -> ADMMResult:
-        cfg = self.config
-        budget = cfg.max_iter if max_iter is None else max_iter
-        rho = cfg.rho
-        x, z, lam = self.initial_state(x0, z0, lam0)
         self.bytes_sent = 0
         self.bytes_dense = 0
         if isinstance(self.compressor, ErrorFeedback):
             self.compressor.reset()
-        history = IterationHistory() if cfg.record_history else None
-        res = None
-        iteration = 0
-        for iteration in range(1, budget + 1):
-            x = self.global_update(z, lam, rho)
-            bx = x[self.gcols]
-            z_prev = z
-            z_exact = self.local_solver.solve(bx + lam / rho)
-            # Compress the innovation against the operator's current view.
-            msg = self.compressor.compress(z_exact - z_prev)
-            z = z_prev + msg.values
-            self.bytes_sent += msg.nbytes
-            self.bytes_dense += 8 * z.size
-            lam = lam + rho * (bx - z)
-            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-            if history is not None:
-                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-            if callback is not None:
-                callback(iteration, x, z, lam, res)
-            if res.converged:
-                break
-        return ADMMResult(
-            x=x,
-            z=z,
-            lam=lam,
-            objective=float(self.c @ x),
-            iterations=iteration,
-            converged=bool(res is not None and res.converged),
-            pres=res.pres if res else float("inf"),
-            dres=res.dres if res else float("inf"),
-            history=history,
-            timers={},
-            algorithm=self.algorithm_name,
-        )
+        return super().solve(x0, z0, lam0, max_iter, callback)
 
     @property
     def compression_ratio(self) -> float:

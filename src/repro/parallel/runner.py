@@ -24,10 +24,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.batch import BatchedLocalSolver
 from repro.core.config import ADMMConfig
+from repro.core.loop import ADMMLoop, IterationStrategy
 from repro.core.residuals import compute_residuals
-from repro.core.results import ADMMResult, IterationHistory
+from repro.core.results import ADMMResult
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.parallel.assignment import assign_even, rank_partition
 from repro.parallel.comm import CommModel
@@ -67,7 +69,7 @@ class DistributedRunResult:
     simulated_total_s: float
 
 
-class DistributedADMMRunner:
+class DistributedADMMRunner(IterationStrategy):
     """Execute Algorithm 1 through the simulated MPI communicator.
 
     Parameters
@@ -87,7 +89,18 @@ class DistributedADMMRunner:
         rank's compute and communication intervals become spans on the
         ``cluster-sim`` track (one lane per rank, virtual-clock time) —
         the raw material of the paper's Fig. 1 rendered in Perfetto.
+
+    The iteration skeleton is :class:`repro.core.loop.ADMMLoop`; this class
+    supplies the rank-explicit hooks (fused local+dual update on per-rank
+    virtual clocks, aggregator-side residuals, barrier, timeline).  The
+    backend is pinned to ``numpy64``: the per-rank un-batched path must
+    reproduce the serial batched iterates bit-for-bit, which fp32 matmul
+    batching does not guarantee.
     """
+
+    algorithm_name = "solver-free ADMM (simulated MPI)"
+    use_relaxation = False
+    supports_balancing = False
 
     def __init__(
         self,
@@ -102,6 +115,9 @@ class DistributedADMMRunner:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.config.relaxation != 1.0 or self.config.residual_balancing:
             raise ValueError("the distributed runner executes plain Algorithm 1 only")
+        self.backend = get_backend("numpy64")
+        self.c = dec.lp.cost
+        self.gcols = dec.global_cols
         self.local_solver = BatchedLocalSolver.from_decomposition(dec)
         self.owner = assign_even(dec.n_components, n_ranks)
         self.n_ranks = int(self.owner.max()) + 1
@@ -111,130 +127,154 @@ class DistributedADMMRunner:
             dec.offsets, self.owner, self.n_ranks
         )
 
+    # ------------------------------------------------------------------
+    # Virtual-clock trace helpers
+    # ------------------------------------------------------------------
+    def _trace_rank(self, name: str, rank: int, start_s: float, end_s: float) -> None:
+        if end_s > start_s:
+            self.tracer.add_modeled(
+                name,
+                start_s,
+                end_s - start_s,
+                track=TRACK_CLUSTER,
+                tid=rank,
+                cat="cluster",
+            )
+
+    def _trace_collective(self, name: str, clocks_before: np.ndarray) -> None:
+        for r in range(self.n_ranks):
+            self._trace_rank(
+                name, r, float(clocks_before[r]), float(self._comm.clocks[r])
+            )
+
+    # ------------------------------------------------------------------
+    # Engine hooks (repro.core.loop)
+    # ------------------------------------------------------------------
+    def on_iteration_start(self, iteration, z, lam, rho):
+        self._t_start = self._comm.elapsed()
+        return z, lam
+
+    def global_step(self, z, lam, rho):
+        """Aggregator: global update (13)/(18), charged to rank 0's clock."""
+        comm, dec = self._comm, self.dec
+        clock0 = float(comm.clocks[0])
+        t0 = time.perf_counter()
+        scatter = np.bincount(
+            dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars
+        )
+        xhat = (scatter - dec.lp.cost / rho) / dec.counts
+        x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
+        # The consensus gather happens on the aggregator, inside its
+        # timed block; the engine's gather() just reads it back.
+        self._bx = x[dec.global_cols]
+        comm.advance(0, time.perf_counter() - t0)
+        if self.tracer:
+            self._trace_rank("rank.global_update", 0, clock0, float(comm.clocks[0]))
+        return x
+
+    def gather(self, x):
+        return self._bx
+
+    def local_dual_step(self, bx_eff, z_prev, lam, rho):
+        """Scatter, per-rank local + dual updates, gather — on rank clocks."""
+        comm, dec, tracer = self._comm, self.dec, self.tracer
+
+        # Scatter each rank's B_s x slice (server -> agents).
+        parts = [bx_eff[idx] for idx in self._rank_slices]
+        clocks_before = comm.clocks.copy()
+        received = comm.scatterv(0, parts)
+        if tracer:
+            self._trace_collective("comm.scatter", clocks_before)
+
+        # Agents: local + dual updates on their own clocks.
+        compute_times = np.zeros(self.n_ranks)
+        z_parts: dict[int, np.ndarray] = {}
+        lam_parts: dict[int, np.ndarray] = {}
+        for r in range(self.n_ranks):
+            idx = self._rank_slices[r]
+            bx_r = received[r]
+            lam_r = lam[idx]
+            clock_r = float(comm.clocks[r])
+            t0 = time.perf_counter()
+            z_r = np.empty(idx.size)
+            pos = 0
+            for s in self._rank_components[r]:
+                n_s = int(dec.offsets[s + 1] - dec.offsets[s])
+                v_s = bx_r[pos : pos + n_s] + lam_r[pos : pos + n_s] / rho
+                z_r[pos : pos + n_s] = self.local_solver.solve_one(s, v_s)
+                pos += n_s
+            lam_r = lam_r + rho * (bx_r - z_r)
+            dt = time.perf_counter() - t0
+            comm.advance(r, dt)
+            if tracer:
+                self._trace_rank("rank.local_update", r, clock_r, float(comm.clocks[r]))
+            compute_times[r] = dt
+            z_parts[r] = z_r
+            lam_parts[r] = lam_r
+
+        # Gather (z, lambda) back to the aggregator.
+        clocks_before = comm.clocks.copy()
+        z_back = comm.gatherv(0, z_parts)
+        lam_back = comm.gatherv(0, lam_parts)
+        if tracer:
+            self._trace_collective("comm.gather", clocks_before)
+        z = np.empty(dec.n_local)
+        lam = np.empty(dec.n_local)
+        for r in range(self.n_ranks):
+            z[self._rank_slices[r]] = z_back[r]
+            lam[self._rank_slices[r]] = lam_back[r]
+        self._compute_times = compute_times
+        return z, lam
+
+    def residuals(self, iteration, x, bx, z, z_prev, lam, rho):
+        """Aggregator: residuals and termination, then the iteration barrier."""
+        comm = self._comm
+        clock0 = float(comm.clocks[0])
+        t0 = time.perf_counter()
+        res = compute_residuals(bx, z, z_prev, lam, rho, self.config.eps_rel)
+        comm.advance(0, time.perf_counter() - t0)
+        if self.tracer:
+            self._trace_rank("rank.residuals", 0, clock0, float(comm.clocks[0]))
+        comm.barrier()
+        return res
+
+    def after_residuals(self, iteration, res):
+        self._timeline.append(
+            self._comm.elapsed() - self._t_start, float(self._compute_times.max())
+        )
+
+    def final_timers(self, timers: dict) -> dict:
+        return {"simulated_total": self._comm.elapsed()}
+
+    def final_algorithm_name(self) -> str:
+        return f"solver-free ADMM (simulated MPI, {self.n_ranks} ranks)"
+
+    # ------------------------------------------------------------------
     def solve(self, max_iter: int | None = None) -> DistributedRunResult:
         """Run to the (16) criterion; returns result + simulated timeline."""
         cfg = self.config
         budget = cfg.max_iter if max_iter is None else max_iter
         dec = self.dec
-        rho = cfg.rho
-        comm = SimComm(self.n_ranks, self.comm_model)
+        self._comm = comm = SimComm(self.n_ranks, self.comm_model)
+        self._timeline = IterationTimeline()
 
         x = dec.lp.initial_point()
         z = x[dec.global_cols].copy()
         lam = np.zeros(dec.n_local)
-        history = IterationHistory() if cfg.record_history else None
-        timeline = IterationTimeline()
-        tracer = self.tracer
-
-        def _trace_rank(name: str, rank: int, start_s: float, end_s: float) -> None:
-            if end_s > start_s:
-                tracer.add_modeled(
-                    name,
-                    start_s,
-                    end_s - start_s,
-                    track=TRACK_CLUSTER,
-                    tid=rank,
-                    cat="cluster",
-                )
-
-        def _trace_collective(name: str, clocks_before: np.ndarray) -> None:
-            for r in range(self.n_ranks):
-                _trace_rank(name, r, float(clocks_before[r]), float(comm.clocks[r]))
-
-        res = None
-        iteration = 0
-        for iteration in range(1, budget + 1):
-            t_start = comm.elapsed()
-
-            # Aggregator: global update (13)/(18).
-            clock0 = float(comm.clocks[0])
-            t0 = time.perf_counter()
-            scatter = np.bincount(dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars)
-            xhat = (scatter - dec.lp.cost / rho) / dec.counts
-            x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
-            bx = x[dec.global_cols]
-            comm.advance(0, time.perf_counter() - t0)
-            if tracer:
-                _trace_rank("rank.global_update", 0, clock0, float(comm.clocks[0]))
-
-            # Scatter each rank's B_s x slice (server -> agents).
-            parts = [bx[idx] for idx in self._rank_slices]
-            clocks_before = comm.clocks.copy()
-            received = comm.scatterv(0, parts)
-            if tracer:
-                _trace_collective("comm.scatter", clocks_before)
-
-            # Agents: local + dual updates on their own clocks.
-            compute_times = np.zeros(self.n_ranks)
-            z_parts: dict[int, np.ndarray] = {}
-            lam_parts: dict[int, np.ndarray] = {}
-            for r in range(self.n_ranks):
-                idx = self._rank_slices[r]
-                bx_r = received[r]
-                lam_r = lam[idx]
-                clock_r = float(comm.clocks[r])
-                t0 = time.perf_counter()
-                z_r = np.empty(idx.size)
-                pos = 0
-                for s in self._rank_components[r]:
-                    n_s = int(dec.offsets[s + 1] - dec.offsets[s])
-                    v_s = bx_r[pos : pos + n_s] + lam_r[pos : pos + n_s] / rho
-                    z_r[pos : pos + n_s] = self.local_solver.solve_one(s, v_s)
-                    pos += n_s
-                lam_r = lam_r + rho * (bx_r - z_r)
-                dt = time.perf_counter() - t0
-                comm.advance(r, dt)
-                if tracer:
-                    _trace_rank("rank.local_update", r, clock_r, float(comm.clocks[r]))
-                compute_times[r] = dt
-                z_parts[r] = z_r
-                lam_parts[r] = lam_r
-
-            # Gather (z, lambda) back to the aggregator.
-            clocks_before = comm.clocks.copy()
-            z_back = comm.gatherv(0, z_parts)
-            lam_back = comm.gatherv(0, lam_parts)
-            if tracer:
-                _trace_collective("comm.gather", clocks_before)
-            z_prev = z
-            z = np.empty(dec.n_local)
-            lam = np.empty(dec.n_local)
-            for r in range(self.n_ranks):
-                z[self._rank_slices[r]] = z_back[r]
-                lam[self._rank_slices[r]] = lam_back[r]
-
-            # Aggregator: residuals and termination.
-            clock0 = float(comm.clocks[0])
-            t0 = time.perf_counter()
-            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-            comm.advance(0, time.perf_counter() - t0)
-            if tracer:
-                _trace_rank("rank.residuals", 0, clock0, float(comm.clocks[0]))
-            comm.barrier()
-
-            timeline.append(comm.elapsed() - t_start, float(compute_times.max()))
-            if history is not None:
-                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-            if res.converged:
-                break
-
-        converged = bool(res is not None and res.converged)
-        result = ADMMResult(
-            x=x,
-            z=z,
-            lam=lam,
-            objective=float(dec.lp.cost @ x),
-            iterations=iteration,
-            converged=converged,
-            pres=res.pres if res else float("inf"),
-            dres=res.dres if res else float("inf"),
-            history=history,
-            timers={"simulated_total": comm.elapsed()},
-            algorithm=f"solver-free ADMM (simulated MPI, {self.n_ranks} ranks)",
+        # Virtual clocks replace wall timers; rank spans replace phase spans.
+        loop = ADMMLoop(
+            self,
+            cfg,
+            backend=self.backend,
+            record_timers=False,
+            phase_spans=False,
+            watch_stall=False,
         )
+        outcome = loop.run(x, z, lam, budget=budget)
+        result = loop.result(outcome)
         return DistributedRunResult(
             result=result,
-            timeline=timeline,
+            timeline=self._timeline,
             n_ranks=self.n_ranks,
             simulated_total_s=comm.elapsed(),
         )

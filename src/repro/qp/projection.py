@@ -41,17 +41,26 @@ def project_box_affine(
     Falls back to the interior-point solver on (rare) Newton breakdowns, so
     the result is always the exact projection.
 
+    The Newton iteration itself always runs in fp64 (it solves
+    regularized linear systems, where fp32 pivots are not trustworthy),
+    but the result comes back in the caller's floating dtype: an fp32 hot
+    loop that projects its iterates is not silently promoted to fp64
+    state.
+
     Raises
     ------
     QPSolverError
         If both the Newton method and the interior-point fallback fail.
     """
+    out_dtype = np.asarray(v).dtype
+    if out_dtype.kind != "f":
+        out_dtype = np.dtype(np.float64)
     v = np.asarray(v, dtype=float)
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float).reshape(-1)
     m, n = a.shape if a.ndim == 2 else (0, v.shape[0])
     if m == 0:
-        return np.clip(v, lb, ub)
+        return np.clip(v, lb, ub).astype(out_dtype, copy=False)
 
     nu = np.zeros(m)
     x = np.clip(v - a.T @ nu, lb, ub)
@@ -61,7 +70,7 @@ def project_box_affine(
 
     for _ in range(max_iter):
         if norm <= tol * scale:
-            return x
+            return x.astype(out_dtype, copy=False)
         inner = v - a.T @ nu
         active_free = (inner > lb) & (inner < ub)
         ad = a[:, active_free]
@@ -95,11 +104,11 @@ def project_box_affine(
             break
 
     if norm <= 1e-8 * scale:
-        return x
+        return x.astype(out_dtype, copy=False)
     # Fallback: the problem as an explicit QP (Q = I, d = -v).
     result = solve_qp_box_eq(
         np.eye(n), -v, a, b, np.asarray(lb, dtype=float), np.asarray(ub, dtype=float)
     )
     if not result.converged:
         raise QPSolverError("projection failed in both Newton and interior-point paths")
-    return result.x
+    return result.x.astype(out_dtype, copy=False)

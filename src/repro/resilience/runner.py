@@ -39,8 +39,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.batch import BatchedLocalSolver
 from repro.core.config import ADMMConfig
+from repro.core.loop import ADMMLoop, IterationStrategy, RewindSignal, truncate_history
 from repro.core.residuals import compute_residuals
 from repro.core.results import ADMMResult, IterationHistory
 from repro.decomposition.decomposed import DecomposedOPF
@@ -52,7 +54,6 @@ from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.telemetry import TRACK_CLUSTER, NULL_TRACER
 from repro.telemetry.metrics import MetricsRegistry
-from repro.utils.exceptions import DivergenceError
 
 
 @dataclass(frozen=True)
@@ -86,15 +87,11 @@ class FaultTolerantRunResult:
         )
 
 
-def _truncate_history(history: IterationHistory | None, n: int) -> None:
-    """Drop replayed-over entries so the log matches the final trajectory."""
-    if history is None:
-        return
-    for name in ("pres", "dres", "eps_prim", "eps_dual", "rho"):
-        del getattr(history, name)[n:]
+#: Backwards-compatible alias; the canonical helper lives with the engine.
+_truncate_history = truncate_history
 
 
-class FaultTolerantADMMRunner:
+class FaultTolerantADMMRunner(IterationStrategy):
     """Algorithm 1 over simulated MPI with checkpoint/restart failover.
 
     Parameters
@@ -123,7 +120,17 @@ class FaultTolerantADMMRunner:
         aggregator's before it is considered lagging in stale mode.
     metrics, tracer:
         Optional telemetry sinks (fresh ones are created if omitted).
+
+    The iteration skeleton is :class:`repro.core.loop.ADMMLoop`; failover
+    rewinds the engine via :class:`repro.core.loop.RewindSignal` (restore
+    the checkpointed consensus state, truncate the history, reset the
+    iteration counter).  The backend is pinned to ``numpy64`` for exact
+    serial replay parity, like the plain distributed runner.
     """
+
+    algorithm_name = "solver-free ADMM (fault-tolerant simulated MPI)"
+    use_relaxation = False
+    supports_balancing = False
 
     def __init__(
         self,
@@ -152,6 +159,9 @@ class FaultTolerantADMMRunner:
             raise ValueError(
                 "rank 0 is the aggregator; aggregator failover is not supported"
             )
+        self.backend = get_backend("numpy64")
+        self.c = dec.lp.cost
+        self.gcols = dec.global_cols
         self.local_solver = BatchedLocalSolver.from_decomposition(dec)
         owner = assign_even(dec.n_components, n_ranks)
         self.n_ranks = int(owner.max()) + 1
@@ -186,6 +196,238 @@ class FaultTolerantADMMRunner:
         injector.corrupt(z_r, f"rank:{r}")
         return z_r, lam_out, dt
 
+    # ------------------------------------------------------------------
+    # Engine hooks (repro.core.loop)
+    # ------------------------------------------------------------------
+    def on_iteration_start(self, iteration, z, lam, rho):
+        """Begin the fault-injection round and harvest deferred (stale)
+        contributions whose rank has caught up to the aggregator."""
+        st = self._st
+        comm = st["comm"]
+        injector = st["injector"]
+        injector.begin_iteration(iteration)
+        st["current_iteration"] = iteration
+        st["t_start"] = comm.elapsed()
+        st["crashed_now"] = []
+        pending = st["pending"]
+        staleness = st["staleness"]
+        slices = st["slices"]
+        if pending:
+            harvest_z: dict[int, np.ndarray] = {}
+            harvest_lam: dict[int, np.ndarray] = {}
+            for r in sorted(pending):
+                if injector.crashed(r):
+                    pending.pop(r)
+                    st["crashed_now"].append(r)
+                    continue
+                ready = comm.clocks[r] - comm.clocks[0] <= self.stale_slack_s
+                if not ready and staleness[r] >= self.staleness_bound:
+                    comm.barrier([0, r])  # forced sync: aggregator stalls
+                    ready = True
+                if ready:
+                    z_r, lam_r = pending.pop(r)
+                    harvest_z[r] = z_r
+                    harvest_lam[r] = lam_r
+                else:
+                    staleness[r] += 1
+                    st["stale_rounds"] += 1
+                    st["stale_counter"].inc()
+            if harvest_z:
+                z_h = comm.gatherv(0, harvest_z, partial=True)
+                lam_h = comm.gatherv(0, harvest_lam, partial=True)
+                z = z.copy()
+                lam = lam.copy()
+                for r in harvest_z:
+                    if z_h[r] is not None and lam_h[r] is not None:
+                        z[slices[r]] = z_h[r]
+                        lam[slices[r]] = lam_h[r]
+                    staleness[r] = 0
+        return z, lam
+
+    def global_step(self, z, lam, rho):
+        """Aggregator: global update (13)/(18) on rank 0's clock."""
+        st = self._st
+        comm = st["comm"]
+        dec = self.dec
+        t0 = time.perf_counter()
+        scatter = np.bincount(
+            dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars
+        )
+        xhat = (scatter - dec.lp.cost / rho) / dec.counts
+        x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
+        self._bx = x[dec.global_cols]
+        comm.advance(0, time.perf_counter() - t0)
+        return x
+
+    def gather(self, x):
+        return self._bx
+
+    def local_dual_step(self, bx_eff, z_prev, lam, rho):
+        """Scatter / per-rank compute / gather with crash detection.
+
+        A detected crash runs the full failover (remove the rank,
+        restore the latest checkpoint, re-spread components over the
+        survivors, re-sync their state) and then rewinds the engine to
+        the checkpoint iteration via :class:`RewindSignal`.
+        """
+        st = self._st
+        comm = st["comm"]
+        injector = st["injector"]
+        crashed_now = st["crashed_now"]
+        pending = st["pending"]
+        staleness = st["staleness"]
+        comps, slices = st["comps"], st["slices"]
+        alive = st["alive"]
+        z = z_prev
+
+        # Participation: every live rank that is not still busy with a
+        # deferred (stale) contribution.
+        participants = [r for r in alive if r not in pending]
+
+        # Scatter each participant's B_s x slice (server -> agents).
+        parts: list[np.ndarray | None] = [None] * self.n_ranks
+        for r in participants:
+            parts[r] = bx_eff[slices[r]]
+        received = comm.scatterv(0, parts)
+
+        # Agents: local + dual updates on their own clocks.  A crashed
+        # rank computes nothing; a rank whose scatter message was
+        # dropped has nothing to compute from (transient stale round).
+        compute_times = []
+        z_parts: dict[int, np.ndarray] = {}
+        lam_parts: dict[int, np.ndarray] = {}
+        for r in participants:
+            if r != 0 and injector.crashed(r):
+                crashed_now.append(r)
+                continue
+            if received[r] is None:
+                st["stale_rounds"] += 1
+                st["stale_counter"].inc()
+                continue
+            z_r, lam_r, dt = self._compute_rank(
+                comm, r, comps[r], received[r], lam[slices[r]], rho, injector
+            )
+            compute_times.append(dt)
+            z_parts[r] = z_r
+            lam_parts[r] = lam_r
+
+        # Stale mode: defer contributions whose rank ran past the
+        # aggregator's clock — the aggregator proceeds without waiting
+        # and applies them in a later round (bounded staleness).
+        if self.staleness_bound > 0:
+            for r in list(z_parts):
+                if r != 0 and comm.clocks[r] - comm.clocks[0] > self.stale_slack_s:
+                    pending[r] = (z_parts.pop(r), lam_parts.pop(r))
+                    staleness[r] = 1
+                    st["stale_rounds"] += 1
+                    st["stale_counter"].inc()
+
+        # Gather (z, lambda) back; survivors only.
+        z_back = comm.gatherv(0, z_parts, partial=True)
+        lam_back = comm.gatherv(0, lam_parts, partial=True)
+
+        if crashed_now:
+            raise self._failover(crashed_now, z, lam, rho)
+
+        # Apply received updates; skipped/stale slices stay put.
+        z = z.copy()
+        lam = lam.copy()
+        for r in z_parts:
+            if z_back[r] is None or lam_back[r] is None:
+                st["stale_rounds"] += 1  # gather lost on the wire
+                st["stale_counter"].inc()
+                continue
+            z[slices[r]] = z_back[r]
+            lam[slices[r]] = lam_back[r]
+        st["compute_times"] = compute_times
+        return z, lam
+
+    def _failover(self, crashed_now, z, lam, rho) -> RewindSignal:
+        """Detect, recover, re-sync — then hand the engine a rewind."""
+        st = self._st
+        comm = st["comm"]
+        alive = st["alive"]
+        tracer = self.tracer
+
+        # Failure detection: the aggregator's gather deadline expires
+        # once per event, then recovery runs.
+        clock0 = float(comm.clocks[0])
+        comm.advance(0, self.failure_deadline_s)
+        if tracer:
+            tracer.add_modeled(
+                "resilience.detect_failure",
+                clock0,
+                self.failure_deadline_s,
+                track=TRACK_CLUSTER,
+                tid=0,
+                cat="resilience",
+            )
+        for r in crashed_now:
+            alive.remove(r)
+        st["failover_counter"].inc(len(crashed_now))
+        ckpt = st["ckpts"].restore()
+        st["restore_counter"].inc()
+        z = ckpt.z.copy()
+        lam = ckpt.lam.copy()
+        owner = reassign_surviving(self.dec.n_components, alive)
+        st["comps"], st["slices"] = rank_partition(
+            self.dec.offsets, owner, self.n_ranks
+        )
+        slices = st["slices"]
+        for r in crashed_now:
+            st["failovers"].append(
+                FailoverEvent(
+                    iteration=st["current_iteration"],
+                    rank=r,
+                    resumed_from=ckpt.iteration,
+                    survivors=tuple(alive),
+                )
+            )
+        # Re-sync survivors from the checkpoint (state re-scatter).
+        resync: list[np.ndarray | None] = [None] * self.n_ranks
+        for r in alive:
+            if r != 0:
+                resync[r] = np.concatenate([z[slices[r]], lam[slices[r]]])
+        comm.scatterv(0, resync)
+        comm.barrier(alive)
+        st["staleness"][:] = 0
+        st["pending"].clear()  # deferred pre-crash contributions are void
+        return RewindSignal(ckpt.iteration, z, lam)
+
+    def residuals(self, iteration, x, bx, z, z_prev, lam, rho):
+        """Aggregator: residuals and termination; synchronous barrier."""
+        st = self._st
+        comm = st["comm"]
+        t0 = time.perf_counter()
+        res = compute_residuals(bx, z, z_prev, lam, rho, self.config.eps_rel)
+        comm.advance(0, time.perf_counter() - t0)
+        if self.staleness_bound == 0:
+            comm.barrier(st["alive"])
+        return res
+
+    def after_residuals(self, iteration, res):
+        st = self._st
+        compute_times = st.get("compute_times") or []
+        st["timeline"].append(
+            st["comm"].elapsed() - st["t_start"],
+            float(max(compute_times)) if compute_times else 0.0,
+        )
+
+    def on_iteration_continue(self, iteration, z, lam, rho):
+        st = self._st
+        if st["ckpts"].maybe_save(iteration, z, lam, rho):
+            st["ckpt_counter"].inc()
+
+    def final_timers(self, timers: dict) -> dict:
+        return {"simulated_total": self._st["comm"].elapsed()}
+
+    def final_algorithm_name(self) -> str:
+        return (
+            f"solver-free ADMM (fault-tolerant simulated MPI, "
+            f"{self.n_ranks} ranks, {len(self._st['failovers'])} failovers)"
+        )
+
+    # ------------------------------------------------------------------
     def solve(self, max_iter: int | None = None) -> FaultTolerantRunResult:
         """Run to the (16) criterion with failover; returns result + events.
 
@@ -198,240 +440,59 @@ class FaultTolerantADMMRunner:
         cfg = self.config
         budget = cfg.max_iter if max_iter is None else max_iter
         dec = self.dec
-        rho = cfg.rho
         injector = FaultInjector(self.plan, self.metrics)
         comm = SimComm(self.n_ranks, self.comm_model, injector=injector)
-        failover_counter = self.metrics.counter("rank.failover")
-        stale_counter = self.metrics.counter("resilience.stale_rounds")
-        ckpt_counter = self.metrics.counter("resilience.checkpoints")
-        restore_counter = self.metrics.counter("resilience.restores")
-
-        alive = list(range(self.n_ranks))
-        owner = self._initial_owner
-        comps, slices = rank_partition(dec.offsets, owner, self.n_ranks)
+        comps, slices = rank_partition(
+            dec.offsets, self._initial_owner, self.n_ranks
+        )
+        ckpts = CheckpointStore(every=self.checkpoint_every)
 
         x = dec.lp.initial_point()
         z = x[dec.global_cols].copy()
         lam = np.zeros(dec.n_local)
-        history = IterationHistory() if cfg.record_history else None
-        timeline = IterationTimeline()
-        ckpts = CheckpointStore(every=self.checkpoint_every)
-        ckpts.save(0, z, lam, rho)
-        ckpt_counter.inc()
-        staleness = np.zeros(self.n_ranks, dtype=np.int64)
-        # Stale-iterate mode: contributions computed but not yet delivered
-        # (their rank's clock ran ahead of the aggregator's).
-        pending: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        failovers: list[FailoverEvent] = []
-        stale_rounds = 0
-        tracer = self.tracer
+        ckpts.save(0, z, lam, cfg.rho)
 
-        res = None
-        iteration = 0
-        while iteration < budget:
-            iteration += 1
-            injector.begin_iteration(iteration)
-            t_start = comm.elapsed()
-            crashed_now: list[int] = []
+        # Per-solve mutable state shared across the engine hooks.
+        self._st = st = {
+            "comm": comm,
+            "injector": injector,
+            "alive": list(range(self.n_ranks)),
+            "comps": comps,
+            "slices": slices,
+            "pending": {},
+            "staleness": np.zeros(self.n_ranks, dtype=np.int64),
+            "timeline": IterationTimeline(),
+            "ckpts": ckpts,
+            "failovers": [],
+            "stale_rounds": 0,
+            "compute_times": [],
+            "t_start": 0.0,
+            "crashed_now": [],
+            "current_iteration": 0,
+            "failover_counter": self.metrics.counter("rank.failover"),
+            "stale_counter": self.metrics.counter("resilience.stale_rounds"),
+            "ckpt_counter": self.metrics.counter("resilience.checkpoints"),
+            "restore_counter": self.metrics.counter("resilience.restores"),
+        }
+        st["ckpt_counter"].inc()
 
-            # Stale mode: harvest deferred contributions whose rank has
-            # caught up to the aggregator's clock; a rank at the staleness
-            # bound forces the aggregator to stall for it instead.
-            if pending:
-                harvest_z: dict[int, np.ndarray] = {}
-                harvest_lam: dict[int, np.ndarray] = {}
-                for r in sorted(pending):
-                    if injector.crashed(r):
-                        pending.pop(r)
-                        crashed_now.append(r)
-                        continue
-                    ready = comm.clocks[r] - comm.clocks[0] <= self.stale_slack_s
-                    if not ready and staleness[r] >= self.staleness_bound:
-                        comm.barrier([0, r])  # forced sync: aggregator stalls
-                        ready = True
-                    if ready:
-                        z_r, lam_r = pending.pop(r)
-                        harvest_z[r] = z_r
-                        harvest_lam[r] = lam_r
-                    else:
-                        staleness[r] += 1
-                        stale_rounds += 1
-                        stale_counter.inc()
-                if harvest_z:
-                    z_h = comm.gatherv(0, harvest_z, partial=True)
-                    lam_h = comm.gatherv(0, harvest_lam, partial=True)
-                    z = z.copy()
-                    lam = lam.copy()
-                    for r in harvest_z:
-                        if z_h[r] is not None and lam_h[r] is not None:
-                            z[slices[r]] = z_h[r]
-                            lam[slices[r]] = lam_h[r]
-                        staleness[r] = 0
-
-            # Aggregator: global update (13)/(18).
-            t0 = time.perf_counter()
-            scatter = np.bincount(
-                dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars
-            )
-            xhat = (scatter - dec.lp.cost / rho) / dec.counts
-            x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
-            bx = x[dec.global_cols]
-            comm.advance(0, time.perf_counter() - t0)
-
-            # Participation: every live rank that is not still busy with a
-            # deferred (stale) contribution.
-            participants = [r for r in alive if r not in pending]
-
-            # Scatter each participant's B_s x slice (server -> agents).
-            parts: list[np.ndarray | None] = [None] * self.n_ranks
-            for r in participants:
-                parts[r] = bx[slices[r]]
-            received = comm.scatterv(0, parts)
-
-            # Agents: local + dual updates on their own clocks.  A crashed
-            # rank computes nothing; a rank whose scatter message was
-            # dropped has nothing to compute from (transient stale round).
-            compute_times = []
-            z_parts: dict[int, np.ndarray] = {}
-            lam_parts: dict[int, np.ndarray] = {}
-            for r in participants:
-                if r != 0 and injector.crashed(r):
-                    crashed_now.append(r)
-                    continue
-                if received[r] is None:
-                    stale_rounds += 1
-                    stale_counter.inc()
-                    continue
-                z_r, lam_r, dt = self._compute_rank(
-                    comm, r, comps[r], received[r], lam[slices[r]], rho, injector
-                )
-                compute_times.append(dt)
-                z_parts[r] = z_r
-                lam_parts[r] = lam_r
-
-            # Stale mode: defer contributions whose rank ran past the
-            # aggregator's clock — the aggregator proceeds without waiting
-            # and applies them in a later round (bounded staleness).
-            if self.staleness_bound > 0:
-                for r in list(z_parts):
-                    if r != 0 and comm.clocks[r] - comm.clocks[0] > self.stale_slack_s:
-                        pending[r] = (z_parts.pop(r), lam_parts.pop(r))
-                        staleness[r] = 1
-                        stale_rounds += 1
-                        stale_counter.inc()
-
-            # Gather (z, lambda) back; survivors only.
-            z_back = comm.gatherv(0, z_parts, partial=True)
-            lam_back = comm.gatherv(0, lam_parts, partial=True)
-
-            if crashed_now:
-                # Failure detection: the aggregator's gather deadline
-                # expires once per event, then recovery runs.
-                clock0 = float(comm.clocks[0])
-                comm.advance(0, self.failure_deadline_s)
-                if tracer:
-                    tracer.add_modeled(
-                        "resilience.detect_failure",
-                        clock0,
-                        self.failure_deadline_s,
-                        track=TRACK_CLUSTER,
-                        tid=0,
-                        cat="resilience",
-                    )
-                for r in crashed_now:
-                    alive.remove(r)
-                failover_counter.inc(len(crashed_now))
-                ckpt = ckpts.restore()
-                restore_counter.inc()
-                z = ckpt.z.copy()
-                lam = ckpt.lam.copy()
-                _truncate_history(history, ckpt.iteration)
-                owner = reassign_surviving(dec.n_components, alive)
-                comps, slices = rank_partition(dec.offsets, owner, self.n_ranks)
-                for r in crashed_now:
-                    failovers.append(
-                        FailoverEvent(
-                            iteration=iteration,
-                            rank=r,
-                            resumed_from=ckpt.iteration,
-                            survivors=tuple(alive),
-                        )
-                    )
-                # Re-sync survivors from the checkpoint (state re-scatter).
-                resync: list[np.ndarray | None] = [None] * self.n_ranks
-                for r in alive:
-                    if r != 0:
-                        resync[r] = np.concatenate([z[slices[r]], lam[slices[r]]])
-                comm.scatterv(0, resync)
-                comm.barrier(alive)
-                staleness[:] = 0
-                pending.clear()  # deferred pre-crash contributions are void
-                iteration = ckpt.iteration
-                continue
-
-            # Apply received updates; skipped/stale slices stay put.
-            z_prev = z
-            z = z.copy()
-            lam = lam.copy()
-            for r, z_r in z_parts.items():
-                if z_back[r] is None or lam_back[r] is None:
-                    stale_rounds += 1  # gather lost on the wire
-                    stale_counter.inc()
-                    continue
-                z[slices[r]] = z_back[r]
-                lam[slices[r]] = lam_back[r]
-
-            # Aggregator: residuals and termination.
-            t0 = time.perf_counter()
-            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-            comm.advance(0, time.perf_counter() - t0)
-            if self.staleness_bound == 0:
-                comm.barrier(alive)
-
-            if cfg.divergence_guard and not res.finite:
-                raise DivergenceError(
-                    f"fault-tolerant runner: non-finite iterate at iteration "
-                    f"{iteration} (pres {res.pres}, dres {res.dres})",
-                    iteration=iteration,
-                    pres=res.pres,
-                    dres=res.dres,
-                )
-
-            timeline.append(
-                comm.elapsed() - t_start,
-                float(max(compute_times)) if compute_times else 0.0,
-            )
-            if history is not None:
-                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-            if res.converged:
-                break
-            if ckpts.maybe_save(iteration, z, lam, rho):
-                ckpt_counter.inc()
-
-        converged = bool(res is not None and res.converged)
-        result = ADMMResult(
-            x=x,
-            z=z,
-            lam=lam,
-            objective=float(dec.lp.cost @ x),
-            iterations=iteration,
-            converged=converged,
-            pres=res.pres if res else float("inf"),
-            dres=res.dres if res else float("inf"),
-            history=history,
-            timers={"simulated_total": comm.elapsed()},
-            algorithm=(
-                f"solver-free ADMM (fault-tolerant simulated MPI, "
-                f"{self.n_ranks} ranks, {len(failovers)} failovers)"
-            ),
+        loop = ADMMLoop(
+            self,
+            cfg,
+            backend=self.backend,
+            record_timers=False,
+            phase_spans=False,
+            watch_stall=False,
         )
+        outcome = loop.run(x, z, lam, budget=budget)
+        result = loop.result(outcome)
         return FaultTolerantRunResult(
             result=result,
-            timeline=timeline,
+            timeline=st["timeline"],
             n_ranks=self.n_ranks,
             simulated_total_s=comm.elapsed(),
-            failovers=failovers,
-            stale_rounds=stale_rounds,
+            failovers=st["failovers"],
+            stale_rounds=st["stale_rounds"],
             checkpoints_saved=ckpts.saves,
             restores=ckpts.restores,
             metrics=self.metrics,

@@ -33,7 +33,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.batch import BatchedLocalSolver, projection_data
+from repro.core.config import ADMMConfig
+from repro.core.loop import ADMMLoop, IterationStrategy
 from repro.decomposition import decompose
 from repro.decomposition.rowreduce import reduced_row_echelon
 from repro.formulation import build_centralized_lp
@@ -62,6 +65,13 @@ from repro.utils.timing import PhaseTimer, Timer
 
 #: Thread count per block used for the modeled local-update kernel spans.
 KERNEL_SIM_THREADS = 64
+
+#: Engine config of the stacked batch solves.  Per-request options replace
+#: the usual hyper-parameters (rho / eps_rel / budget are per-scenario
+#: vectors inside the strategy), so only the control-flow flags matter —
+#: in particular ``raise_on_max_iter`` stays off: budget exhaustion is an
+#: ``iteration_limit`` response status, never an exception.
+_STACKED_CONFIG = ADMMConfig(record_history=False)
 
 
 @dataclass
@@ -225,6 +235,195 @@ class _BatchOutcome:
             self.diverged = []
 
 
+class _StackedStatus:
+    """The residual view the iteration engine sees for a stacked batch:
+    scalar aggregates for tracing plus ``converged`` = every scenario
+    retired (converged, budget-exhausted, timed out or diverged)."""
+
+    __slots__ = ("pres", "dres", "eps_prim", "eps_dual", "converged", "finite")
+
+    def __init__(self, pres, dres, eps_prim, eps_dual, converged):
+        self.pres = pres
+        self.dres = dres
+        self.eps_prim = eps_prim
+        self.eps_dual = eps_dual
+        self.converged = converged
+        self.finite = True
+
+
+class _StackedBatchStrategy(IterationStrategy):
+    """K independent same-topology scenarios as one consensus problem.
+
+    The union of the scenarios is itself a valid instance of Algorithm 1
+    (block-diagonal stacking, scenario-major layout), so the batch runs on
+    the shared :class:`~repro.core.loop.ADMMLoop` like every other solver
+    variant.  What is *not* shared is termination: each scenario owns its
+    rho / eps_rel / budget / deadline, converges independently (its
+    solution snapshot is frozen the iteration it finishes), and a
+    non-finite iterate retires only its own slices.  The engine-level
+    divergence guard is therefore disabled (``guard_enabled = False``) in
+    favor of this per-scenario isolation, which feeds the caller's
+    retry/degradation policy instead of raising.
+    """
+
+    algorithm_name = "stacked solver-free ADMM"
+    use_relaxation = False
+    supports_balancing = False
+    guard_enabled = False
+
+    def __init__(self, engine: "ScenarioEngine", plan: TopologyPlan, problems, solver):
+        b = engine.backend
+        self.backend = b
+        self.plan = plan
+        self.problems = problems
+        self.solver = solver
+        self.injector = engine.injector if engine.injector else None
+        k_n = len(problems)
+        self.k_n = k_n
+        self.n = plan.n_vars
+        self.n_local = plan.n_local
+        self.gcols = b.index_array(
+            np.concatenate([plan.global_cols + k * self.n for k in range(k_n)])
+        )
+        self.counts = b.asarray(np.tile(plan.counts, k_n))
+        self.c = b.asarray(np.concatenate([p.cost for p in problems]))
+        self.lb = b.asarray(np.concatenate([p.lb for p in problems]))
+        self.ub = b.asarray(np.concatenate([p.ub for p in problems]))
+        # Per-scenario solve options, expanded to the stacked dimensions.
+        # rho enters the iterates in the compute dtype (no silent fp64
+        # promotion under fp32); the host fp64 copy feeds the residuals.
+        self.rho_k = np.array([p.request.options.rho for p in problems])
+        self.eps_k = np.array([p.request.options.eps_rel for p in problems])
+        self.budget_k = np.array([p.request.options.max_iter for p in problems])
+        self.rho_g = b.asarray(np.repeat(self.rho_k, self.n))
+        self.rho_l = b.asarray(np.repeat(self.rho_k, self.n_local))
+        # Per-scenario termination bookkeeping (host-side).
+        self.done = np.zeros(k_n, dtype=bool)
+        self.iters = np.zeros(k_n, dtype=np.int64)
+        self.conv = np.zeros(k_n, dtype=bool)
+        self.pres_at = np.full(k_n, np.inf)
+        self.dres_at = np.full(k_n, np.inf)
+        self.diverged = np.zeros(k_n, dtype=bool)
+        self.timed_out = np.zeros(k_n, dtype=bool)
+        self.snap_x = self.snap_z = self.snap_lam = None
+        # Per-scenario absolute deadlines (submit-relative when known).
+        deadline_at = np.full(k_n, np.inf)
+        for k, p in enumerate(problems):
+            d = p.request.options.deadline_s
+            if d is not None:
+                t0 = engine._submit_times.get(id(p.request))
+                deadline_at[k] = (t0 if t0 is not None else time.perf_counter()) + d
+        self.deadline_at = deadline_at
+        self.has_deadline = bool(np.isfinite(deadline_at).any())
+        self.check_every = engine.resilience.deadline_check_every
+        self._iteration = 0
+
+    def bind_state(self, x, z, lam) -> None:
+        """Seed the solution snapshots from the initial state — the values
+        reported for scenarios that never converge within budget."""
+        self.snap_x = x.copy()
+        self.snap_z = z.copy()
+        self.snap_lam = lam.copy()
+
+    # -- engine hooks ---------------------------------------------------
+    def span_args(self) -> dict:
+        return {"scenarios": self.k_n, "n_vars": self.k_n * self.n}
+
+    def on_iteration_start(self, iteration: int, z, lam, rho):
+        self._iteration = iteration
+        return z, lam
+
+    def global_step(self, z, lam, rho):
+        b = self.backend
+        scatter = b.scatter_add(self.gcols, z - lam / self.rho_l, self.k_n * self.n)
+        return b.clip((scatter - self.c / self.rho_g) / self.counts, self.lb, self.ub)
+
+    def local_step(self, bx_eff, z_prev, lam, rho):
+        z = self.solver.solve(bx_eff + lam / self.rho_l)
+        injector = self.injector
+        if injector is not None:
+            # Chaos hook: seeded NaN corruption of a target scenario's
+            # local iterate (the batched-kernel payload), applied to the
+            # scenario's own slice only.
+            injector.begin_iteration(self._iteration)
+            n_local = self.n_local
+            for k, p in enumerate(self.problems):
+                if not self.done[k]:
+                    injector.corrupt(
+                        z[k * n_local : (k + 1) * n_local], p.request.request_id
+                    )
+        return z
+
+    def dual_step(self, lam, bx_eff, z, rho):
+        return lam + self.rho_l * (bx_eff - z)
+
+    def residuals(self, iteration, x, bx, z, z_prev, lam, rho) -> _StackedStatus:
+        """Per-scenario residuals of (16) plus the retirement bookkeeping:
+        scenario-major slices reshape cleanly to (K, n_local)."""
+        b = self.backend
+        xp = b.xp
+        acc = b.accumulate_dtype
+        k_n, n, n_local = self.k_n, self.n, self.n_local
+        diff = (bx - z).reshape(k_n, n_local).astype(acc, copy=False)
+        move = (z - z_prev).reshape(k_n, n_local).astype(acc, copy=False)
+        pres = b.to_numpy(xp.linalg.norm(diff, axis=1))
+        dres = self.rho_k * b.to_numpy(xp.linalg.norm(move, axis=1))
+        norm_bx = b.to_numpy(
+            xp.linalg.norm(bx.reshape(k_n, n_local).astype(acc, copy=False), axis=1)
+        )
+        norm_z = b.to_numpy(
+            xp.linalg.norm(z.reshape(k_n, n_local).astype(acc, copy=False), axis=1)
+        )
+        eps_prim = self.eps_k * np.maximum(norm_bx, norm_z)
+        eps_dual = self.eps_k * b.to_numpy(
+            xp.linalg.norm(lam.reshape(k_n, n_local).astype(acc, copy=False), axis=1)
+        )
+        done = self.done
+        # Divergence isolation: a non-finite iterate retires its scenario
+        # immediately (for retry/degradation by the caller) and its slices
+        # are reset so no NaN survives into later iterations.
+        bad = ~done & ~(np.isfinite(pres) & np.isfinite(dres))
+        if bad.any():
+            self.diverged |= bad
+            done |= bad
+            self.iters[bad] = iteration
+            for k in np.flatnonzero(bad):
+                gs = slice(k * n, (k + 1) * n)
+                ls = slice(k * n_local, (k + 1) * n_local)
+                p = self.problems[k]
+                x[gs] = p.x0_default
+                z[ls] = p.x0_default[self.plan.global_cols]
+                lam[ls] = 0.0
+        # Deadline sweep: cheap, so only every `check_every` iterations.
+        if self.has_deadline and iteration % self.check_every == 0:
+            late = ~done & (self.deadline_at < time.perf_counter())
+            if late.any():
+                self.timed_out |= late
+                done |= late
+                self.iters[late] = iteration
+        converged_now = (pres <= eps_prim) & (dres <= eps_dual)
+        newly = ~done & (converged_now | (iteration >= self.budget_k))
+        if newly.any():
+            self.conv |= newly & converged_now
+            self.iters[newly] = iteration
+            self.pres_at[newly] = pres[newly]
+            self.dres_at[newly] = dres[newly]
+            for k in np.flatnonzero(newly):
+                gs = slice(k * n, (k + 1) * n)
+                ls = slice(k * n_local, (k + 1) * n_local)
+                self.snap_x[gs], self.snap_z[ls], self.snap_lam[ls] = (
+                    x[gs], z[ls], lam[ls],
+                )
+            done |= newly
+        return _StackedStatus(
+            pres=float(pres.max()),
+            dres=float(dres.max()),
+            eps_prim=float(eps_prim.min()),
+            eps_dual=float(eps_dual.min()),
+            converged=bool(done.all()),
+        )
+
+
 class ScenarioEngine:
     """Batched scenario-serving front end over the solver-free ADMM.
 
@@ -260,6 +459,13 @@ class ScenarioEngine:
         ``ANY_TARGET``) poison that scenario's local iterate mid-solve,
         exercising the divergence-guard/retry/degrade path
         deterministically.
+    backend, precision:
+        Array-execution backend (instance or registry name) and optional
+        ``fp64`` / ``fp32`` / ``mixed`` precision overlay for the stacked
+        solves — see :mod:`repro.backend`.  Defaults to the process
+        default (``$REPRO_BACKEND`` or ``numpy64``).  Warm-start cache
+        entries are stored as host fp64 regardless of the backend, so
+        cached iterates re-seed any later precision.
 
     Examples
     --------
@@ -281,7 +487,10 @@ class ScenarioEngine:
         tracer=None,
         resilience: ResilienceConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        backend=None,
+        precision: str | None = None,
     ):
+        self.backend = resolve_backend(backend, precision)
         self.queue = BoundedRequestQueue(maxsize=queue_size)
         self.scheduler = BatchScheduler(self.queue, max_batch=max_batch)
         self.cache = WarmStartCache(capacity=cache_capacity)
@@ -550,7 +759,8 @@ class ScenarioEngine:
         # schedule and occupancy in the args) inside the iteration-scaled
         # aggregate span, so the three stages stay comparable in Perfetto.
         execution = simulate_local_update(
-            self.device, sizes_all, KERNEL_SIM_THREADS, tracer=trc, t_start_s=t
+            self.device, sizes_all, KERNEL_SIM_THREADS, tracer=trc, t_start_s=t,
+            itemsize=self.backend.policy.itemsize,
         )
         local_total = max(execution.time_s, modeled.local_s * iterations)
         trc.add_modeled("gpu.local_update", t, local_total, args=per_iter_args)
@@ -565,7 +775,9 @@ class ScenarioEngine:
         self, plan: TopologyPlan, problems: list[ScenarioProblem]
     ) -> _BatchOutcome:
         """One ADMM run over the union of K independent same-topology
-        scenarios (scenario-major stacking)."""
+        scenarios (scenario-major stacking), dispatched through the shared
+        :class:`~repro.core.loop.ADMMLoop` under the engine's backend."""
+        b = self.backend
         k_n = len(problems)
         n = plan.n_vars
         n_local = plan.n_local
@@ -576,27 +788,14 @@ class ScenarioEngine:
         offsets_all = np.concatenate([[0], np.cumsum(sizes_all)])
         with self.timers.measure("stack"):
             solver = BatchedLocalSolver.from_parts(
-                comps_all, offsets_all, projections=projections_all
+                comps_all, offsets_all, projections=projections_all, backend=b
             )
-        gcols_all = np.concatenate(
-            [plan.global_cols + k * n for k in range(k_n)]
-        )
-        counts_all = np.tile(plan.counts, k_n)
-        cost_all = np.concatenate([p.cost for p in problems])
-        lb_all = np.concatenate([p.lb for p in problems])
-        ub_all = np.concatenate([p.ub for p in problems])
-
-        # Per-scenario solve options, expanded to the stacked dimensions.
-        rho_k = np.array([p.request.options.rho for p in problems])
-        eps_k = np.array([p.request.options.eps_rel for p in problems])
-        budget_k = np.array([p.request.options.max_iter for p in problems])
-        rho_g = np.repeat(rho_k, n)
-        rho_l = np.repeat(rho_k, n_local)
+        strat = _StackedBatchStrategy(self, plan, problems, solver)
 
         # Warm starts: seed each scenario from its nearest cached neighbour.
-        x = np.empty(k_n * n)
-        z = np.empty(k_n * n_local)
-        lam = np.empty(k_n * n_local)
+        x = b.empty(k_n * n)
+        z = b.empty(k_n * n_local)
+        lam = b.empty(k_n * n_local)
         warm = np.zeros(k_n, dtype=bool)
         warm_dist = np.full(k_n, np.nan)
         with self.tracer.span("serve.warm_lookup", cat="serve", scenarios=k_n):
@@ -611,106 +810,28 @@ class ScenarioEngine:
                     x[gs] = p.x0_default
                     z[ls] = p.x0_default[plan.global_cols]
                     lam[ls] = 0.0
+        strat.bind_state(x, z, lam)
 
-        # Stacked Algorithm 1, with per-scenario termination bookkeeping.
-        done = np.zeros(k_n, dtype=bool)
-        iters = np.zeros(k_n, dtype=np.int64)
-        conv = np.zeros(k_n, dtype=bool)
-        snap_x = x.copy()
-        snap_z = z.copy()
-        snap_lam = lam.copy()
-        pres_at = np.full(k_n, np.inf)
-        dres_at = np.full(k_n, np.inf)
-        diverged_mask = np.zeros(k_n, dtype=bool)
-        timed_out = np.zeros(k_n, dtype=bool)
-        # Per-scenario absolute deadlines (submit-relative when known).
-        deadline_at = np.full(k_n, np.inf)
-        for k, p in enumerate(problems):
-            d = p.request.options.deadline_s
-            if d is not None:
-                t0 = self._submit_times.get(id(p.request))
-                deadline_at[k] = (t0 if t0 is not None else time.perf_counter()) + d
-        has_deadline = bool(np.isfinite(deadline_at).any())
-        check_every = self.resilience.deadline_check_every
-        injector = self.injector if self.injector else None
-        max_budget = int(budget_k.max())
-        iteration = 0
+        # Stacked Algorithm 1 on the shared engine.  Per-scenario
+        # termination, deadlines and divergence isolation live in the
+        # strategy's residuals hook; the engine's history/balancing/stall
+        # machinery is off (per-request options replace the ADMMConfig).
+        loop = ADMMLoop(
+            strat,
+            _STACKED_CONFIG,
+            backend=b,
+            tracer=self.tracer,
+            record_timers=False,
+            record_history=False,
+            watch_stall=False,
+        )
         trc = self.tracer
         t_solve = time.perf_counter()
-        while iteration < max_budget and not done.all():
-            iteration += 1
-            t0 = time.perf_counter() if trc else 0.0
-            scatter = np.bincount(gcols_all, weights=z - lam / rho_l, minlength=k_n * n)
-            x = np.clip((scatter - cost_all / rho_g) / counts_all, lb_all, ub_all)
-            bx = x[gcols_all]
-            z_prev = z
-            if trc:
-                t1 = time.perf_counter()
-                trc.add_complete("admm.global", t0, t1, cat="admm")
-            z = solver.solve(bx + lam / rho_l)
-            if injector is not None:
-                # Chaos hook: seeded NaN corruption of a target scenario's
-                # local iterate (the batched-kernel payload), applied to
-                # the scenario's own slice only.
-                injector.begin_iteration(iteration)
-                for k, p in enumerate(problems):
-                    if not done[k]:
-                        injector.corrupt(
-                            z[k * n_local : (k + 1) * n_local], p.request.request_id
-                        )
-            if trc:
-                t2 = time.perf_counter()
-                trc.add_complete("admm.local", t1, t2, cat="admm")
-            lam = lam + rho_l * (bx - z)
-            if trc:
-                t3 = time.perf_counter()
-                trc.add_complete("admm.dual", t2, t3, cat="admm")
-            # Per-scenario residuals of (16): scenario-major slices reshape
-            # cleanly to (K, n_local).
-            diff = (bx - z).reshape(k_n, n_local)
-            move = (z - z_prev).reshape(k_n, n_local)
-            pres = np.linalg.norm(diff, axis=1)
-            dres = rho_k * np.linalg.norm(move, axis=1)
-            norm_bx = np.linalg.norm(bx.reshape(k_n, n_local), axis=1)
-            norm_z = np.linalg.norm(z.reshape(k_n, n_local), axis=1)
-            eps_prim = eps_k * np.maximum(norm_bx, norm_z)
-            eps_dual = eps_k * np.linalg.norm(lam.reshape(k_n, n_local), axis=1)
-            # Divergence guard: a non-finite iterate retires its scenario
-            # immediately (for retry/degradation by the caller) and its
-            # slices are reset so no NaN survives into later iterations.
-            bad = ~done & ~(np.isfinite(pres) & np.isfinite(dres))
-            if bad.any():
-                diverged_mask |= bad
-                done |= bad
-                iters[bad] = iteration
-                for k in np.flatnonzero(bad):
-                    gs = slice(k * n, (k + 1) * n)
-                    ls = slice(k * n_local, (k + 1) * n_local)
-                    x[gs] = problems[k].x0_default
-                    z[ls] = problems[k].x0_default[plan.global_cols]
-                    lam[ls] = 0.0
-            # Deadline sweep: cheap, so only every `check_every` iterations.
-            if has_deadline and iteration % check_every == 0:
-                late = ~done & (deadline_at < time.perf_counter())
-                if late.any():
-                    timed_out |= late
-                    done |= late
-                    iters[late] = iteration
-            converged_now = (pres <= eps_prim) & (dres <= eps_dual)
-            newly = ~done & (converged_now | (iteration >= budget_k))
-            if newly.any():
-                conv |= newly & converged_now
-                iters[newly] = iteration
-                pres_at[newly] = pres[newly]
-                dres_at[newly] = dres[newly]
-                for k in np.flatnonzero(newly):
-                    gs = slice(k * n, (k + 1) * n)
-                    ls = slice(k * n_local, (k + 1) * n_local)
-                    snap_x[gs], snap_z[ls], snap_lam[ls] = x[gs], z[ls], lam[ls]
-                done |= newly
-            if trc:
-                trc.add_complete("admm.residual", t3, time.perf_counter(), cat="admm")
+        outcome = loop.run(
+            x, z, lam, budget=int(strat.budget_k.max()), rho=float(strat.rho_k[0])
+        )
         t_end = time.perf_counter()
+        iteration = outcome.iterations
         solve_seconds = t_end - t_solve
         self.timers.add("solve", solve_seconds)
         if trc:
@@ -721,14 +842,22 @@ class ScenarioEngine:
                 cat="serve",
                 args={"scenarios": k_n, "iterations": iteration},
             )
-        modeled = iteration_times_from_sizes(self.device, sizes_all, k_n * n)
+        modeled = iteration_times_from_sizes(
+            self.device, sizes_all, k_n * n, itemsize=b.policy.itemsize
+        )
         self.metrics.record_modeled_gpu_iteration(modeled.total_s)
         if trc:
             self._trace_modeled_batch(modeled, sizes_all, iteration, k_n)
 
+        # Results come off the backend as host fp64 (a view under NumPy
+        # fp64, so the default path stays bit-identical).
+        snap_x = b.to_numpy(strat.snap_x)
+        snap_z = b.to_numpy(strat.snap_z)
+        snap_lam = b.to_numpy(strat.snap_lam)
+        iters, conv, timed_out = strat.iters, strat.conv, strat.timed_out
         responses = []
         for k, p in enumerate(problems):
-            if diverged_mask[k]:
+            if strat.diverged[k]:
                 # The caller owns diverged scenarios (retry, then degrade
                 # or error) — no response, and latency is settled there.
                 continue
@@ -745,8 +874,8 @@ class ScenarioEngine:
                 status=status,
                 objective=None if timed_out[k] else float(p.cost @ snap_x[gs]),
                 iterations=int(iters[k]) if iters[k] else iteration,
-                pres=float(pres_at[k]),
-                dres=float(dres_at[k]),
+                pres=float(strat.pres_at[k]),
+                dres=float(strat.dres_at[k]),
                 warm_started=bool(warm[k]),
                 warm_distance=float(warm_dist[k]) if warm[k] else None,
                 solve_seconds=solve_seconds,
@@ -775,5 +904,5 @@ class ScenarioEngine:
             responses=responses,
             iterations_run=iteration,
             solve_seconds=solve_seconds,
-            diverged=[int(k) for k in np.flatnonzero(diverged_mask)],
+            diverged=[int(k) for k in np.flatnonzero(strat.diverged)],
         )

@@ -20,15 +20,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.batch import BatchedLocalSolver
 from repro.core.config import ADMMConfig
-from repro.core.residuals import compute_residuals
-from repro.core.results import ADMMResult, IterationHistory
+from repro.core.loop import ADMMLoop, IterationStrategy
+from repro.core.results import ADMMResult
 from repro.decomposition.rowreduce import reduced_row_echelon
 from repro.formulation.rows import Row, rows_to_dense_local
 from repro.socp.bfm import ConicProblem
 from repro.socp.cone import project_rotated_soc_batch
-from repro.utils.exceptions import ConvergenceError, DecompositionError
+from repro.utils.exceptions import DecompositionError
 
 
 @dataclass
@@ -143,38 +144,72 @@ def decompose_conic(problem: ConicProblem, rref_tol: float = 1e-9) -> ConicDecom
     )
 
 
-class ConicSolverFreeADMM:
-    """Consensus ADMM over linear + conic components, all closed form."""
+class ConicSolverFreeADMM(IterationStrategy):
+    """Consensus ADMM over linear + conic components, all closed form.
+
+    Runs on :class:`repro.core.loop.ADMMLoop` like every other variant;
+    the cone projections are dtype-preserving, so fp32 backends carry
+    through unchanged.
+    """
 
     algorithm_name = "solver-free conic ADMM (branch-flow SOCP)"
+    # Plain ADMM only: the conic convergence theory does not cover
+    # over-relaxation or rho rescaling.
+    use_relaxation = False
+    supports_balancing = False
 
-    def __init__(self, dec: ConicDecomposition, config: ADMMConfig | None = None):
+    def __init__(
+        self,
+        dec: ConicDecomposition,
+        config: ADMMConfig | None = None,
+        backend=None,
+        precision: str | None = None,
+    ):
         self.dec = dec
         self.config = config or ADMMConfig()
         if self.config.residual_balancing or self.config.relaxation != 1.0:
             raise ValueError("the conic solver runs plain ADMM only")
+        self.backend = resolve_backend(backend, precision)
+        b = self.backend
         problem = dec.problem
         self.n = problem.n_vars
         self.n_local = dec.n_local
-        self.c = problem.cost
-        self.lb = problem.lb
-        self.ub = problem.ub
-        self.gcols = dec.global_cols
-        self.counts = dec.counts
-        self.linear_solver = BatchedLocalSolver.from_parts(dec.linear, dec.offsets_linear)
+        self.c = b.asarray(problem.cost)
+        self.lb = b.asarray(problem.lb)
+        self.ub = b.asarray(problem.ub)
+        self.gcols = b.index_array(dec.global_cols)
+        self.counts = b.asarray(dec.counts)
+        self.linear_solver = BatchedLocalSolver.from_parts(
+            dec.linear, dec.offsets_linear, backend=b
+        )
 
-    def local_update(self, v: np.ndarray) -> np.ndarray:
+    def local_update(self, v) -> np.ndarray:
         """Batched closed-form projections: affine blocks, then cones."""
         dec = self.dec
-        z = np.empty(self.n_local)
+        b = self.backend
+        z = b.empty(self.n_local)
         z[: dec.n_linear] = self.linear_solver.solve(v[: dec.n_linear])
         cone_part = v[dec.n_linear :].reshape(-1, 4)
         u, w, pq = project_rotated_soc_batch(
             cone_part[:, 0], cone_part[:, 1], cone_part[:, 2:]
         )
-        out = np.concatenate([u[:, None], w[:, None], pq], axis=1)
+        out = b.xp.concatenate([u[:, None], w[:, None], pq], axis=1)
         z[dec.n_linear :] = out.reshape(-1)
         return z
+
+    # ------------------------------------------------------------------
+    # Engine hooks (repro.core.loop)
+    # ------------------------------------------------------------------
+    def global_step(self, z, lam, rho):
+        b = self.backend
+        scatter = b.scatter_add(self.gcols, z - lam / rho, self.n)
+        return b.clip((scatter - self.c / rho) / self.counts, self.lb, self.ub)
+
+    def local_step(self, bx_eff, z_prev, lam, rho):
+        return self.local_update(bx_eff + lam / rho)
+
+    def span_args(self) -> dict:
+        return {"n_vars": self.n, "n_components": self.dec.n_components}
 
     def solve(self, x0: np.ndarray | None = None, max_iter: int | None = None) -> ADMMResult:
         """Run to the (16) criterion.
@@ -186,41 +221,25 @@ class ConicSolverFreeADMM:
             out.
         """
         cfg = self.config
+        b = self.backend
         budget = cfg.max_iter if max_iter is None else max_iter
-        rho = cfg.rho
-        x = self.dec.problem.initial_point() if x0 is None else np.asarray(x0, float).copy()
+        x = (
+            b.from_numpy(self.dec.problem.initial_point())
+            if x0 is None
+            else b.asarray(x0, copy=True)
+        )
         if x.shape != (self.n,):
             raise ValueError("warm start has wrong length")
         z = x[self.gcols].copy()
-        lam = np.zeros(self.n_local)
-        history = IterationHistory() if cfg.record_history else None
-        res = None
-        iteration = 0
-        for iteration in range(1, budget + 1):
-            scatter = np.bincount(self.gcols, weights=z - lam / rho, minlength=self.n)
-            x = np.clip((scatter - self.c / rho) / self.counts, self.lb, self.ub)
-            bx = x[self.gcols]
-            z_prev = z
-            z = self.local_update(bx + lam / rho)
-            lam = lam + rho * (bx - z)
-            res = compute_residuals(bx, z, z_prev, lam, rho, cfg.eps_rel)
-            if history is not None:
-                history.append(res.pres, res.dres, res.eps_prim, res.eps_dual, rho)
-            if res.converged:
-                break
-        converged = bool(res is not None and res.converged)
-        if not converged and cfg.raise_on_max_iter:
-            raise ConvergenceError(f"conic ADMM: no convergence in {budget} iterations")
-        return ADMMResult(
-            x=x,
-            z=z,
-            lam=lam,
-            objective=float(self.c @ x),
-            iterations=iteration,
-            converged=converged,
-            pres=res.pres if res else float("inf"),
-            dres=res.dres if res else float("inf"),
-            history=history,
-            timers={},
-            algorithm=self.algorithm_name,
+        lam = b.zeros(self.n_local)
+        # The historical conic loop kept no phase timers or spans.
+        loop = ADMMLoop(
+            self,
+            cfg,
+            backend=b,
+            record_timers=False,
+            phase_spans=False,
+            watch_stall=False,
         )
+        outcome = loop.run(x, z, lam, budget=budget)
+        return loop.result(outcome)

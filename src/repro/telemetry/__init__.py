@@ -25,6 +25,7 @@ from repro.telemetry.summary import (
     PhaseSummary,
     TraceEvent,
     format_trace_summary,
+    run_tags,
     load_trace_events,
     summarize_phases,
 )
@@ -52,5 +53,6 @@ __all__ = [
     "PhaseSummary",
     "load_trace_events",
     "summarize_phases",
+    "run_tags",
     "format_trace_summary",
 ]

@@ -28,6 +28,7 @@ class TraceEvent:
     dur_s: float
     track: str
     tid: int
+    args: dict | None = None
 
 
 def _from_chrome(doc: dict) -> list[TraceEvent]:
@@ -43,6 +44,7 @@ def _from_chrome(doc: dict) -> list[TraceEvent]:
                 dur_s=float(record.get("dur", 0.0)) * 1e-6,
                 track=_PID_TRACKS.get(pid, f"pid{pid}"),
                 tid=int(record.get("tid", 0)),
+                args=record.get("args") or None,
             )
         )
     return events
@@ -62,6 +64,7 @@ def _from_jsonl(lines: list[str]) -> list[TraceEvent]:
                 dur_s=float(record["dur_s"]),
                 track=str(record.get("track", "wall")),
                 tid=int(record.get("tid", 0)),
+                args=record.get("args") or None,
             )
         )
     return events
@@ -134,8 +137,28 @@ def summarize_phases(events: list[TraceEvent]) -> list[PhaseSummary]:
     return summaries
 
 
+def run_tags(events: list[TraceEvent]) -> dict[str, str]:
+    """Run-level attributes stamped on the captured spans.
+
+    The ADMM loop tags its ``admm.solve`` span with the array-execution
+    ``backend`` and ``precision``; a mixed-precision run that fell back to
+    fp64 refinement carries both values, comma-joined.
+    """
+    tags: dict[str, set[str]] = {}
+    for ev in events:
+        if not ev.args:
+            continue
+        for key in ("backend", "precision"):
+            if key in ev.args:
+                tags.setdefault(key, set()).add(str(ev.args[key]))
+    return {key: ",".join(sorted(vals)) for key, vals in sorted(tags.items())}
+
+
 def format_trace_summary(events: list[TraceEvent]) -> str:
-    """The ``repro trace-summary`` table: one row per (track, phase)."""
+    """The ``repro trace-summary`` table: one row per (track, phase),
+    titled with the run's backend/precision tags when the trace has them."""
+    tags = run_tags(events)
+    suffix = "".join(f", {k}={v}" for k, v in tags.items())
     rows = [
         [
             s.track,
@@ -150,5 +173,5 @@ def format_trace_summary(events: list[TraceEvent]) -> str:
     return format_table(
         ["track", "phase", "count", "total ms", "mean us", "share %"],
         rows,
-        title=f"per-phase trace summary ({len(events)} spans)",
+        title=f"per-phase trace summary ({len(events)} spans{suffix})",
     )

@@ -21,7 +21,10 @@ class TestLocalModes:
             BenchmarkADMM(small_dec, local_mode="magic")
 
     def test_local_solutions_feasible(self, small_dec, rng):
-        b = BenchmarkADMM(small_dec, ADMMConfig(), local_mode="projection")
+        # Exact local feasibility is an fp64-grade property — pin the backend.
+        b = BenchmarkADMM(
+            small_dec, ADMMConfig(), local_mode="projection", backend="numpy64"
+        )
         v = rng.standard_normal(small_dec.n_local)
         lam = np.zeros(small_dec.n_local)
         z = b.local_update(v, lam, 100.0)

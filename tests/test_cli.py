@@ -160,3 +160,56 @@ class TestTracing:
         trace.write_text('{"traceEvents": []}')
         assert main(["trace-summary", str(trace)]) == 2
         assert "no spans" in capsys.readouterr().out.lower()
+
+    def test_trace_summary_tagged_with_backend(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["solve", "--feeder", "ieee13", "--backend", "numpy32",
+                     "--precision", "fp32", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-summary", str(trace)]) == 0
+        title = capsys.readouterr().out.splitlines()[0]
+        assert "backend=numpy32" in title and "precision=fp32" in title
+
+
+class TestBackendFlags:
+    def test_backends_listing(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy64 *" in out  # default marker
+        assert "numpy32" in out and "cupy" in out
+        assert "REPRO_BACKEND" in out
+
+    def test_backends_listing_honours_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy32")
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy32 *" in out
+        assert "REPRO_BACKEND=numpy32" in out
+
+    def test_solve_with_backend_flags(self, capsys):
+        rc = main(["solve", "--feeder", "ieee13",
+                   "--backend", "numpy32", "--precision", "fp32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend: numpy32 (precision fp32, compute float32)" in out
+        assert "converged" in out
+
+    def test_solve_unavailable_backend_is_clean_error(self, capsys):
+        import repro.backend as rb
+
+        if "cupy" in rb.available_backends():  # pragma: no cover - hardware
+            pytest.skip("cupy present on this machine")
+        with pytest.raises(SystemExit, match="not available"):
+            main(["solve", "--feeder", "ieee13", "--backend", "cupy"])
+
+    def test_solve_rejects_unknown_precision(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", "--precision", "fp16"])
+
+    def test_serve_batch_with_backend_flags(self, capsys):
+        rc = main(["serve-batch", "--feeder", "ieee13", "--generate", "4",
+                   "--max-batch", "2", "--backend", "numpy32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend: numpy32 (precision mixed, compute float32)" in out

@@ -119,7 +119,8 @@ class TestSimulatedCluster:
 
 class TestProcessParallel:
     def test_parity_with_serial(self, ieee13_dec, rng):
-        solver = SolverFreeADMM(ieee13_dec)
+        # Worker processes compute in fp64 — pin the in-process reference.
+        solver = SolverFreeADMM(ieee13_dec, backend="numpy64")
         v = rng.standard_normal(ieee13_dec.n_local)
         z_serial = solver.local_solver.solve(v)
         with ProcessParallelLocalUpdate(ieee13_dec, n_workers=2) as par:

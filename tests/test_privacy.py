@@ -57,9 +57,10 @@ class TestPrivateSolve:
         """With sigma=0 and a non-binding clip, the private solver must
         reproduce Algorithm 1 exactly."""
         cfg = ADMMConfig(max_iter=200)
-        plain = SolverFreeADMM(small_dec, cfg).solve()
+        # Bit-level parity is an fp64 property — pin both backends.
+        plain = SolverFreeADMM(small_dec, cfg, backend="numpy64").solve()
         private = PrivateSolverFreeADMM(
-            small_dec, PrivacyConfig(clip=1e6, sigma=0.0), cfg
+            small_dec, PrivacyConfig(clip=1e6, sigma=0.0), cfg, backend="numpy64"
         ).solve()
         np.testing.assert_allclose(private.x, plain.x, atol=1e-12)
         np.testing.assert_allclose(private.z, plain.z, atol=1e-12)

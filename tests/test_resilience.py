@@ -252,7 +252,8 @@ class TestFaultTolerantRunner:
         serial solver to float tolerance), with the failover visible in
         telemetry."""
         cfg = ADMMConfig(max_iter=120, record_history=True)
-        serial = SolverFreeADMM(ieee13_dec, cfg).solve()
+        # Runners pin numpy64; pin the serial reference for the same reason.
+        serial = SolverFreeADMM(ieee13_dec, cfg, backend="numpy64").solve()
         plain = DistributedADMMRunner(ieee13_dec, 4, CPU_CLUSTER_COMM, cfg).solve()
         plan = FaultPlan(
             seed=7,

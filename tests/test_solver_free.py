@@ -13,7 +13,8 @@ class TestGlobalUpdate:
     def test_matches_scalar_formula(self, ieee13_dec, rng):
         """(13): per-coordinate clipped closed form equals the vectorized
         implementation (18)."""
-        solver = SolverFreeADMM(ieee13_dec)
+        # Formula checks compare against fp64 scalar arithmetic — pin fp64.
+        solver = SolverFreeADMM(ieee13_dec, backend="numpy64")
         z = rng.standard_normal(ieee13_dec.n_local)
         lam = rng.standard_normal(ieee13_dec.n_local)
         rho = 100.0
@@ -60,7 +61,7 @@ class TestLocalUpdate:
         equals the projection form used in the implementation."""
         from repro.core.batch import projection_data
 
-        solver = SolverFreeADMM(ieee13_dec)
+        solver = SolverFreeADMM(ieee13_dec, backend="numpy64")
         rho = 100.0
         x = rng.standard_normal(ieee13_dec.lp.n_vars)
         lam = rng.standard_normal(ieee13_dec.n_local)
