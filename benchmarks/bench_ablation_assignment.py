@@ -7,7 +7,6 @@ per-iteration makespan.  This ablation quantifies that against the paper's
 even split across cluster sizes.
 """
 
-import numpy as np
 from _common import format_table, get_dec, get_local_costs, report
 
 from repro.parallel import CPU_CLUSTER_COMM, SimulatedCluster

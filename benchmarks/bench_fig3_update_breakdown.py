@@ -10,7 +10,6 @@ Three rows per instance, as in the paper's 3x3 figure:
   most visibly on the 8500-class instance with its many tiny components.
 """
 
-import numpy as np
 from _common import INSTANCES, format_table, get_dec, get_local_costs, get_solution, report
 
 from repro.gpu import A100, iteration_times, multi_device_iteration_times

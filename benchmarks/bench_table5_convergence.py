@@ -14,7 +14,6 @@ The claims under test: the solver-free algorithm is faster on *every*
 instance despite using far fewer CPUs, and the gap widens with size.
 """
 
-import pytest
 from _common import (
     FULL_MODE,
     INSTANCES,

@@ -21,6 +21,11 @@ Commands
 ``backends``
     List the registered array-execution backends and their capabilities
     (see docs/BACKENDS.md).
+``lint``
+    Run the repo's AST-based invariant linter (backend discipline,
+    determinism, precision, telemetry hygiene, exception discipline)
+    against the checked-in baseline (see docs/LINTING.md).  Exit codes:
+    0 clean, 1 findings, 2 configuration error.
 
 ``solve`` and ``serve-batch`` accept ``--backend {numpy64,numpy32,cupy}``
 and ``--precision {fp64,fp32,mixed}`` to pick the array-execution layer;
@@ -387,6 +392,83 @@ def cmd_trace_summary(args) -> int:
     return 0
 
 
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def cmd_lint(args) -> int:
+    import time
+
+    from repro.lint import (
+        LintConfigError,
+        LintEngine,
+        format_github,
+        format_json,
+        format_stats,
+        format_text,
+        get_rules,
+        load_baseline,
+        save_baseline,
+    )
+    from repro.telemetry import MetricsRegistry
+
+    try:
+        rules = get_rules(args.rules.split(",") if args.rules else None)
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline: dict = {}
+    try:
+        if Path(baseline_path).exists():
+            baseline = load_baseline(baseline_path)
+        elif args.baseline is not None:
+            # An explicitly named baseline must exist; only the default
+            # path is allowed to be absent (fresh checkouts, fixtures).
+            raise LintConfigError(f"baseline {baseline_path} does not exist")
+        engine = LintEngine(rules)
+        t0 = time.perf_counter()
+        if args.write_baseline:
+            result = engine.run(args.paths)
+            save_baseline(baseline_path, result.findings)
+            print(
+                f"lint: baseline with {len(result.findings)} entries "
+                f"written to {baseline_path}"
+            )
+            return 0
+        result = engine.run(args.paths, baseline)
+        t1 = time.perf_counter()
+    except LintConfigError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    result.record_metrics(MetricsRegistry())
+    if args.trace:
+        tracer = Tracer()
+        tracer.add_complete(
+            "lint.run",
+            t0,
+            t1,
+            cat="lint",
+            args={
+                "lint_findings": len(result.findings),
+                "lint_baselined": len(result.baselined),
+                "lint_files": result.files,
+            },
+        )
+        tracer.save(args.trace)
+
+    if args.stats:
+        print(format_stats(result))
+    elif args.format == "json":
+        print(format_json(result))
+    elif args.format == "github":
+        print(format_github(result))
+    else:
+        print(format_text(result, verbose=args.verbose))
+    return 0 if result.clean and not result.stale_baseline else 1
+
+
 def _add_backend_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--backend",
@@ -491,6 +573,48 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list the array-execution backends on this machine"
     )
     p.set_defaults(func=cmd_backends)
+
+    p = sub.add_parser(
+        "lint", help="run the repo's AST-based invariant linter"
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to lint"
+    )
+    p.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all, e.g. R001,R002)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        help="output format (github emits workflow annotations)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=f"baseline of grandfathered findings (default: {DEFAULT_BASELINE} "
+        "if present; an explicitly given file must exist)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="capture the current findings as the new baseline and exit 0",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule / per-package counts (baseline included)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="also list baselined findings"
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a lint.run span (trace-summary then reports lint status)",
+    )
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -162,8 +162,9 @@ class BatchedLocalSolver:
             bucket.v_pad = backend.zeros(sb * width)
             buckets.append(bucket)
         sizes = np.array([c.n_vars for c in comps], dtype=np.int64)
-        # One local update per component: dense matvec (2 n^2) plus the add.
-        flops = 2.0 * sizes.astype(float) ** 2 + sizes
+        # One local update per component: dense matvec (2 n^2) plus the
+        # add; the 2.0 factor promotes the int64 sizes to float.
+        flops = 2.0 * sizes * sizes + sizes
         return cls(
             n_local=int(offsets[-1]),
             n_components=len(comps),

@@ -13,6 +13,11 @@ at before trusting a dispatch:
 
 from __future__ import annotations
 
+# Post-hoc host-side analytics over a *finished* solve: nothing here runs
+# in the iteration hot path or on device arrays, so raw NumPy fp64 is the
+# right tool and backend routing would add nothing.
+# repro-lint: disable-file=R001,R003
+
 from dataclasses import dataclass
 
 import numpy as np

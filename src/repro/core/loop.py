@@ -24,11 +24,12 @@ fp32 with fp64 residual accumulation, or CuPy.
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 from repro.backend import Backend, resolve_backend
 from repro.core.config import ADMMConfig
-from repro.core.residuals import Residuals
+from repro.core.residuals import Residuals, compute_residuals
 from repro.core.results import ADMMResult, IterationHistory
 from repro.core.rho import ResidualBalancer
 from repro.telemetry import NULL_TRACER
@@ -203,13 +204,9 @@ class ADMMLoop:
     # ------------------------------------------------------------------
     def _default_residuals(self, bx, z, z_prev, lam, rho) -> Residuals:
         """Eq. (16) with norms accumulated per the backend's policy."""
-        b = self.backend
-        eps_rel = self.config.eps_rel
-        pres = b.norm(bx - z)
-        dres = float(rho * b.norm(z - z_prev))
-        eps_prim = float(eps_rel * max(b.norm(bx), b.norm(z)))
-        eps_dual = float(eps_rel * b.norm(lam))
-        return Residuals(pres=pres, dres=dres, eps_prim=eps_prim, eps_dual=eps_dual)
+        return compute_residuals(
+            bx, z, z_prev, lam, rho, self.config.eps_rel, backend=self.backend
+        )
 
     def _raise_divergence(self, iteration, res, best, history, timers) -> None:
         """Build the best-so-far result and raise :class:`DivergenceError`.
@@ -272,21 +269,21 @@ class ADMMLoop:
         guard = cfg.divergence_guard and strat.guard_enabled
         spans = self.phase_spans
         # perf_counter stamps feed the phase timers and/or the phase spans.
-        solve_span = None
-        if spans:
-            solve_span = tracer.span(
+        res = None
+        iteration = 0
+        best = None  # (iteration, x, z, lam, res) of the last finite state
+        stalled = False
+        with (
+            tracer.span(
                 "admm.solve",
                 algorithm=strat.algorithm_name,
                 backend=self.backend.name,
                 precision=policy.name,
                 **strat.span_args(),
             )
-            solve_span.__enter__()
-        res = None
-        iteration = 0
-        best = None  # (iteration, x, z, lam, res) of the last finite state
-        stalled = False
-        try:
+            if spans
+            else contextlib.nullcontext()
+        ):
             while iteration < budget:
                 iteration += 1
                 z, lam = strat.on_iteration_start(iteration, z, lam, rho)
@@ -372,9 +369,6 @@ class ADMMLoop:
                                 stalled = True
                                 break
                         stall_best_at_check = stall_best
-        finally:
-            if solve_span is not None:
-                solve_span.__exit__(None, None, None)
         converged = bool(res is not None and res.converged)
         if not converged and not stalled and cfg.raise_on_max_iter:
             detail = ""

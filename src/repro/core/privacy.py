@@ -133,7 +133,7 @@ class PrivateSolverFreeADMM(SolverFreeADMM):
         for s in range(dec.n_components):
             sl = dec.component_slice(s)
             delta = z[sl] - z_prev[sl]
-            norm = float(np.linalg.norm(delta))
+            norm = self.backend.norm(delta)
             if norm > p.clip:
                 delta = delta * (p.clip / norm)
             out[sl] = z_prev[sl] + delta

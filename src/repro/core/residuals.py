@@ -54,6 +54,7 @@ def compute_residuals(
     lam: np.ndarray,
     rho: float,
     eps_rel: float,
+    backend=None,
 ) -> Residuals:
     """Evaluate (16) from the stacked iterates.
 
@@ -65,9 +66,18 @@ def compute_residuals(
         Current and previous stacked local solutions.
     lam:
         Stacked consensus duals.
+    backend:
+        Array-execution backend whose fp64-accumulated :meth:`norm` is
+        used; defaults to numpy fp64, which is bit-identical to the
+        historical ``np.linalg.norm`` on fp64 iterates.
     """
-    pres = float(np.linalg.norm(bx - z))
-    dres = float(rho * np.linalg.norm(z - z_prev))
-    eps_prim = float(eps_rel * max(np.linalg.norm(bx), np.linalg.norm(z)))
-    eps_dual = float(eps_rel * np.linalg.norm(lam))
+    if backend is None:
+        from repro.backend import get_backend
+
+        backend = get_backend("numpy64")
+    norm = backend.norm
+    pres = norm(bx - z)
+    dres = float(rho * norm(z - z_prev))
+    eps_prim = float(eps_rel * max(norm(bx), norm(z)))
+    eps_dual = float(eps_rel * norm(lam))
     return Residuals(pres=pres, dres=dres, eps_prim=eps_prim, eps_dual=eps_dual)

@@ -1,0 +1,57 @@
+"""AST-based invariant linter for the repo's own discipline rules.
+
+Generic linters catch style; this package catches the invariants that
+keep the *reproduction* honest and that a reviewer cannot reliably see
+in a diff (see docs/LINTING.md for the catalog and fix recipes):
+
+* **R001 backend-discipline** — no raw NumPy compute in backend-routed
+  modules; array math flows through :class:`repro.backend.Backend`.
+* **R002 determinism** — no wall clocks or unseeded RNG in simulation
+  paths; failover replay stays bit-identical.
+* **R003 precision-discipline** — float dtypes come from
+  ``PrecisionPolicy``, never hard-coded literals.
+* **R004 telemetry-hygiene** — spans are context-managed; metric names
+  match the registered namespace convention.
+* **R005 exception-discipline** — no bare ``except:`` / swallowed broad
+  handlers around solver control flow.
+
+Run it with ``repro lint``; grandfathered findings live in
+``lint-baseline.json`` and ratchet downward.
+"""
+
+from repro.lint.baseline import load_baseline, save_baseline
+from repro.lint.engine import (
+    Finding,
+    LintConfigError,
+    LintEngine,
+    LintResult,
+    fingerprint,
+    scope_path,
+)
+from repro.lint.report import (
+    format_github,
+    format_json,
+    format_stats,
+    format_text,
+)
+from repro.lint.rules import RULE_REGISTRY, Rule, all_rules, get_rules, register
+
+__all__ = [
+    "Finding",
+    "LintConfigError",
+    "LintEngine",
+    "LintResult",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "get_rules",
+    "register",
+    "fingerprint",
+    "scope_path",
+    "load_baseline",
+    "save_baseline",
+    "format_text",
+    "format_json",
+    "format_github",
+    "format_stats",
+]

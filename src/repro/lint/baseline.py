@@ -1,0 +1,69 @@
+"""Baseline (grandfathering) support for :mod:`repro.lint`.
+
+A baseline is a checked-in JSON file of finding *fingerprints* — the
+debts that existed when a rule landed.  New code lints clean against it;
+old findings neither fail CI nor silently grow, and because fingerprints
+hash the stripped source line (not the line number), the baseline
+survives unrelated edits above a grandfathered line.
+
+The workflow is a ratchet:
+
+* ``repro lint --write-baseline`` (re)captures the current findings;
+* fixing a grandfathered finding makes its entry *stale*, which the
+  next run reports — regenerate to shrink the file;
+* a finding whose source line is edited loses its fingerprint match and
+  fails the run, forcing the edit to fix it properly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.engine import Finding, LintConfigError
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """Fingerprint -> entry map from a baseline file.
+
+    Raises :class:`LintConfigError` on unreadable or malformed files —
+    a broken baseline must fail loudly, not lint as if empty.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise LintConfigError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintConfigError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != FORMAT_VERSION:
+        raise LintConfigError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {FORMAT_VERSION})"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise LintConfigError(f"baseline {path} has no entries list")
+    out: dict[str, dict] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise LintConfigError(f"baseline {path} has a malformed entry")
+        out[entry["fingerprint"]] = entry
+    return out
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, one entry each)."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    ]
+    doc = {"version": FORMAT_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")

@@ -1,0 +1,288 @@
+"""The lint engine: file discovery, pragma handling, fingerprints.
+
+The engine walks ``.py`` files, parses each once with :mod:`ast`, and
+runs every in-scope rule over the tree.  Three layers filter the raw
+rule output before anything reaches the report:
+
+* **Suppressions** — ``# repro-lint: disable=R001`` on the offending
+  line, or ``# repro-lint: disable-file=R001,R003`` anywhere in the
+  file.  Suppressed findings vanish; a suppression that never fires is
+  itself reported (rule ``R000``), so stale pragmas can't accumulate.
+* **Baseline** — grandfathered findings matched by *content fingerprint*
+  (rule + path + stripped source line + occurrence index, so the match
+  survives unrelated line drift).  Baselined findings are kept on the
+  result but do not fail the run; baseline entries that no longer match
+  anything are reported as stale so the file ratchets downward.
+* **Scope** — each rule's path prefixes, matched against the module's
+  path *relative to the* ``repro`` *package* (``core/residuals.py``),
+  so the same rules work on fixture trees in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.rules import Rule, all_rules
+
+# Suppression pragma syntax; matched against COMMENT tokens only, so a
+# docstring *describing* the syntax never counts as a suppression.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache"})
+
+
+class LintConfigError(Exception):
+    """A problem with the lint invocation itself (bad rule id, unreadable
+    baseline, unparseable source) — the CLI maps this to exit code 2 so CI
+    can tell 'misconfigured' from 'found problems'."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    severity: str
+    path: str  #: display path (as discovered, posix separators)
+    line: int
+    col: int
+    message: str
+    fingerprint: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-partitioned for reporting."""
+
+    findings: list[Finding] = field(default_factory=list)  #: new (failing)
+    baselined: list[Finding] = field(default_factory=list)  #: grandfathered
+    stale_baseline: list[str] = field(default_factory=list)  #: dead entries
+    files: int = 0
+    suppressed: int = 0
+    rules: list[Rule] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def record_metrics(self, registry) -> None:
+        """Mirror the run into a :class:`~repro.telemetry.MetricsRegistry`."""
+        registry.counter("lint.files").inc(self.files)
+        registry.counter("lint.findings").inc(len(self.findings))
+        registry.counter("lint.baselined").inc(len(self.baselined))
+        registry.counter("lint.suppressed").inc(self.suppressed)
+
+
+class _Suppressions:
+    """Per-file pragma state with fired/unfired tracking."""
+
+    def __init__(self, source: str):
+        self.line_rules: dict[int, set[str]] = {}
+        self.file_rules: set[str] = set()
+        self._pragma_line: dict[str, int] = {}  # file-level rule -> decl line
+        self.used: set[tuple[int, str]] = set()  # (0, rule) == file-level
+        try:
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            comments = []
+        for lineno, text in comments:
+            m = _PRAGMA_RE.search(text)
+            if not m:
+                continue
+            rules = {r.strip().upper() for r in m.group("rules").split(",")}
+            rules.discard("")
+            if m.group("kind") == "disable":
+                self.line_rules.setdefault(lineno, set()).update(rules)
+            else:
+                self.file_rules.update(rules)
+                for rule in rules:
+                    self._pragma_line.setdefault(rule, lineno)
+
+    def suppresses(self, lineno: int, rule: str) -> bool:
+        if rule in self.file_rules:
+            self.used.add((0, rule))
+            return True
+        if rule in self.line_rules.get(lineno, ()):
+            self.used.add((lineno, rule))
+            return True
+        return False
+
+    def unused(self) -> list[tuple[int, str]]:
+        """``(line, rule)`` for every pragma that never fired."""
+        out = []
+        for lineno, rules in sorted(self.line_rules.items()):
+            out.extend(
+                (lineno, rule)
+                for rule in sorted(rules)
+                if (lineno, rule) not in self.used
+            )
+        out.extend(
+            (self._pragma_line[rule], rule)
+            for rule in sorted(self.file_rules)
+            if (0, rule) not in self.used
+        )
+        return out
+
+
+def fingerprint(rule: str, path: str, source_line: str, occurrence: int) -> str:
+    """Content-based finding identity, stable across unrelated line drift."""
+    key = f"{rule}|{path}|{source_line.strip()}|{occurrence}"
+    return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+
+def discover(paths: list[str]) -> list[tuple[Path, Path]]:
+    """``(file, root)`` for every ``.py`` file under ``paths``, sorted.
+
+    ``root`` is the path argument the file was found under (its parent
+    for file arguments) — the anchor scope matching falls back to for
+    trees that do not contain a ``repro`` package.
+    """
+    out: dict[Path, Path] = {}
+    for raw in paths:
+        p = Path(raw)
+        if not p.exists():
+            raise LintConfigError(f"no such path: {raw}")
+        if p.is_file():
+            out.setdefault(p, p.parent)
+            continue
+        for f in p.rglob("*.py"):
+            if not any(part in _SKIP_DIRS for part in f.parts):
+                out.setdefault(f, p)
+    return sorted(out.items())
+
+
+def scope_path(path: Path, root: Path | None = None) -> str:
+    """The path rules match scopes against: relative to the ``repro``
+    package when the file lives under one, relative to ``root`` otherwise
+    (which is what fixture trees in tests use)."""
+    posix = path.as_posix()
+    idx = posix.rfind("repro/")
+    if idx >= 0:
+        return posix[idx + len("repro/"):]
+    if root is not None:
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            pass
+    return posix
+
+
+class LintEngine:
+    """Run a rule set over a file list and partition the output."""
+
+    def __init__(self, rules: list[Rule] | None = None):
+        self.rules = rules if rules is not None else all_rules()
+
+    def lint_file(
+        self, path: Path, root: Path | None = None
+    ) -> tuple[list[Finding], int]:
+        """All findings for one file plus its suppressed-finding count."""
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            raise LintConfigError(f"cannot lint {path}: {exc}") from exc
+        lines = source.splitlines()
+        rel = scope_path(path, root)
+        display = path.as_posix()
+        sup = _Suppressions(source)
+        findings: list[Finding] = []
+        suppressed = 0
+        occurrences: dict[tuple[str, str], int] = {}
+        for rule in self.rules:
+            if not rule.applies(rel):
+                continue
+            for line, col, message in rule.check(tree, lines, rel):
+                if sup.suppresses(line, rule.id):
+                    suppressed += 1
+                    continue
+                text = lines[line - 1] if 0 < line <= len(lines) else ""
+                occ_key = (rule.id, text.strip())
+                occ = occurrences.get(occ_key, 0)
+                occurrences[occ_key] = occ + 1
+                findings.append(
+                    Finding(
+                        rule=rule.id,
+                        severity=rule.severity,
+                        path=display,
+                        line=line,
+                        col=col,
+                        message=message,
+                        # Fingerprints hash the *package-relative* path so
+                        # the baseline matches however the linter is
+                        # invoked (repo root, absolute paths, CI).
+                        fingerprint=fingerprint(rule.id, rel, text, occ),
+                    )
+                )
+        for line, rule_id in sup.unused():
+            text = lines[line - 1] if 0 < line <= len(lines) else ""
+            occ_key = ("R000", text.strip())
+            occ = occurrences.get(occ_key, 0)
+            occurrences[occ_key] = occ + 1
+            findings.append(
+                Finding(
+                    rule="R000",
+                    severity="warning",
+                    path=display,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"unused suppression: {rule_id} never fires here — "
+                        "remove the pragma"
+                    ),
+                    fingerprint=fingerprint("R000", rel, text, occ),
+                )
+            )
+        findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return findings, suppressed
+
+    def run(
+        self, paths: list[str], baseline: dict[str, dict] | None = None
+    ) -> LintResult:
+        """Lint every file under ``paths`` against ``baseline``."""
+        result = LintResult(rules=list(self.rules))
+        matched: set[str] = set()
+        baseline = baseline or {}
+        for path, root in discover(paths):
+            findings, suppressed = self.lint_file(path, root)
+            result.files += 1
+            result.suppressed += suppressed
+            for f in findings:
+                if f.fingerprint in baseline:
+                    matched.add(f.fingerprint)
+                    result.baselined.append(f)
+                else:
+                    result.findings.append(f)
+        result.stale_baseline = sorted(set(baseline) - matched)
+        return result

@@ -1,0 +1,125 @@
+"""Output formats for lint results.
+
+``text`` is for humans at a terminal, ``json`` is the stable
+machine-readable schema (version-stamped; consumed by tests and any
+tooling that wants to diff runs), ``github`` emits workflow annotation
+commands so findings land inline on the PR diff, and ``stats`` is the
+``--stats`` aggregate view (per rule and per package).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.engine import Finding, LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def format_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    out = []
+    for f in result.findings:
+        out.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} [{f.severity}] {f.message}")
+    if verbose and result.baselined:
+        out.append("")
+        out.append(f"baselined ({len(result.baselined)} grandfathered):")
+        for f in result.baselined:
+            out.append(f"  {f.path}:{f.line}: {f.rule} {f.message}")
+    for fp in result.stale_baseline:
+        out.append(
+            f"stale baseline entry {fp}: the finding it grandfathered is gone "
+            "— regenerate with --write-baseline"
+        )
+    out.append("")
+    out.append(summary_line(result))
+    return "\n".join(out)
+
+
+def summary_line(result: LintResult) -> str:
+    parts = [
+        f"{result.files} files",
+        f"{len(result.findings)} findings",
+        f"{len(result.baselined)} baselined",
+        f"{result.suppressed} suppressed",
+    ]
+    if result.stale_baseline:
+        parts.append(f"{len(result.stale_baseline)} stale baseline entries")
+    status = "clean" if result.clean and not result.stale_baseline else "FAIL"
+    return f"lint: {', '.join(parts)} — {status}"
+
+
+def format_json(result: LintResult) -> str:
+    """Stable machine-readable document (schema_version-stamped)."""
+    doc = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "summary": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "stale_baseline": len(result.stale_baseline),
+            "clean": result.clean and not result.stale_baseline,
+            "by_rule": result.by_rule(),
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": list(result.stale_baseline),
+        "rules": [r.describe() for r in result.rules],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def format_github(result: LintResult) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``)."""
+    out = []
+    for f in result.findings:
+        level = "error" if f.severity == "error" else "warning"
+        # Annotation messages must keep to one line.
+        message = f"{f.rule}: {f.message}".replace("\n", " ")
+        out.append(
+            f"::{level} file={f.path},line={f.line},col={f.col + 1}::{message}"
+        )
+    for fp in result.stale_baseline:
+        out.append(
+            f"::warning::stale lint baseline entry {fp} — regenerate with "
+            "`repro lint --write-baseline`"
+        )
+    out.append(summary_line(result))
+    return "\n".join(out)
+
+
+def _package(f: Finding) -> str:
+    """Top-level package of a finding, for the stats breakdown."""
+    posix = f.path
+    idx = posix.rfind("repro/")
+    rel = posix[idx + len("repro/"):] if idx >= 0 else posix
+    return rel.split("/", 1)[0] if "/" in rel else "(root)"
+
+
+def format_stats(result: LintResult) -> str:
+    """Aggregate view: counts per rule and per package, baseline included.
+
+    Baselined findings count here — the point of ``--stats`` is to see
+    where the debt lives, not only what is newly failing.
+    """
+    everything = result.findings + result.baselined
+    rule_meta = {r.id: r for r in result.rules}
+    by_rule = Counter(f.rule for f in everything)
+    new_by_rule = Counter(f.rule for f in result.findings)
+    out = ["per rule:"]
+    for rid in sorted(set(by_rule) | set(rule_meta)):
+        meta = rule_meta.get(rid)
+        label = f"{rid} {meta.name}" if meta else rid
+        out.append(
+            f"  {label:32s} {by_rule.get(rid, 0):4d} total"
+            f"  ({new_by_rule.get(rid, 0)} new)"
+        )
+    by_pkg = Counter(_package(f) for f in everything)
+    out.append("per package:")
+    for pkg, count in sorted(by_pkg.items(), key=lambda kv: (-kv[1], kv[0])):
+        out.append(f"  {pkg:32s} {count:4d}")
+    out.append("")
+    out.append(summary_line(result))
+    return "\n".join(out)

@@ -1,0 +1,68 @@
+"""Shared AST helpers for the lint rules.
+
+The rules reason about *canonical dotted names*: ``np.linalg.norm(x)``
+must be recognized as ``numpy.linalg.norm`` whatever the import spelling
+(``import numpy as np``, ``from numpy import linalg``, ``from
+numpy.linalg import norm``).  :func:`import_aliases` builds the local
+name -> canonical prefix map from a module's imports, and
+:func:`dotted_name` resolves an attribute chain against it.  Names whose
+root is not an imported module (``self.backend.norm``, ``b.clip``) do
+not resolve — which is exactly right: backend-routed calls are the
+compliant spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map every imported local name to its canonical dotted path."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import numpy.linalg`` binds the *top* name.
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue  # relative imports never alias numpy/time/random
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(expr: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of an attribute chain rooted at an import.
+
+    Returns ``None`` when the chain roots at a local variable (so
+    ``backend.norm`` and ``self.xp.clip`` stay invisible to the rules).
+    """
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        root = aliases.get(expr.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of a call's target, if import-rooted."""
+    return dotted_name(node.func, aliases)
+
+
+def keyword_arg(node: ast.Call, name: str) -> ast.AST | None:
+    """The value expression of keyword ``name``, if present."""
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None

@@ -1,0 +1,119 @@
+"""R002 determinism: no wall clocks or unseeded RNG in simulation paths.
+
+The resilience layer's failover replay is *bit-identical* only because
+every source of randomness in the simulated stack is a seeded generator
+and every notion of time is a virtual clock (``SimComm.clocks``, modeled
+GPU time).  One ``time.time()`` in a checkpoint path or one unseeded
+``np.random.default_rng()`` in a fault plan breaks replay in a way only a
+flaky test would ever surface.
+
+The rule flags, inside the simulation-bearing packages:
+
+* wall-clock reads — ``time.time``/``time.time_ns``, ``datetime.now``/
+  ``utcnow``/``today``, ``date.today`` (``time.perf_counter`` is allowed:
+  it is a *relative* stamp that feeds phase timers and virtual clocks,
+  never the iterates);
+* the module-level (globally seeded) RNG surfaces — ``np.random.rand``,
+  ``np.random.seed`` and friends, and ``random.random``-style calls;
+* unseeded constructors — ``np.random.default_rng()`` / ``random.Random()``
+  with no seed argument.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import Rule, register
+from repro.lint.rules.common import call_name, import_aliases
+
+#: Wall-clock reads (absolute time) — virtual clocks only in sim paths.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Legacy global-state numpy RNG entry points (``numpy.random.<name>``).
+NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "uniform", "normal", "standard_normal",
+        "shuffle", "permutation", "choice", "binomial", "poisson",
+        "exponential", "beta", "gamma",
+    }
+)
+
+#: Module-level stdlib RNG calls (share one hidden global generator).
+STDLIB_GLOBAL_RNG = frozenset(
+    {
+        "random.random", "random.randint", "random.randrange",
+        "random.uniform", "random.gauss", "random.normalvariate",
+        "random.shuffle", "random.sample", "random.choice",
+        "random.choices", "random.seed", "random.expovariate",
+        "random.betavariate", "random.triangular", "random.vonmisesvariate",
+    }
+)
+
+#: Constructors that are deterministic only when given a seed.
+SEEDED_CONSTRUCTORS = frozenset({"numpy.random.default_rng", "random.Random"})
+
+
+def _has_seed(node: ast.Call) -> bool:
+    if node.args:
+        return True
+    return any(kw.arg in ("seed", "x") for kw in node.keywords)
+
+
+@register
+class Determinism(Rule):
+    id = "R002"
+    name = "determinism"
+    severity = "error"
+    rationale = (
+        "simulated runs must be replayable bit-for-bit: seeded generators "
+        "and virtual clocks only — wall time and global RNG state leak "
+        "nondeterminism into checkpoints, fault plans and modeled timings"
+    )
+    scope = ("core/", "parallel/", "resilience/", "gpu/")
+
+    def check(self, tree, lines, relpath):
+        aliases = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, aliases)
+            if name is None:
+                continue
+            if name in WALL_CLOCK_CALLS:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read `{name}` in a simulation path — use the "
+                    "virtual clock (SimComm.clocks / modeled time); "
+                    "time.perf_counter is allowed for relative phase stamps",
+                )
+            elif name in STDLIB_GLOBAL_RNG or (
+                name.startswith("numpy.random.")
+                and name[len("numpy.random."):] in NUMPY_GLOBAL_RNG
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"global-state RNG call `{name}` — construct a seeded "
+                    "generator (np.random.default_rng(seed) / random.Random(seed))",
+                )
+            elif name in SEEDED_CONSTRUCTORS and not _has_seed(node):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"unseeded `{name}()` — pass an explicit seed so runs "
+                    "(and failover replays) are reproducible",
+                )

@@ -1,0 +1,86 @@
+"""R005 exception-discipline: never swallow solver failures.
+
+:class:`~repro.utils.exceptions.DivergenceError` and
+:class:`~repro.utils.exceptions.ConvergenceError` are load-bearing
+control flow: the divergence guard raises them *with the best-so-far
+iterates attached* so callers can degrade gracefully, and the serving
+engine's retry/circuit-breaker logic keys off them.  A bare ``except:``
+— or an ``except Exception:`` whose body just ``pass``es — anywhere in
+a solver path turns a diverged solve into a silently wrong dispatch.
+
+Flagged:
+
+* bare ``except:`` (also catches ``KeyboardInterrupt``/``SystemExit``);
+* ``except Exception:`` / ``except BaseException:`` handlers whose body
+  is only ``pass``/``...``/``continue`` (pure swallows).
+
+``except Exception:`` with a real body (logging, cleanup, degradation,
+re-raise) is allowed — boundary code like backend availability probes
+legitimately needs it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names(expr: ast.AST) -> list[str]:
+    if isinstance(expr, ast.Name):
+        return [expr.id]
+    if isinstance(expr, ast.Tuple):
+        return [e.id for e in expr.elts if isinstance(e, ast.Name)]
+    return []
+
+
+def _is_swallow(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and (stmt.value.value is Ellipsis or isinstance(stmt.value.value, str))
+        ):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register
+class ExceptionDiscipline(Rule):
+    id = "R005"
+    name = "exception-discipline"
+    severity = "error"
+    rationale = (
+        "DivergenceError/ConvergenceError carry recovery state and drive "
+        "retry/degradation logic — a swallowing handler turns a diverged "
+        "solve into a silently wrong answer"
+    )
+    scope = ()  # everywhere
+
+    def check(self, tree, lines, relpath):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield (
+                        handler.lineno,
+                        handler.col_offset,
+                        "bare `except:` — name the exceptions; this would "
+                        "swallow DivergenceError (and KeyboardInterrupt)",
+                    )
+                    continue
+                if any(n in _BROAD for n in _names(handler.type)) and _is_swallow(
+                    handler.body
+                ):
+                    yield (
+                        handler.lineno,
+                        handler.col_offset,
+                        "`except Exception: pass` swallows solver failures — "
+                        "catch the specific exceptions or handle/re-raise",
+                    )

@@ -1,0 +1,105 @@
+"""R003 precision-discipline: float dtypes flow through PrecisionPolicy.
+
+The whole point of :class:`repro.backend.policy.PrecisionPolicy` is that
+there is exactly one place deciding what "the compute dtype" is.  A
+literal ``dtype=np.float32`` hard-pins a precision the policy can no
+longer steer; a bare ``.astype(np.float64)`` silently promotes an fp32
+pipeline back to fp64 and hides the cast from the refinement logic.
+
+The rule flags, everywhere except ``backend/`` and ``qp/`` (the two
+packages that legitimately *implement* dtype handling — the backend owns
+the policy, and the projection/interior-point kernels compute in fp64 and
+restore the caller's dtype at their boundary):
+
+* ``dtype=<float literal>`` keyword arguments, and
+* ``.astype(<float literal>)`` calls,
+
+where a float literal is ``np.float16/32/64``, the ``float`` builtin, or
+a ``"float32"``-style string.  Integer and bool dtypes stay allowed —
+index vectors and masks carry no precision-policy semantics.  Casting to
+a *variable* dtype (``.astype(backend.compute_dtype)``) is the compliant
+spelling and is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import Rule, register
+from repro.lint.rules.common import dotted_name, import_aliases, keyword_arg
+
+#: numpy attribute names that denote float dtypes.
+_NUMPY_FLOAT_ATTRS = frozenset(
+    {"float16", "float32", "float64", "float128", "half", "single",
+     "double", "longdouble", "float_"}
+)
+
+#: string spellings of float dtypes.
+_FLOAT_STRINGS = frozenset(
+    {"float16", "float32", "float64", "float128", "f2", "f4", "f8",
+     "float", "half", "single", "double"}
+)
+
+
+def _float_dtype_literal(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The spelling of a float-dtype literal expression, or ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in _FLOAT_STRINGS:
+            return f'"{node.value}"'
+        return None
+    if isinstance(node, ast.Name) and node.id == "float":
+        return "float"
+    name = dotted_name(node, aliases)
+    if name and name.startswith("numpy.") and name[len("numpy."):] in _NUMPY_FLOAT_ATTRS:
+        return f"np.{name[len('numpy.'):]}"
+    return None
+
+
+@register
+class PrecisionDiscipline(Rule):
+    id = "R003"
+    name = "precision-discipline"
+    severity = "warning"
+    rationale = (
+        "float dtypes must flow through PrecisionPolicy / backend "
+        "allocation — a hard-coded float literal pins a precision the "
+        "policy can no longer steer and hides casts from the fp64 "
+        "refinement logic"
+    )
+    # Exclusion scope: the two packages that implement dtype handling.
+    EXCLUDED = ("backend/", "qp/")
+
+    def applies(self, relpath: str) -> bool:
+        return not relpath.startswith(self.EXCLUDED)
+
+    def check(self, tree, lines, relpath):
+        aliases = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                target = node.args[0] if node.args else keyword_arg(node, "dtype")
+                spelling = (
+                    _float_dtype_literal(target, aliases) if target is not None else None
+                )
+                if spelling:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"bare `.astype({spelling})` outside backend/qp — cast "
+                        "via the backend (asarray/to_numpy) or the policy's "
+                        "compute/accumulate dtype",
+                    )
+                continue
+            dtype = keyword_arg(node, "dtype")
+            if dtype is None:
+                continue
+            spelling = _float_dtype_literal(dtype, aliases)
+            if spelling:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"float dtype literal `dtype={spelling}` outside backend/qp "
+                    "— allocate through the backend or take the dtype from "
+                    "PrecisionPolicy",
+                )

@@ -50,13 +50,14 @@ class IterationTimeline:
 
     @property
     def mean_iteration_s(self) -> float:
-        return float(np.mean(self.total_s)) if self.total_s else 0.0
+        return sum(self.total_s) / len(self.total_s) if self.total_s else 0.0
 
     @property
     def mean_comm_s(self) -> float:
         if not self.total_s:
             return 0.0
-        return float(np.mean(np.array(self.total_s) - np.array(self.compute_max_s)))
+        comm = [t - c for t, c in zip(self.total_s, self.compute_max_s)]
+        return sum(comm) / len(comm)
 
 
 @dataclass
@@ -159,11 +160,11 @@ class DistributedADMMRunner(IterationStrategy):
         comm, dec = self._comm, self.dec
         clock0 = float(comm.clocks[0])
         t0 = time.perf_counter()
-        scatter = np.bincount(
-            dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars
+        scatter = self.backend.scatter_add(
+            dec.global_cols, z - lam / rho, dec.lp.n_vars
         )
         xhat = (scatter - dec.lp.cost / rho) / dec.counts
-        x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
+        x = self.backend.clip(xhat, dec.lp.lb, dec.lp.ub)
         # The consensus gather happens on the aggregator, inside its
         # timed block; the engine's gather() just reads it back.
         self._bx = x[dec.global_cols]

@@ -250,11 +250,11 @@ class FaultTolerantADMMRunner(IterationStrategy):
         comm = st["comm"]
         dec = self.dec
         t0 = time.perf_counter()
-        scatter = np.bincount(
-            dec.global_cols, weights=z - lam / rho, minlength=dec.lp.n_vars
+        scatter = self.backend.scatter_add(
+            dec.global_cols, z - lam / rho, dec.lp.n_vars
         )
         xhat = (scatter - dec.lp.cost / rho) / dec.counts
-        x = np.clip(xhat, dec.lp.lb, dec.lp.ub)
+        x = self.backend.clip(xhat, dec.lp.lb, dec.lp.ub)
         self._bx = x[dec.global_cols]
         comm.advance(0, time.perf_counter() - t0)
         return x

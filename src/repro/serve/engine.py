@@ -368,13 +368,13 @@ class _StackedBatchStrategy(IterationStrategy):
         move = (z - z_prev).reshape(k_n, n_local).astype(acc, copy=False)
         pres = b.to_numpy(xp.linalg.norm(diff, axis=1))
         dres = self.rho_k * b.to_numpy(xp.linalg.norm(move, axis=1))
-        norm_bx = b.to_numpy(
-            xp.linalg.norm(bx.reshape(k_n, n_local).astype(acc, copy=False), axis=1)
+        norm_bx = xp.linalg.norm(
+            bx.reshape(k_n, n_local).astype(acc, copy=False), axis=1
         )
-        norm_z = b.to_numpy(
-            xp.linalg.norm(z.reshape(k_n, n_local).astype(acc, copy=False), axis=1)
+        norm_z = xp.linalg.norm(
+            z.reshape(k_n, n_local).astype(acc, copy=False), axis=1
         )
-        eps_prim = self.eps_k * np.maximum(norm_bx, norm_z)
+        eps_prim = self.eps_k * b.to_numpy(xp.maximum(norm_bx, norm_z))
         eps_dual = self.eps_k * b.to_numpy(
             xp.linalg.norm(lam.reshape(k_n, n_local).astype(acc, copy=False), axis=1)
         )

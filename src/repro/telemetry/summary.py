@@ -142,13 +142,15 @@ def run_tags(events: list[TraceEvent]) -> dict[str, str]:
 
     The ADMM loop tags its ``admm.solve`` span with the array-execution
     ``backend`` and ``precision``; a mixed-precision run that fell back to
-    fp64 refinement carries both values, comma-joined.
+    fp64 refinement carries both values, comma-joined.  ``repro lint
+    --trace`` stamps its ``lint.run`` span with ``lint_findings``, so a
+    trace that includes a lint pass reports the lint status in its title.
     """
     tags: dict[str, set[str]] = {}
     for ev in events:
         if not ev.args:
             continue
-        for key in ("backend", "precision"):
+        for key in ("backend", "precision", "lint_findings"):
             if key in ev.args:
                 tags.setdefault(key, set()).add(str(ev.args[key]))
     return {key: ",".join(sorted(vals)) for key, vals in sorted(tags.items())}

@@ -300,6 +300,42 @@ class TestFaultTolerantRunner:
         np.testing.assert_array_equal(a.result.z, b.result.z)
         assert a.failovers == b.failovers
 
+    def test_fault_injected_replay_is_bit_identical(self, small_dec):
+        """R002 regression: a fault-injected run — iterates, residual
+        history, failover bookkeeping — must replay bit-for-bit.  Any
+        wall-clock read or unseeded RNG sneaking into the simulated
+        numerics (what lint rule R002 guards statically) breaks this
+        equality long before it would surface as flakiness.  (The
+        timeline is exempt: virtual clocks advance by *measured* compute
+        durations, which legitimately vary run to run.)
+        """
+        cfg = ADMMConfig(max_iter=80, record_history=True)
+        plan = FaultPlan(
+            seed=5,
+            faults=(
+                StragglerSlowdown(rank=2, factor=4.0, from_iteration=5, until_iteration=25),
+                RankCrash(rank=1, at_iteration=30),
+                MessageDrop(src=2, dst=0, at_iteration=12),
+            ),
+        )
+
+        def run():
+            return FaultTolerantADMMRunner(
+                small_dec, 3, CPU_CLUSTER_COMM, cfg, fault_plan=plan, checkpoint_every=10
+            ).solve()
+
+        a, b = run(), run()
+        for name in ("x", "z", "lam"):
+            np.testing.assert_array_equal(
+                getattr(a.result, name), getattr(b.result, name)
+            )
+        assert a.result.objective == b.result.objective
+        assert a.result.iterations == b.result.iterations
+        assert a.result.history.pres == b.result.history.pres
+        assert a.result.history.dres == b.result.history.dres
+        assert a.failovers == b.failovers
+        assert len(a.timeline.total_s) == len(b.timeline.total_s)
+
     def test_crash_recovery_converges(self, small_dec, small_ref):
         plan = FaultPlan(faults=(RankCrash(rank=2, at_iteration=30),))
         run = FaultTolerantADMMRunner(
