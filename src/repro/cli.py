@@ -336,6 +336,118 @@ def cmd_serve_batch(args) -> int:
     return 0 if failed == 0 else 2
 
 
+def cmd_serve_fleet(args) -> int:
+    from repro.fleet import (
+        FleetConfig,
+        FleetFrontend,
+        generate_mixed_scenarios,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from repro.resilience import FaultPlan, WorkerCrash
+    from repro.serve import load_requests_json
+
+    if args.scenarios:
+        try:
+            requests = load_requests_json(args.scenarios)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read scenarios: {exc}") from None
+    else:
+        feeders = [f.strip() for f in args.feeders.split(",") if f.strip()]
+        requests = generate_mixed_scenarios(feeders, args.generate, args.seed)
+        print(
+            f"generated {len(requests)} scenarios over "
+            f"{len(feeders)} feeders"
+        )
+
+    faults = []
+    for spec in args.crash or []:
+        worker, _, after = spec.partition(":")
+        try:
+            faults.append(WorkerCrash(worker=worker, after_served=int(after or 0)))
+        except ValueError:
+            raise SystemExit(
+                f"malformed --crash {spec!r}: expected WORKER[:AFTER_SERVED]"
+            ) from None
+    plan = FaultPlan(seed=args.seed, faults=tuple(faults)) if faults else None
+
+    tracer = Tracer() if args.trace else None
+    config = FleetConfig(
+        n_workers=args.workers,
+        mode="process" if args.procs else "sim",
+        max_batch=args.max_batch,
+        queue_size=args.queue_size,
+        cache_capacity=args.cache_capacity,
+        warm_start=not args.no_warm_start,
+        backend=args.backend,
+        precision=args.precision,
+    )
+    print(
+        f"fleet: {config.n_workers} {config.mode} workers, "
+        f"max_batch={config.max_batch}"
+        + (f", chaos plan with {len(faults)} fault(s)" if faults else "")
+    )
+    report = None
+    with FleetFrontend(config, tracer=tracer, fault_plan=plan) as fleet:
+        if args.rate is not None:
+            report = run_open_loop(fleet, requests, args.rate, seed=args.seed)
+            responses = fleet.responses
+        elif args.concurrency is not None:
+            report = run_closed_loop(fleet, requests, args.concurrency)
+            responses = fleet.responses
+        else:
+            responses = fleet.serve(requests)
+        snap = fleet.snapshot()
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"trace ({len(tracer)} spans) written to {args.trace}")
+
+    if args.verbose:
+        rows = [
+            [r.request_id, r.status, r.iterations,
+             "-" if r.objective is None else f"{r.objective:.5f}"]
+            for r in responses
+        ]
+        print(format_table(
+            ["request", "status", "iterations", "objective"], rows,
+            title="responses",
+        ))
+    fleet_rows = [[k, v] for k, v in snap.items() if k != "workers"]
+    print(format_table(["metric", "value"], fleet_rows, title="fleet metrics"))
+    worker_rows = [
+        [wid, ws.get("worker.served", ws.get("served", "-")),
+         "yes" if ws.get("worker.alive", True) else "no"]
+        for wid, ws in snap["workers"].items()
+    ]
+    print(format_table(["worker", "served", "alive"], worker_rows, title="workers"))
+    if report is not None:
+        print(format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in report.to_dict().items() if k != "fleet"],
+            title=f"{report.mode}-loop load test",
+        ))
+
+    if args.output:
+        payload = {
+            "fleet": snap,
+            "responses": [r.to_dict() for r in responses],
+        }
+        if report is not None:
+            payload["load_test"] = report.to_dict()
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"fleet report written to {args.output}")
+
+    failed = sum(1 for r in responses if r.status in ("error", "rejected", "timeout"))
+    if args.require_convergence:
+        unconverged = sum(1 for r in responses if r.status != "converged")
+        if unconverged:
+            raise ConvergenceError(
+                f"{unconverged} of {len(responses)} scenarios did not converge"
+            )
+    return 0 if failed == 0 else 2
+
+
 def cmd_backends(args) -> int:
     import os
 
@@ -562,6 +674,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit with an error (status 3) if any scenario does not converge",
     )
     p.set_defaults(func=cmd_serve_batch)
+
+    p = sub.add_parser(
+        "serve-fleet", help="serve scenarios on a sharded multi-worker fleet"
+    )
+    p.add_argument("--workers", type=int, default=2, help="fleet size")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--sim", action="store_true",
+        help="in-process deterministic workers (default)",
+    )
+    mode.add_argument(
+        "--procs", action="store_true",
+        help="real multiprocessing workers (one engine per process)",
+    )
+    p.add_argument("--scenarios", help="scenario JSON file (see docs/SERVING.md)")
+    p.add_argument(
+        "--feeders",
+        default="ieee13,synthetic:20:0,synthetic:20:2,synthetic:20:9",
+        help="comma-separated feeder references for --generate "
+        "(builtins or synthetic:<n_buses>[:<seed>])",
+    )
+    p.add_argument(
+        "--generate", type=int, default=32, metavar="N",
+        help="generate N mixed-topology scenarios when no --scenarios file",
+    )
+    p.add_argument("--seed", type=int, default=0, help="scenario / chaos seed")
+    p.add_argument(
+        "--crash", action="append", metavar="WORKER[:AFTER]",
+        help="chaos: fail-stop WORKER after serving AFTER requests "
+        "(repeatable, e.g. --crash w0:4)",
+    )
+    p.add_argument(
+        "--rate", type=float, metavar="RPS",
+        help="open-loop load test at seeded Poisson RPS arrivals",
+    )
+    p.add_argument(
+        "--concurrency", type=int, metavar="C",
+        help="closed-loop load test with C virtual clients",
+    )
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--queue-size", type=int, default=256)
+    p.add_argument("--cache-capacity", type=int, default=64)
+    p.add_argument(
+        "--no-warm-start", action="store_true",
+        help="cold-start every solve (history-independent responses)",
+    )
+    _add_backend_flags(p)
+    p.add_argument("--verbose", action="store_true", help="per-response table")
+    p.add_argument("--output", help="write fleet metrics + responses as JSON")
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="capture a span trace (Chrome JSON; .jsonl extension for JSONL)",
+    )
+    p.add_argument(
+        "--require-convergence",
+        action="store_true",
+        help="exit with an error (status 3) if any scenario does not converge",
+    )
+    p.set_defaults(func=cmd_serve_fleet)
 
     p = sub.add_parser(
         "trace-summary", help="per-phase breakdown of a captured trace"

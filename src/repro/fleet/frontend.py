@@ -1,0 +1,538 @@
+"""The fleet frontend: topology-affinity routing over a worker pool.
+
+:class:`FleetFrontend` is the single submission surface of a horizontally
+sharded serving fleet.  Each request is routed by the consistent-hash
+ring (:mod:`repro.fleet.routing`) on its ``topology_key()``, so all
+requests for one feeder land on one worker and that worker's projection
+and warm-start caches stay hot.  Around the ring sit the resilience
+pieces reused from :mod:`repro.resilience`:
+
+* a per-worker :class:`~repro.resilience.CircuitBreaker` — a worker that
+  keeps failing is skipped in routing until its recovery window passes;
+* *spill*: when a key's preferred worker has a full queue, the request
+  walks the key's ring preference order to the next candidate (affinity
+  lost, request saved);
+* structured backpressure: when every candidate is full, submission
+  fails with a :class:`FleetSaturatedError`-carrying rejection whose
+  ``retry_after_s`` is the minimum backoff hint across the fleet;
+* failover: a dead worker is removed from the ring and every request it
+  had accepted but not completed is re-routed to the survivors — no
+  accepted request is ever dropped.
+
+Two wiring modes, same API (see :mod:`repro.fleet.worker`): ``sim``
+steps in-process workers deterministically; ``process`` runs real
+``multiprocessing`` workers and detects genuinely dead processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+
+from repro.fleet.routing import DEFAULT_REPLICAS, HashRing
+from repro.fleet.worker import (
+    WORKER_BATCH,
+    WORKER_DONE,
+    WORKER_READY,
+    ProcessWorker,
+    SimWorker,
+    WorkerQueueFull,
+    WorkerSpec,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import CircuitBreaker
+from repro.serve.requests import (
+    STATUS_ERROR,
+    STATUS_REJECTED,
+    OPFRequest,
+    OPFResponse,
+)
+from repro.telemetry import MetricsRegistry, NULL_TRACER
+from repro.utils.exceptions import ReproError
+
+MODE_SIM = "sim"
+MODE_PROCESS = "process"
+
+
+class FleetSaturatedError(ReproError):
+    """Every candidate worker for a request's topology was full (or dead).
+
+    Attributes
+    ----------
+    topology_key:
+        The key that could not be placed.
+    retry_after_s:
+        Minimum backoff hint across the rejecting workers (0.0 when no
+        worker had an estimate).
+    queue_depths:
+        ``{worker_id: depth}`` of the rejecting workers at rejection time.
+    """
+
+    def __init__(self, topology_key: str, retry_after_s: float, queue_depths: dict):
+        self.topology_key = topology_key
+        self.retry_after_s = max(0.0, float(retry_after_s))
+        self.queue_depths = dict(queue_depths)
+        super().__init__(
+            f"fleet saturated for topology {topology_key}: all "
+            f"{len(self.queue_depths)} candidate workers full; "
+            f"retry in {self.retry_after_s:.3f}s"
+        )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of the fleet: worker count, mode, and per-worker engine knobs.
+
+    ``mode`` is :data:`MODE_SIM` (in-process, deterministic) or
+    :data:`MODE_PROCESS` (real ``multiprocessing`` workers).
+    ``response_timeout_s`` bounds how long the process-mode frontend
+    waits for *any* progress before declaring the fleet stalled.
+    """
+
+    n_workers: int = 2
+    mode: str = MODE_SIM
+    max_batch: int = 16
+    queue_size: int = 256
+    cache_capacity: int = 64
+    warm_start: bool = True
+    backend: str | None = None
+    precision: str | None = None
+    replicas: int = DEFAULT_REPLICAS
+    breaker_failure_threshold: int = 5
+    breaker_recovery_s: float = 30.0
+    response_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.mode not in (MODE_SIM, MODE_PROCESS):
+            raise ValueError(f"unknown fleet mode {self.mode!r}")
+        if self.response_timeout_s <= 0:
+            raise ValueError("response_timeout_s must be positive")
+
+    def worker_ids(self) -> list[str]:
+        return [f"w{i}" for i in range(self.n_workers)]
+
+    def spec_for(self, worker_id: str, fault_plan: FaultPlan | None) -> WorkerSpec:
+        crash_after = (
+            fault_plan.worker_crash_after(worker_id) if fault_plan is not None else None
+        )
+        return WorkerSpec(
+            worker_id=worker_id,
+            max_batch=self.max_batch,
+            queue_size=self.queue_size,
+            cache_capacity=self.cache_capacity,
+            warm_start=self.warm_start,
+            backend=self.backend,
+            precision=self.precision,
+            crash_after_served=crash_after,
+        )
+
+
+class FleetFrontend:
+    """Routing, failover and backpressure over a pool of engine workers.
+
+    Parameters
+    ----------
+    config:
+        Fleet shape and per-worker engine settings.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; sim-mode workers share
+        it (their engine spans land in the same trace), and the frontend
+        adds ``fleet.*`` routing/poll spans either way.
+    fault_plan:
+        Seeded :class:`~repro.resilience.FaultPlan`; its
+        :class:`~repro.resilience.WorkerCrash` specs become per-worker
+        crash points (chaos testing the failover path).
+    clock:
+        Injectable monotonic clock for the per-worker breakers.
+
+    Examples
+    --------
+    >>> from repro.fleet import FleetConfig, FleetFrontend
+    >>> from repro.serve import OPFRequest
+    >>> fleet = FleetFrontend(FleetConfig(n_workers=2))
+    >>> reqs = [OPFRequest(request_id=f"s{i}", load_scale=1 + 0.01 * i)
+    ...         for i in range(4)]
+    >>> [r.status for r in fleet.serve(reqs)] == ["converged"] * 4
+    True
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig | None = None,
+        tracer=None,
+        fault_plan: FaultPlan | None = None,
+        clock=time.monotonic,
+    ):
+        self.config = config if config is not None else FleetConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_plan = fault_plan
+        self.metrics = MetricsRegistry()
+        self.ring = HashRing(self.config.worker_ids(), replicas=self.config.replicas)
+        self.breakers = {
+            wid: CircuitBreaker(
+                failure_threshold=max(1, self.config.breaker_failure_threshold),
+                recovery_s=self.config.breaker_recovery_s,
+                clock=clock,
+            )
+            for wid in self.config.worker_ids()
+        }
+        self._breakers_enabled = self.config.breaker_failure_threshold > 0
+        #: worker_id -> {request_id: OPFRequest} accepted but not completed.
+        self._outstanding: dict[str, dict[str, OPFRequest]] = {
+            wid: {} for wid in self.config.worker_ids()
+        }
+        self._submit_time: dict[str, float] = {}
+        self._dead_handled: set[str] = set()
+        self._responses: list[OPFResponse] = []
+        self._latency = self.metrics.histogram("fleet.latency_s")
+        self._worker_stats: dict[str, dict] = {}
+        self._final_snapshots: dict[str, dict] = {}
+
+        self.workers: dict = {}
+        self._mp_ctx = None
+        self._response_q = None
+        if self.config.mode == MODE_SIM:
+            for wid in self.config.worker_ids():
+                self.workers[wid] = SimWorker(
+                    self.config.spec_for(wid, fault_plan), tracer=self.tracer
+                )
+        else:
+            self._mp_ctx = multiprocessing.get_context()
+            self._response_q = self._mp_ctx.Queue()
+            for wid in self.config.worker_ids():
+                self.workers[wid] = ProcessWorker(
+                    self.config.spec_for(wid, fault_plan),
+                    self._mp_ctx,
+                    self._response_q,
+                )
+            self._await_ready()
+
+    # -- lifecycle ------------------------------------------------------
+    def _await_ready(self) -> None:
+        """Block until every worker process has built its engine."""
+        pending = set(self.workers)
+        deadline = time.monotonic() + self.config.response_timeout_s
+        while pending:
+            dead = [wid for wid in pending if not self.workers[wid].alive]
+            if dead:
+                raise ReproError(f"fleet workers died during startup: {sorted(dead)}")
+            timeout = min(1.0, deadline - time.monotonic())
+            if timeout <= 0:
+                raise ReproError(
+                    f"fleet workers never became ready: {sorted(pending)}"
+                )
+            try:
+                kind, wid, _ = self._response_q.get(timeout=timeout)
+            except queue_mod.Empty:
+                continue
+            if kind == WORKER_READY:
+                pending.discard(wid)
+
+    def close(self) -> None:
+        """Shut the fleet down (process mode: sentinel + join each child)."""
+        if self.config.mode != MODE_PROCESS:
+            return
+        for worker in self.workers.values():
+            worker.shutdown()
+        # Collect any final snapshots the children managed to send.
+        while True:
+            try:
+                kind, wid, payload = self._response_q.get_nowait()
+            except (queue_mod.Empty, OSError):
+                break
+            if kind == WORKER_DONE:
+                self._final_snapshots[wid] = payload
+        self._response_q.close()
+
+    def __enter__(self) -> "FleetFrontend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------
+    def _alive(self, wid: str) -> bool:
+        return self.workers[wid].alive
+
+    def _candidates(self, key: str) -> list[str]:
+        """Ring preference for ``key``, filtered to live workers with a
+        non-open breaker (an open breaker is *skipped*, not fatal — the
+        request spills to the next preference, trading affinity for
+        availability)."""
+        order = []
+        for wid in self.ring.preference(key):
+            if not self._alive(wid):
+                continue
+            if self._breakers_enabled and not self.breakers[wid].allow():
+                continue
+            order.append(wid)
+        return order
+
+    def submit(self, request: OPFRequest) -> OPFResponse | None:
+        """Route and enqueue one request.
+
+        Returns ``None`` when a worker accepted it, or a ``rejected``
+        :class:`OPFResponse` when the fleet is saturated for this
+        topology (every live candidate's queue full).
+        """
+        self.metrics.counter("fleet.submitted").inc()
+        key = request.topology_key()
+        with self.tracer.span("fleet.route", cat="fleet", topology=key):
+            candidates = self._candidates(key)
+        depths: dict[str, int] = {}
+        hints: list[float] = []
+        for rank, wid in enumerate(candidates):
+            try:
+                self._enqueue(wid, request)
+            except WorkerQueueFull as exc:
+                depths[wid] = exc.queue_depth
+                hints.append(exc.retry_after_s)
+                self.metrics.counter("fleet.spilled").inc()
+                continue
+            self.metrics.counter("fleet.accepted").inc()
+            if rank > 0 or wid != self.ring.route(key):
+                self.metrics.counter("fleet.affinity_miss").inc()
+            self._outstanding[wid][request.request_id] = request
+            self._submit_time[request.request_id] = time.perf_counter()
+            self._gauge_depths()
+            return None
+        self.metrics.counter("fleet.rejected").inc()
+        exc = FleetSaturatedError(
+            key, min((h for h in hints if h > 0), default=0.0), depths
+        )
+        return OPFResponse(
+            request_id=request.request_id, status=STATUS_REJECTED, error=str(exc)
+        )
+
+    def _enqueue(self, wid: str, request: OPFRequest) -> None:
+        worker = self.workers[wid]
+        if self.config.mode == MODE_SIM:
+            worker.submit(request)
+        else:
+            # The parent enforces the depth bound: a mp.Queue has no
+            # useful cross-process length, but outstanding == queued +
+            # in-flight, which is the quantity backpressure should bound.
+            depth = len(self._outstanding[wid])
+            if depth >= self.config.queue_size:
+                raise WorkerQueueFull(wid, depth, self.config.queue_size)
+            worker.send(request)
+
+    def _gauge_depths(self) -> None:
+        for wid in self.workers:
+            self.metrics.gauge(f"fleet.queue_depth.{wid}").set(
+                len(self._outstanding[wid])
+            )
+        self.metrics.gauge("fleet.workers_alive").set(
+            sum(1 for wid in self.workers if self._alive(wid))
+        )
+
+    # -- completion -----------------------------------------------------
+    def _finalize(self, wid: str, response: OPFResponse) -> bool:
+        """Record one worker response; returns False for duplicates.
+
+        A response counts only while its request id is still outstanding
+        somewhere — the first answer wins and retires the id, so the late
+        twin of a re-routed request (its original worker got the batch
+        out just before dying) is dropped, while a *reused* request id in
+        a later ``serve`` call is a fresh outstanding entry and completes
+        normally.
+        """
+        rid = response.request_id
+        outstanding = any(rid in ledger for ledger in self._outstanding.values())
+        if not outstanding:
+            return False
+        for ledger in self._outstanding.values():
+            ledger.pop(rid, None)
+        t0 = self._submit_time.pop(rid, None)
+        if t0 is not None:
+            self._latency.observe(time.perf_counter() - t0)
+        if self._breakers_enabled and wid in self.breakers:
+            if response.status == STATUS_ERROR:
+                self.breakers[wid].record_failure()
+            else:
+                self.breakers[wid].record_success()
+        self._responses.append(response)
+        return True
+
+    def _reroute(self, dead_wid: str, recovered: list[OPFRequest]) -> None:
+        """Re-route a dead worker's accepted-but-unserved requests to the
+        survivors, in their original order, by the post-removal ring."""
+        for req in recovered:
+            target = self.ring.route(req.topology_key())
+            worker = self.workers[target]
+            if self.config.mode == MODE_SIM:
+                worker.requeue([req])
+            else:
+                worker.send(req)
+            self._outstanding[target][req.request_id] = req
+            self.metrics.counter("fleet.rerouted").inc()
+
+    def _handle_deaths(self) -> None:
+        """Detect newly dead workers; remove them from the ring and fail
+        over their outstanding requests (or error them out when no
+        survivor is left)."""
+        for wid in sorted(self.workers):
+            if self._alive(wid) or wid in self._dead_handled:
+                continue
+            self._dead_handled.add(wid)
+            self.metrics.counter("fleet.worker_deaths").inc()
+            survivors = [
+                w for w in self.workers if w != wid and self._alive(w)
+            ]
+            recovered: list[OPFRequest] = []
+            if self.config.mode == MODE_SIM:
+                recovered.extend(self.workers[wid].drain_pending())
+            # Anything accepted but unaccounted for (process mode: queued
+            # in the dead child, or in flight when it died).
+            drained_ids = {r.request_id for r in recovered}
+            recovered.extend(
+                req
+                for rid, req in self._outstanding[wid].items()
+                if rid not in drained_ids
+            )
+            if survivors:
+                self._outstanding[wid] = {}
+                self.ring.remove(wid)
+                with self.tracer.span(
+                    "fleet.failover", cat="fleet", worker=wid, rerouted=len(recovered)
+                ):
+                    self._reroute(wid, recovered)
+            else:
+                # Total fleet loss: nothing to route to — answer honestly.
+                # (_finalize pops each id off the dead worker's ledger.)
+                for req in recovered:
+                    self._finalize(
+                        wid,
+                        OPFResponse(
+                            request_id=req.request_id,
+                            status=STATUS_ERROR,
+                            error=f"worker {wid} died with no survivors",
+                        ),
+                    )
+                self._outstanding[wid] = {}
+        self._gauge_depths()
+
+    # -- draining -------------------------------------------------------
+    def _outstanding_total(self) -> int:
+        return sum(len(ledger) for ledger in self._outstanding.values())
+
+    def poll(self) -> list[OPFResponse]:
+        """One non-blocking progress round; returns responses completed
+        during it.  Sim mode: each live worker serves one batch (sorted
+        worker order, so interleavings are deterministic).  Process mode:
+        drain whatever the response queue holds right now."""
+        before = len(self._responses)
+        with self.tracer.span("fleet.poll", cat="fleet"):
+            if self.config.mode == MODE_SIM:
+                for wid in sorted(self.workers):
+                    worker = self.workers[wid]
+                    if not worker.alive:
+                        continue
+                    for resp in worker.step():
+                        self._finalize(wid, resp)
+            else:
+                self._drain_response_q(timeout=0.0)
+            self._handle_deaths()
+        return self._responses[before:]
+
+    def _drain_response_q(self, timeout: float) -> None:
+        """Pull worker messages: block up to ``timeout`` for the first,
+        then sweep whatever else is immediately available."""
+        block = timeout > 0
+        while True:
+            try:
+                if block:
+                    kind, wid, payload = self._response_q.get(timeout=timeout)
+                    block = False
+                else:
+                    kind, wid, payload = self._response_q.get_nowait()
+            except queue_mod.Empty:
+                return
+            if kind == WORKER_BATCH:
+                response_dicts, stats = payload
+                agg = self._worker_stats.setdefault(
+                    wid, {"busy_cpu_s": 0.0, "busy_wall_s": 0.0, "served": 0}
+                )
+                for k in agg:
+                    agg[k] += stats[k]
+                for d in response_dicts:
+                    self._finalize(wid, OPFResponse(**d))
+            elif kind == WORKER_DONE:
+                self._final_snapshots[wid] = payload
+
+    def run(self) -> list[OPFResponse]:
+        """Drive the fleet until every accepted request is answered;
+        returns the responses produced by this call."""
+        before = len(self._responses)
+        if self.config.mode == MODE_SIM:
+            while True:
+                self.poll()
+                if self._outstanding_total() == 0 and not any(
+                    len(w) for w in self.workers.values() if w.alive
+                ):
+                    break
+        else:
+            deadline = time.monotonic() + self.config.response_timeout_s
+            while self._outstanding_total() > 0:
+                served_before = len(self._responses)
+                self._drain_response_q(timeout=0.25)
+                self._handle_deaths()
+                if len(self._responses) > served_before:
+                    deadline = time.monotonic() + self.config.response_timeout_s
+                elif time.monotonic() > deadline:
+                    raise ReproError(
+                        f"fleet stalled: {self._outstanding_total()} requests "
+                        f"outstanding with no progress for "
+                        f"{self.config.response_timeout_s:.0f}s"
+                    )
+        return self._responses[before:]
+
+    def serve(self, requests: list[OPFRequest]) -> list[OPFResponse]:
+        """Submit everything, run to completion, return responses in
+        submission order (rejections included)."""
+        rejected: list[OPFResponse] = []
+        for req in requests:
+            resp = self.submit(req)
+            if resp is not None:
+                rejected.append(resp)
+        by_id = {r.request_id: r for r in self.run() + rejected}
+        return [by_id[r.request_id] for r in requests if r.request_id in by_id]
+
+    # -- introspection --------------------------------------------------
+    @property
+    def responses(self) -> list[OPFResponse]:
+        """Every response completed over this frontend's lifetime."""
+        return list(self._responses)
+
+    def assignment(self, requests: list[OPFRequest]) -> dict[str, str]:
+        """Current ``{request_id: worker_id}`` routing of ``requests``."""
+        return {r.request_id: self.ring.route(r.topology_key()) for r in requests}
+
+    def kill_worker(self, worker_id: str) -> None:
+        """Chaos hook: fail-stop one worker now (sim: flag flip; process:
+        SIGTERM).  The next poll detects the death and fails over."""
+        worker = self.workers[worker_id]
+        if self.config.mode == MODE_SIM:
+            worker.alive = False
+        else:
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+
+    def snapshot(self) -> dict:
+        """Fleet-level metrics plus per-worker engine snapshots."""
+        snap = self.metrics.snapshot()
+        workers: dict[str, dict] = {}
+        for wid in sorted(self.workers):
+            if self.config.mode == MODE_SIM:
+                workers[wid] = self.workers[wid].snapshot()
+            else:
+                stats = dict(self._worker_stats.get(wid, {}))
+                stats["worker.alive"] = self._alive(wid)
+                stats.update(self._final_snapshots.get(wid, {}))
+                workers[wid] = stats
+        snap["workers"] = workers
+        return snap

@@ -1,0 +1,312 @@
+"""Fleet workers: one :class:`~repro.serve.ScenarioEngine` per worker.
+
+Two execution modes behind the same surface:
+
+:class:`SimWorker`
+    In-process and fully deterministic: the frontend drives it one batch
+    at a time (:meth:`SimWorker.step`), so interleavings, crash points
+    and failover are reproducible by construction.  This is what the
+    fleet tests and the CI smoke job run.
+:class:`ProcessWorker`
+    A real ``multiprocessing`` process running :func:`_worker_main`: the
+    engine lives in the child, requests/responses cross the boundary as
+    plain dicts over ``multiprocessing.Queue``, and death is an actual
+    dead process the frontend detects and fails over from.  This is the
+    mode the scaling benchmark measures.
+
+A worker crash (from a seeded :class:`~repro.resilience.WorkerCrash`
+spec) is always *fail-stop at a batch boundary after ``after_served``
+completed requests*: the sim worker re-queues its in-flight batch and
+flips dead; the process worker hard-exits without draining its queues.
+Either way every accepted-but-unserved request stays recoverable by the
+frontend.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+
+from repro.resilience.policy import ResilienceConfig
+from repro.serve.engine import ScenarioEngine
+from repro.serve.requests import STATUS_ERROR, OPFRequest, OPFResponse
+from repro.utils.exceptions import ReproError
+
+#: Control-plane message kinds on the shared response queue.
+WORKER_READY = "__ready__"
+WORKER_BATCH = "__batch__"
+WORKER_DONE = "__done__"
+
+#: Exit code of a chaos-crashed worker process (distinguishes the
+#: deliberate fail-stop from a Python traceback's exit 1 in CI logs).
+CRASH_EXIT_CODE = 17
+
+
+class WorkerQueueFull(ReproError):
+    """A worker's bounded queue rejected a routed request.
+
+    The frontend catches this and *spills* the request to the next worker
+    in the key's ring preference order; it surfaces to callers only when
+    every candidate is full (as a :class:`~repro.fleet.frontend.
+    FleetSaturatedError`-flavoured rejection).
+
+    Attributes
+    ----------
+    worker_id / queue_depth / maxsize / retry_after_s:
+        Which queue, how full, and the worker's current backoff hint
+        (never negative, 0.0 = no estimate yet).
+    """
+
+    def __init__(
+        self, worker_id: str, queue_depth: int, maxsize: int, retry_after_s: float = 0.0
+    ):
+        self.worker_id = worker_id
+        self.queue_depth = int(queue_depth)
+        self.maxsize = int(maxsize)
+        self.retry_after_s = max(0.0, float(retry_after_s))
+        super().__init__(
+            f"worker {worker_id} queue full "
+            f"({self.queue_depth}/{self.maxsize} waiting); "
+            f"retry in {self.retry_after_s:.3f}s"
+        )
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Pickle-safe recipe for one worker's engine (crosses the process
+    boundary as the only argument of :func:`_worker_main`).
+
+    ``crash_after_served`` is the seeded chaos hook: ``None`` means never
+    crash; ``k`` means fail-stop at the first batch boundary at which at
+    least ``k`` requests have completed (``0`` = before serving anything).
+    ``backend`` is a registry *name* (never an instance — instances do
+    not pickle and each process must build its own arrays anyway).
+    """
+
+    worker_id: str
+    max_batch: int = 16
+    queue_size: int = 256
+    cache_capacity: int = 64
+    warm_start: bool = True
+    backend: str | None = None
+    precision: str | None = None
+    crash_after_served: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            raise ValueError("worker_id must be nonempty")
+        if self.crash_after_served is not None and self.crash_after_served < 0:
+            raise ValueError("crash_after_served must be nonnegative")
+
+    def build_engine(self, tracer=None) -> ScenarioEngine:
+        # Per-topology breakers stay off inside fleet workers: the fleet
+        # runs *per-worker* breakers at the frontend, and a worker-local
+        # one would double-reject during failover storms.
+        return ScenarioEngine(
+            max_batch=self.max_batch,
+            queue_size=self.queue_size,
+            cache_capacity=self.cache_capacity,
+            warm_start=self.warm_start,
+            backend=self.backend,
+            precision=self.precision,
+            tracer=tracer,
+            resilience=ResilienceConfig(breaker_failure_threshold=0),
+        )
+
+
+class SimWorker:
+    """Deterministic in-process worker the frontend steps batch by batch."""
+
+    def __init__(self, spec: WorkerSpec, tracer=None):
+        self.spec = spec
+        self.worker_id = spec.worker_id
+        self.engine = spec.build_engine(tracer=tracer)
+        self.alive = True
+        self.served = 0
+        self.busy_s = 0.0  # cumulative CPU-busy seconds across steps
+
+    def __len__(self) -> int:
+        return len(self.engine.queue)
+
+    def submit(self, request: OPFRequest) -> None:
+        """Enqueue or raise :class:`WorkerQueueFull` (the frontend spills)."""
+        if not self.alive:
+            raise WorkerQueueFull(self.worker_id, len(self.engine.queue),
+                                  self.spec.queue_size)
+        if self.engine.queue.full:
+            raise WorkerQueueFull(
+                self.worker_id,
+                len(self.engine.queue),
+                self.spec.queue_size,
+                self.engine.queue.retry_after_hint,
+            )
+        # Not full, so the engine accepts (and records its own metrics).
+        self.engine.submit(request)
+
+    def requeue(self, requests: list[OPFRequest]) -> None:
+        """Accept already-admitted requests during failover, bypassing the
+        capacity bound (they must not be dropped)."""
+        self.engine.adopt(requests)
+
+    def step(self) -> list[OPFResponse]:
+        """Serve one batch; honours the seeded crash point.
+
+        The crash fires *mid-dispatch*: the batch has been taken off the
+        queue but not served, so it is put back intact before the worker
+        flips dead — the frontend recovers it with :meth:`drain_pending`.
+        """
+        if not self.alive:
+            return []
+        batch = self.engine.scheduler.next_batch()
+        if not batch:
+            return []
+        crash_at = self.spec.crash_after_served
+        if crash_at is not None and self.served >= crash_at:
+            self.engine.queue.requeue_front(batch)
+            self.alive = False
+            return []
+        self.engine.queue.requeue_front(batch)
+        t_cpu = time.process_time()
+        responses = self.engine.step()
+        self.busy_s += time.process_time() - t_cpu
+        self.served += len(responses)
+        return responses
+
+    def drain_pending(self) -> list[OPFRequest]:
+        """Everything accepted but not yet served (failover recovery)."""
+        return self.engine.queue.drain_all()
+
+    def snapshot(self) -> dict:
+        snap = self.engine.snapshot()
+        snap["worker.served"] = self.served
+        snap["worker.busy_s"] = self.busy_s
+        snap["worker.alive"] = self.alive
+        return snap
+
+
+def _worker_main(spec: WorkerSpec, request_q, response_q) -> None:
+    """Process-worker entry point (module-level so it pickles).
+
+    Protocol, all plain picklable values:
+
+    * child -> parent: ``(WORKER_READY, worker_id, None)`` once the
+      engine is constructed, then ``(WORKER_BATCH, worker_id, payload)``
+      per served micro-batch where ``payload`` is ``(response_dicts,
+      stats)``, and finally ``(WORKER_DONE, worker_id, snapshot)`` on
+      clean shutdown.
+    * parent -> child: request dicts, or ``None`` as the shutdown
+      sentinel.
+
+    The loop blocks for the first request, then greedily drains up to
+    ``max_batch - 1`` more without blocking — the micro-batching that
+    turns a stream of singletons into stacked solves on an idle fleet
+    while still filling batches under load.
+    """
+    engine = spec.build_engine()
+    response_q.put((WORKER_READY, spec.worker_id, None))
+    served = 0
+    crash_at = spec.crash_after_served
+    while True:
+        if crash_at is not None and served >= crash_at:
+            # Seeded fail-stop: no drain, no goodbye — the parent sees a
+            # dead process with requests outstanding and fails over.
+            os._exit(CRASH_EXIT_CODE)
+        item = request_q.get()
+        if item is None:
+            response_q.put((WORKER_DONE, spec.worker_id, engine.snapshot()))
+            return
+        items = [item]
+        while len(items) < spec.max_batch:
+            try:
+                extra = request_q.get_nowait()
+            except queue_mod.Empty:
+                break
+            if extra is None:
+                # Defer shutdown until after this batch is served.
+                request_q.put(None)
+                break
+            items.append(extra)
+        t_cpu = time.process_time()
+        t_wall = time.perf_counter()
+        responses: list[dict] = []
+        for d in items:
+            try:
+                req = OPFRequest.from_dict(d)
+            except (KeyError, TypeError, ValueError) as exc:
+                responses.append(
+                    OPFResponse(
+                        request_id=str(d.get("request_id", "?")),
+                        status=STATUS_ERROR,
+                        error=f"malformed request: {exc}",
+                    ).to_dict()
+                )
+                continue
+            rejection = engine.submit(req)
+            if rejection is not None:
+                responses.append(rejection.to_dict())
+        try:
+            responses.extend(r.to_dict() for r in engine.run())
+        except Exception as exc:  # noqa: BLE001 -- a worker must answer,
+            # not die with requests in flight: convert whatever the solve
+            # raised into error responses for everything still pending.
+            responses.extend(
+                OPFResponse(
+                    request_id=d.get("request_id", "?"),
+                    status=STATUS_ERROR,
+                    error=f"worker {spec.worker_id} solve failed: {exc}",
+                ).to_dict()
+                for d in items
+                if d.get("request_id") not in {r["request_id"] for r in responses}
+            )
+        served += len(responses)
+        stats = {
+            "busy_cpu_s": time.process_time() - t_cpu,
+            "busy_wall_s": time.perf_counter() - t_wall,
+            "served": len(responses),
+        }
+        response_q.put((WORKER_BATCH, spec.worker_id, (responses, stats)))
+
+
+class ProcessWorker:
+    """Parent-side handle of one worker process.
+
+    The parent enforces the worker's ``queue_size`` itself (via its
+    outstanding-request ledger) because a ``multiprocessing.Queue`` has
+    no useful cross-process depth bound; the child never rejects.
+    """
+
+    def __init__(self, spec: WorkerSpec, ctx, response_q):
+        self.spec = spec
+        self.worker_id = spec.worker_id
+        self.request_q = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(spec, self.request_q, response_q),
+            name=f"fleet-{spec.worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, request: OPFRequest) -> None:
+        self.request_q.put(request.to_dict())
+
+    def shutdown(self, timeout_s: float = 5.0) -> None:
+        """Sentinel + join; escalate to terminate if the child hangs."""
+        if self.process.is_alive():
+            try:
+                self.request_q.put(None)
+            except ValueError:  # queue already closed
+                pass
+            self.process.join(timeout=timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout_s)
+        # Release the feeder thread's resources deterministically.
+        self.request_q.close()
+        self.request_q.join_thread()

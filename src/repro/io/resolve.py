@@ -1,10 +1,13 @@
 """Feeder reference resolution shared by the CLI and the serving engine.
 
 A *feeder reference* is a string naming either a builtin feeder
-(``"ieee13"``, ``"ieee123"``, ``"ieee8500"``), a feeder ``.json`` file, or
-a CSV feeder directory.  Builtin references are deterministic — the same
-string always builds the same network — which is what lets serving
-requests key shared precomputation on the reference alone.
+(``"ieee13"``, ``"ieee123"``, ``"ieee8500"``), a parameterized synthetic
+feeder (``"synthetic:<n_buses>[:<seed>]"``), a feeder ``.json`` file, or
+a CSV feeder directory.  Builtin and synthetic references are
+deterministic — the same string always builds the same network — which is
+what lets serving requests key shared precomputation on the reference
+alone, and what lets the fleet's consistent-hash router assign every
+reference a stable worker.
 """
 
 from __future__ import annotations
@@ -12,11 +15,33 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.feeders import ieee13, ieee123, ieee8500
+from repro.feeders.synthetic import SyntheticFeederSpec, build_synthetic_feeder
 from repro.io.csv_feeder import load_network_csv
 from repro.io.feeder_json import load_network
 from repro.network.network import DistributionNetwork
 
 BUILTIN_FEEDERS = {"ieee13": ieee13, "ieee123": ieee123, "ieee8500": ieee8500}
+
+#: Prefix of parameterized synthetic feeder references.
+SYNTHETIC_PREFIX = "synthetic:"
+
+
+def _resolve_synthetic(spec: str) -> DistributionNetwork:
+    """``synthetic:<n_buses>[:<seed>]`` -> a deterministic generated feeder."""
+    parts = spec.split(":")
+    try:
+        n_buses = int(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        if len(parts) > 3:
+            raise ValueError
+    except (IndexError, ValueError):
+        raise ValueError(
+            f"malformed synthetic feeder reference {spec!r}: "
+            "expected synthetic:<n_buses>[:<seed>]"
+        ) from None
+    return build_synthetic_feeder(
+        SyntheticFeederSpec(name=spec, n_buses=n_buses, seed=seed)
+    )
 
 
 def resolve_feeder(spec: str) -> DistributionNetwork:
@@ -25,11 +50,13 @@ def resolve_feeder(spec: str) -> DistributionNetwork:
     Raises
     ------
     ValueError
-        If the reference is neither a builtin name, a ``.json`` file, nor a
-        CSV directory.
+        If the reference is neither a builtin name, a synthetic reference,
+        a ``.json`` file, nor a CSV directory.
     """
     if spec in BUILTIN_FEEDERS:
         return BUILTIN_FEEDERS[spec]()
+    if spec.startswith(SYNTHETIC_PREFIX):
+        return _resolve_synthetic(spec)
     path = Path(spec)
     if path.is_dir():
         return load_network_csv(path)
@@ -37,5 +64,5 @@ def resolve_feeder(spec: str) -> DistributionNetwork:
         return load_network(path)
     raise ValueError(
         f"unknown feeder {spec!r}: expected one of {sorted(BUILTIN_FEEDERS)}, "
-        f"a .json file, or a CSV directory"
+        f"synthetic:<n_buses>[:<seed>], a .json file, or a CSV directory"
     )

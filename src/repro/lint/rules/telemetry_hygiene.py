@@ -31,6 +31,8 @@ NAMESPACES = frozenset(
     {
         "admm", "serve", "solve", "breaker", "fault", "rank",
         "resilience", "cluster", "comm", "gpu", "queue", "lint",
+        # The multi-worker serving plane (docs/SERVING.md, fleet section).
+        "fleet",
     }
 )
 

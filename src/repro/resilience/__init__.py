@@ -28,6 +28,7 @@ from repro.resilience.faults import (
     NaNCorruption,
     RankCrash,
     StragglerSlowdown,
+    WorkerCrash,
 )
 from repro.resilience.policy import (
     CLOSED,
@@ -54,6 +55,7 @@ __all__ = [
     "MessageDrop",
     "MessageDelay",
     "NaNCorruption",
+    "WorkerCrash",
     "Checkpoint",
     "CheckpointStore",
     "RetryPolicy",

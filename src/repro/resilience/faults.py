@@ -25,6 +25,13 @@ Fault types
     rank's) local iterate is overwritten with NaN at iteration k.  This is
     what drives the serving engine's divergence-guard / retry / degrade
     path end to end.
+:class:`WorkerCrash`
+    Fleet-plane fail-stop: serving worker ``worker`` dies after completing
+    ``after_served`` requests.  In the fleet's sim mode the worker stops
+    mid-dispatch (its in-flight batch and queued requests stay
+    recoverable); in process mode the worker process hard-exits without
+    draining its queues.  Drives the
+    :class:`~repro.fleet.FleetFrontend` failover path.
 
 Every fault that actually fires increments the ``fault.injected`` counter
 on the injector's metrics registry (once per fault spec, not once per
@@ -112,6 +119,19 @@ class NaNCorruption:
 
 
 @dataclass(frozen=True)
+class WorkerCrash:
+    """Fail-stop of a fleet serving worker after ``after_served`` requests.
+
+    ``after_served=0`` kills the worker before it serves anything (its
+    whole queue fails over); any larger value lets it complete that many
+    requests first — the "mid-run" chaos case the fleet smoke tests run.
+    """
+
+    worker: str
+    after_served: int = 0
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seeded, immutable chaos schedule.
 
@@ -134,6 +154,8 @@ class FaultPlan:
                 raise ValueError("straggler factor must be >= 1")
             if isinstance(f, NaNCorruption) and not 0.0 < f.fraction <= 1.0:
                 raise ValueError("corruption fraction must lie in (0, 1]")
+            if isinstance(f, WorkerCrash) and f.after_served < 0:
+                raise ValueError("after_served must be nonnegative")
 
     # -- spec queries (stateless; the injector adds iteration context) ---
     def crash_iteration(self, rank: int) -> int | None:
@@ -144,6 +166,13 @@ class FaultPlan:
 
     def crashed_ranks(self) -> set[int]:
         return {f.rank for f in self.faults if isinstance(f, RankCrash)}
+
+    def worker_crash_after(self, worker_id: str) -> int | None:
+        """Requests ``worker_id`` completes before fail-stopping (None =
+        the fleet plan never kills this worker)."""
+        counts = [f.after_served for f in self.faults
+                  if isinstance(f, WorkerCrash) and f.worker == worker_id]
+        return min(counts) if counts else None
 
     def of_type(self, kind) -> list:
         return [f for f in self.faults if isinstance(f, kind)]

@@ -466,6 +466,12 @@ class ScenarioEngine:
         default (``$REPRO_BACKEND`` or ``numpy64``).  Warm-start cache
         entries are stored as host fp64 regardless of the backend, so
         cached iterates re-seed any later precision.
+    warm_start:
+        When ``False`` the warm-start cache is bypassed entirely (no
+        lookups, no stores): every scenario solves from the default cold
+        start, making response trajectories independent of serving
+        history.  The fleet's failover-equivalence tests rely on this to
+        compare faulted and fault-free runs scenario-for-scenario.
 
     Examples
     --------
@@ -489,11 +495,13 @@ class ScenarioEngine:
         fault_plan: FaultPlan | None = None,
         backend=None,
         precision: str | None = None,
+        warm_start: bool = True,
     ):
         self.backend = resolve_backend(backend, precision)
+        self.warm_start = bool(warm_start)
         self.queue = BoundedRequestQueue(maxsize=queue_size)
         self.scheduler = BatchScheduler(self.queue, max_batch=max_batch)
-        self.cache = WarmStartCache(capacity=cache_capacity)
+        self.cache = WarmStartCache(capacity=cache_capacity, backend=self.backend)
         self.metrics = ServingMetrics(max_batch=max_batch)
         self.device = device
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -538,28 +546,49 @@ class ScenarioEngine:
         self._submit_times[id(request)] = time.perf_counter()
         return None
 
+    def adopt(self, requests: list[OPFRequest]) -> None:
+        """Admit already-accepted requests at the *front* of the queue,
+        bypassing the capacity bound — the fleet failover path: requests
+        re-routed off a dead worker were admitted once and must not be
+        dropped or re-rejected."""
+        self.queue.requeue_front(requests)
+        now = time.perf_counter()
+        for req in requests:
+            self._submit_times[id(req)] = now
+
+    def step(self) -> list[OPFResponse]:
+        """Serve exactly one batch off the queue (empty list when idle).
+
+        The single-dispatch primitive :meth:`run` loops over; the fleet's
+        sim-mode workers call it directly so a frontend can interleave
+        batches across workers deterministically (and kill a worker at a
+        batch boundary).
+        """
+        batch = self.scheduler.next_batch()
+        if not batch:
+            return []
+        self.metrics.record_batch(len(batch))
+        with self.tracer.span("serve.batch", cat="serve", size=len(batch)):
+            with Timer() as batch_wall:
+                responses = self._serve_batch(batch)
+        # Keep the backpressure hint fresh: an EWMA of batch wall
+        # time is roughly "when will the queue drain one batch".
+        ewma = self._batch_latency_ewma_s
+        self._batch_latency_ewma_s = (
+            batch_wall.elapsed if ewma == 0.0 else 0.8 * ewma + 0.2 * batch_wall.elapsed
+        )
+        self.queue.retry_after_hint = self._batch_latency_ewma_s
+        self.metrics.record_backpressure(
+            len(self.queue), self._batch_latency_ewma_s
+        )
+        return responses
+
     def run(self) -> list[OPFResponse]:
         """Drain the queue batch by batch; returns all produced responses."""
         responses: list[OPFResponse] = []
         with Timer() as wall:
-            while True:
-                batch = self.scheduler.next_batch()
-                if not batch:
-                    break
-                self.metrics.record_batch(len(batch))
-                with self.tracer.span("serve.batch", cat="serve", size=len(batch)):
-                    with Timer() as batch_wall:
-                        responses.extend(self._serve_batch(batch))
-                # Keep the backpressure hint fresh: an EWMA of batch wall
-                # time is roughly "when will the queue drain one batch".
-                ewma = self._batch_latency_ewma_s
-                self._batch_latency_ewma_s = (
-                    batch_wall.elapsed if ewma == 0.0 else 0.8 * ewma + 0.2 * batch_wall.elapsed
-                )
-                self.queue.retry_after_hint = self._batch_latency_ewma_s
-                self.metrics.record_backpressure(
-                    len(self.queue), self._batch_latency_ewma_s
-                )
+            while len(self.queue):
+                responses.extend(self.step())
         self.metrics.wall_seconds += wall.elapsed
         return responses
 
@@ -800,7 +829,11 @@ class ScenarioEngine:
         warm_dist = np.full(k_n, np.nan)
         with self.tracer.span("serve.warm_lookup", cat="serve", scenarios=k_n):
             for k, p in enumerate(problems):
-                hit = self.cache.lookup(p.request.topology_key(), p.signature)
+                hit = (
+                    self.cache.lookup(p.request.topology_key(), p.signature)
+                    if self.warm_start
+                    else None
+                )
                 gs, ls = slice(k * n, (k + 1) * n), slice(k * n_local, (k + 1) * n_local)
                 if hit is not None:
                     entry, dist = hit
@@ -886,7 +919,7 @@ class ScenarioEngine:
                     f"deadline_s={p.request.options.deadline_s} expired at "
                     f"iteration {int(iters[k])}"
                 )
-            if conv[k]:
+            if conv[k] and self.warm_start:
                 self.cache.store(
                     p.request.topology_key(),
                     p.request.scenario_key(),

@@ -37,13 +37,16 @@ class QueueFullError(ReproError):
         The queue's capacity bound.
     retry_after_s:
         Suggested wait before retrying, derived from the engine's recent
-        batch latency (0.0 when the engine has not served a batch yet).
+        batch latency.  Never negative; 0.0 means "no estimate yet" (the
+        engine has served no batch, so throughput is still unknown).
     """
 
     def __init__(self, queue_depth: int, maxsize: int, retry_after_s: float = 0.0):
         self.queue_depth = int(queue_depth)
         self.maxsize = int(maxsize)
-        self.retry_after_s = float(retry_after_s)
+        # Clamp: a stale or miscomputed hint must never tell callers to
+        # retry "in the past" — zero (retry whenever) is the safe floor.
+        self.retry_after_s = max(0.0, float(retry_after_s))
         super().__init__(
             f"request queue full ({self.queue_depth}/{self.maxsize} waiting); "
             f"retry in {self.retry_after_s:.3f}s"
@@ -85,6 +88,20 @@ class BoundedRequestQueue:
 
     def peek(self) -> OPFRequest | None:
         return self._items[0] if self._items else None
+
+    def drain_all(self) -> list[OPFRequest]:
+        """Remove and return everything waiting (fleet failover recovery)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def requeue_front(self, requests: list[OPFRequest]) -> None:
+        """Put ``requests`` back at the head of the queue, preserving their
+        relative order — used to restore an in-flight batch that was taken
+        out but never served (a fleet worker crashing mid-dispatch).  The
+        capacity bound is deliberately not enforced here: these requests
+        were already admitted once and must not be dropped."""
+        self._items.extendleft(reversed(requests))
 
     def drain_matching(self, topology_key: str, limit: int) -> list[OPFRequest]:
         """Remove and return up to ``limit`` requests with ``topology_key``,

@@ -8,6 +8,10 @@ entry per distinct scenario, keyed by topology so entries are only offered
 to requests whose stacked dimensions match, and nearest-neighbour lookup
 runs on the scenario's *load signature* — the perturbed per-load reference
 consumption vector, the quantity the optimum actually moves with.
+
+Signature distances are computed through the :class:`~repro.backend.Backend`
+norm (fp64-accumulated), so the cache obeys the same backend discipline as
+the solve path it feeds.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.backend import resolve_backend
 
 
 @dataclass
@@ -63,12 +69,15 @@ class WarmStartCache:
     """
 
     capacity: int = 64
+    backend: object = None
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("capacity must be at least 1")
+        if self.backend is None:
+            self.backend = resolve_backend(None, None)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -86,7 +95,7 @@ class WarmStartCache:
         for key, entry in self._entries.items():
             if key[0] != topology_key or entry.signature.shape != signature.shape:
                 continue
-            dist = float(np.linalg.norm(entry.signature - signature))
+            dist = self.backend.norm(entry.signature - signature)
             if dist < best_dist:
                 best_key, best_dist = key, dist
         if best_key is None:

@@ -30,6 +30,7 @@ class TestExamples:
             "private_compressed_consensus",
             "socp_relaxation",
             "multiperiod_storage",
+            "fleet_failover",
         } <= names
 
     def test_quickstart_runs(self, capsys):
@@ -42,6 +43,12 @@ class TestExamples:
         load_example("socp_relaxation").main()
         out = capsys.readouterr().out
         assert "relaxation tightness" in out
+
+    def test_fleet_failover_runs(self, capsys):
+        load_example("fleet_failover").main()
+        out = capsys.readouterr().out
+        assert "no accepted request was lost" in out
+        assert "w0: served  3  dead" in out
 
     @pytest.mark.parametrize(
         "name",

@@ -1,0 +1,155 @@
+"""Routing determinism: the consistent-hash ring must assign identically
+across runs, platforms and processes (no ``PYTHONHASHSEED`` dependence).
+
+The fleet's failover-equivalence guarantee starts here — if routing
+drifted between two runs, "same request stream, same worker count" would
+not produce the same per-worker serving history, and the scaling
+benchmark's balanced shard sets would silently unbalance.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.fleet import DEFAULT_REPLICAS, HashRing, stable_hash
+from repro.serve import OPFRequest
+
+WORKERS4 = ["w0", "w1", "w2", "w3"]
+
+#: Pinned golden assignments.  These values are a *contract*: they were
+#: produced by sha256-based hashing and must never change — a diff here
+#: means every deployed fleet's cache affinity would reshuffle on upgrade.
+GOLDEN_HASHES = {
+    "ieee13": 16322283722255867167,
+    "w0#0": 9018950092206426412,
+    "": 16406829232824261652,
+}
+GOLDEN_ROUTES4 = {
+    "feeder:ieee13": "w3",
+    "feeder:synthetic:20:0": "w0",
+    "feeder:synthetic:20:1": "w0",
+    "feeder:synthetic:20:4": "w3",
+}
+
+
+class TestStableHash:
+    def test_pinned_values(self):
+        for key, expected in GOLDEN_HASHES.items():
+            assert stable_hash(key) == expected
+
+    def test_no_pythonhashseed_dependence(self):
+        """The same keys hash identically in subprocesses launched with
+        different (and disabled) hash randomization seeds."""
+        keys = ["feeder:ieee13", "feeder:synthetic:20:0", "w0#17", ""]
+        script = (
+            "from repro.fleet import HashRing, stable_hash\n"
+            f"keys = {keys!r}\n"
+            f"ring = HashRing({WORKERS4!r})\n"
+            "print([stable_hash(k) for k in keys])\n"
+            "print([ring.route(k) for k in keys])\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "31337", "random"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+                check=True,
+            )
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
+
+    def test_pinned_ring_routes(self):
+        ring = HashRing(WORKERS4)
+        for key, worker in GOLDEN_ROUTES4.items():
+            assert ring.route(key) == worker
+
+
+class TestHashRing:
+    def test_membership_order_is_irrelevant(self):
+        a = HashRing(["w2", "w0", "w1"])
+        b = HashRing(["w0", "w1", "w2"])
+        keys = [f"k{i}" for i in range(200)]
+        assert a.assignment(keys) == b.assignment(keys)
+
+    def test_assignment_repeats_identically(self):
+        keys = [f"feeder:{i}" for i in range(500)]
+        assignments = {
+            tuple(sorted(HashRing(WORKERS4).assignment(keys).items()))
+            for _ in range(3)
+        }
+        assert len(assignments) == 1
+
+    def test_preference_starts_at_route_and_covers_everyone(self):
+        ring = HashRing(WORKERS4)
+        for i in range(50):
+            pref = ring.preference(f"k{i}")
+            assert pref[0] == ring.route(f"k{i}")
+            assert sorted(pref) == sorted(WORKERS4)
+
+    def test_removal_moves_only_the_dead_workers_keys(self):
+        """The consistent-hashing contract: removing w2 re-routes w2's
+        keys (to their next preference) and nothing else."""
+        ring = HashRing(WORKERS4)
+        keys = [f"k{i}" for i in range(300)]
+        before = ring.assignment(keys)
+        pref_before = {k: ring.preference(k) for k in keys}
+        ring.remove("w2")
+        after = ring.assignment(keys)
+        moved = {k for k in keys if before[k] != after[k]}
+        assert moved == {k for k in keys if before[k] == "w2"}
+        for k in moved:
+            # ... and they land on their pre-computed next preference.
+            assert after[k] == [w for w in pref_before[k] if w != "w2"][0]
+
+    def test_add_is_inverse_of_remove(self):
+        ring = HashRing(WORKERS4)
+        keys = [f"k{i}" for i in range(100)]
+        before = ring.assignment(keys)
+        ring.remove("w1")
+        ring.add("w1")
+        assert ring.assignment(keys) == before
+
+    def test_replicas_smooth_the_balance(self):
+        keys = [f"k{i}" for i in range(2000)]
+        ring = HashRing(WORKERS4, replicas=DEFAULT_REPLICAS)
+        counts = {w: 0 for w in WORKERS4}
+        for k in keys:
+            counts[ring.route(k)] += 1
+        # With 64 replicas each of 4 workers should hold a sane share —
+        # the bound is loose (hashing is random-like) but rules out the
+        # pathological single-replica imbalances.
+        assert min(counts.values()) > len(keys) * 0.10
+        assert max(counts.values()) < len(keys) * 0.45
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["w0"], replicas=0)
+        ring = HashRing(["w0"])
+        with pytest.raises(ValueError):
+            ring.remove("w0")
+        with pytest.raises(KeyError):
+            HashRing(WORKERS4).remove("nope")
+
+    def test_duplicate_add_is_idempotent(self):
+        ring = HashRing(WORKERS4)
+        keys = [f"k{i}" for i in range(100)]
+        before = ring.assignment(keys)
+        ring.add("w0")
+        assert ring.assignment(keys) == before
+        assert len(ring) == 4
+
+
+class TestTopologyAffinity:
+    def test_same_feeder_always_routes_to_one_worker(self):
+        ring = HashRing(WORKERS4)
+        reqs = [
+            OPFRequest(request_id=f"s{i}", feeder="ieee13", load_scale=1 + 0.01 * i)
+            for i in range(20)
+        ]
+        owners = {ring.route(r.topology_key()) for r in reqs}
+        assert len(owners) == 1

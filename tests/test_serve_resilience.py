@@ -219,3 +219,31 @@ class TestBackpressure:
         np.testing.assert_allclose(
             engine._batch_latency_ewma_s, engine.queue.retry_after_hint
         )
+
+    def test_retry_after_is_never_negative(self):
+        """Regression: a stale or miscomputed hint must clamp to 0.0, not
+        tell callers to retry in the past."""
+        exc = QueueFullError(queue_depth=4, maxsize=4, retry_after_s=-1.25)
+        assert exc.retry_after_s == 0.0
+        assert "retry in 0.000s" in str(exc)
+        # A poisoned hint on the queue itself clamps at raise time too.
+        queue = BoundedRequestQueue(maxsize=1)
+        queue.retry_after_hint = -0.5
+        queue.submit(OPFRequest(request_id="a"))
+        with pytest.raises(QueueFullError) as exc_info:
+            queue.submit(OPFRequest(request_id="b"))
+        assert exc_info.value.retry_after_s == 0.0
+
+    def test_zero_throughput_rejection_has_zero_hint(self):
+        """Regression for the zero-throughput EWMA edge case: an engine
+        that has served *no* batch yet has no latency estimate — its
+        rejections must carry retry_after 0.0 ("no estimate"), and the
+        EWMA must stay unset (0.0 is the sentinel, not a sample)."""
+        engine = ScenarioEngine(max_batch=2, queue_size=1)
+        assert engine._batch_latency_ewma_s == 0.0
+        assert engine.submit(OPFRequest(request_id="a")) is None
+        resp = engine.submit(OPFRequest(request_id="b"))
+        assert resp.status == STATUS_REJECTED
+        assert "retry in 0.000s" in resp.error
+        snap = engine.metrics.snapshot()
+        assert snap["backpressure_retry_after_s"] == 0.0
