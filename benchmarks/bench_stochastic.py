@@ -1,0 +1,137 @@
+"""Stochastic serving scaling: scenarios/sec vs scenario-set size, plus the
+measured value of the stochastic solution (VSS).
+
+Serves one :class:`~repro.serve.requests.StochasticRequest` per (feeder,
+K) cell through the scenario engine — the K scenario children are stacked
+into a single batched ADMM solve, so the scan measures how scenario
+throughput scales with the batch the paper's batched kernels amortize.
+Feeders: the DER-augmented 13-bus newsvendor instance (load *and* PV
+uncertainty) and the statistically matched 34-bus feeder (load-only).
+
+The VSS entry solves the two-stage recourse problem and the mean-scenario
+problem exactly (HiGHS) on ``ieee13-der`` and reports how much expected
+cost the deterministic first stage leaves on the table — the headline
+"why two-stage at all" number (strictly positive by construction of the
+DER feeder; see docs/STOCHASTIC.md).
+
+Writes ``BENCH_stochastic.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _common import report
+
+from repro.feeders import ieee13_der
+from repro.serve import ScenarioEngine, SolveOptions, StochasticRequest
+from repro.stochastic import ScenarioSampler, value_of_stochastic_solution
+from repro.utils import format_table
+
+FEEDERS = ("ieee13-der", "ieee34")
+SCENARIO_COUNTS = (4, 8, 16)
+#: Stochastic instances favour rho ~ 10 (docs/STOCHASTIC.md).
+OPTIONS = SolveOptions(rho=10.0, eps_rel=1e-3, max_iter=60_000)
+VSS_SCENARIOS = 16
+SEED = 1
+OUTPUT = Path(__file__).parent.parent / "BENCH_stochastic.json"
+
+
+def _serve_cell(feeder: str, n_scenarios: int) -> dict:
+    engine = ScenarioEngine(max_batch=n_scenarios, warm_start=False)
+    request = StochasticRequest(
+        request_id=f"bench-{feeder}-{n_scenarios}",
+        feeder=feeder,
+        n_scenarios=n_scenarios,
+        seed=SEED,
+        options=OPTIONS,
+    )
+    t0 = time.perf_counter()
+    [response] = engine.serve([request])
+    wall = time.perf_counter() - t0
+    return {
+        "status": response.status,
+        "converged": response.status == "converged",
+        "iterations": int(response.iterations),
+        "expected_cost": response.expected_cost,
+        "cvar_cost": response.cvar_cost,
+        "wall_s": wall,
+        "scenarios_per_s": n_scenarios / wall if wall > 0 else None,
+    }
+
+
+def _measure_vss() -> dict:
+    net = ieee13_der()
+    scenarios = ScenarioSampler.from_network(net, seed=SEED).sample(VSS_SCENARIOS)
+    rep = value_of_stochastic_solution(net, scenarios)
+    return {
+        "feeder": "ieee13-der",
+        "n_scenarios": VSS_SCENARIOS,
+        "seed": SEED,
+        "stochastic_eval": rep.stochastic_eval,
+        "deterministic_eval": rep.deterministic_eval,
+        "vss": rep.vss,
+    }
+
+
+def run() -> dict:
+    scaling: dict[str, dict] = {}
+    for feeder in FEEDERS:
+        scaling[feeder] = {
+            str(k): _serve_cell(feeder, k) for k in SCENARIO_COUNTS
+        }
+    stats = {
+        "rho": OPTIONS.rho,
+        "eps_rel": OPTIONS.eps_rel,
+        "scenario_counts": list(SCENARIO_COUNTS),
+        "scaling": scaling,
+        "vss": _measure_vss(),
+    }
+    OUTPUT.write_text(json.dumps(stats, indent=2) + "\n")
+
+    rows = []
+    for feeder, cells in scaling.items():
+        for k, cell in cells.items():
+            rows.append([
+                feeder,
+                k,
+                "yes" if cell["converged"] else "no",
+                cell["iterations"],
+                f"{cell['wall_s']:.2f}",
+                f"{cell['scenarios_per_s']:.1f}",
+            ])
+    vss = stats["vss"]
+    report(
+        "bench_stochastic",
+        format_table(
+            ["feeder", "K", "conv", "iters", "wall s", "scen/s"],
+            rows,
+            title=(
+                f"Stochastic serving scaling (rho {OPTIONS.rho:g}) — "
+                f"VSS on ieee13-der/K={VSS_SCENARIOS}: {vss['vss']:.6f}"
+            ),
+        ),
+    )
+    return stats
+
+
+def test_stochastic_bench():
+    stats = run()
+    for feeder, cells in stats["scaling"].items():
+        for k, cell in cells.items():
+            assert cell["converged"], (feeder, k, cell["status"])
+            assert cell["cvar_cost"] >= cell["expected_cost"] - 1e-9
+    # Batching amortizes: the largest scenario set must not serve slower
+    # (per scenario) than the smallest one.
+    for cells in stats["scaling"].values():
+        small = cells[str(SCENARIO_COUNTS[0])]["scenarios_per_s"]
+        large = cells[str(SCENARIO_COUNTS[-1])]["scenarios_per_s"]
+        assert large >= 0.8 * small
+    assert stats["vss"]["vss"] >= 0.0
+    assert OUTPUT.exists()
+
+
+if __name__ == "__main__":
+    run()

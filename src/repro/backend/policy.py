@@ -16,6 +16,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+#: The host-side interchange dtype.  Problem *data* (feeder parameters,
+#: scenario samples, cached warm starts, metric reservoirs) lives in host
+#: fp64 regardless of the compute backend — only iterate arrays follow a
+#: policy's compute dtype.  Code outside ``backend/`` spells that
+#: ``dtype=HOST_DTYPE`` so the precision-discipline lint (R003) can tell
+#: deliberate host pinning from a stray literal.
+HOST_DTYPE = np.dtype("float64")
+
+
+def as_host(a, copy: bool = False) -> np.ndarray:
+    """``np.asarray`` pinned to the host interchange dtype."""
+    return np.array(a, dtype=HOST_DTYPE, copy=copy) if copy else np.asarray(
+        a, dtype=HOST_DTYPE
+    )
+
 
 @dataclass(frozen=True)
 class PrecisionPolicy:

@@ -15,6 +15,13 @@ Commands
 ``serve-batch``
     Serve a JSON file of OPF scenarios through the batched scenario engine
     and print the serving metrics (see docs/SERVING.md).
+``solve-stochastic``
+    Solve the two-stage stochastic OPF — seeded scenario sampling, shared
+    first-stage DER commitment, per-scenario recourse, expected-cost and
+    CVaR objectives — through the stacked consensus ADMM (see
+    docs/STOCHASTIC.md).
+``schedule-der``
+    Rolling-horizon DER/storage scheduling on the multi-period problem.
 ``trace-summary``
     Aggregate a trace captured with ``--trace`` into a per-phase table
     (see docs/OBSERVABILITY.md).
@@ -448,6 +455,218 @@ def cmd_serve_fleet(args) -> int:
     return 0 if failed == 0 else 2
 
 
+def cmd_solve_stochastic(args) -> int:
+    from repro.stochastic import (
+        ScenarioSampler,
+        UncertaintyModel,
+        solve_two_stage,
+        value_of_stochastic_solution,
+    )
+    from repro.telemetry import NULL_TRACER
+
+    net = resolve_feeder(args.feeder)
+    sampler = ScenarioSampler.from_network(
+        net,
+        model=UncertaintyModel(
+            load_sigma=args.load_sigma, pv_sigma=args.pv_sigma
+        ),
+        seed=args.seed,
+        antithetic=not args.no_antithetic,
+    )
+    scenarios = sampler.sample(args.scenarios)
+    print(
+        f"{scenarios.n_scenarios} scenarios on feeder {args.feeder!r} "
+        f"(seed {args.seed}, load sigma {args.load_sigma}, pv sigma "
+        f"{args.pv_sigma}, antithetic {not args.no_antithetic})"
+    )
+    cfg = ADMMConfig(rho=args.rho, eps_rel=args.eps_rel, max_iter=args.max_iter)
+    tracer = Tracer() if args.trace else NULL_TRACER
+    objectives = (
+        ["expected", "cvar"] if args.objective == "both" else [args.objective]
+    )
+    solutions = {}
+    rows = []
+    for objective in objectives:
+        with tracer.span(
+            "stochastic.solve",
+            cat="stochastic",
+            objective=objective,
+            n_scenarios=scenarios.n_scenarios,
+        ):
+            try:
+                sol = solve_two_stage(
+                    net,
+                    scenarios,
+                    alpha=args.alpha,
+                    objective=objective,
+                    config=cfg,
+                    backend=args.backend,
+                    precision=args.precision,
+                )
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+        solutions[objective] = sol
+        rows.append(
+            [
+                objective,
+                "yes" if sol.converged else "no",
+                sol.iterations,
+                f"{sol.objective:.6f}",
+                f"{sol.expected_cost:.6f}",
+                f"{sol.cvar_cost:.6f}",
+            ]
+        )
+        if args.reference:
+            ref = solve_reference(sol.problem.to_centralized())
+            gap = ref.compare_objective(sol.objective)
+            print(
+                f"{objective}: reference objective {ref.objective:.6f}  "
+                f"relative gap {gap:.3e}"
+            )
+    print(
+        format_table(
+            ["objective", "converged", "iterations", "value", "E[cost]",
+             f"CVaR[{args.alpha}]"],
+            rows,
+            title="two-stage solutions",
+        )
+    )
+    last = solutions[objectives[-1]]
+    print(
+        format_table(
+            ["generator", "setpoint (pu per phase)"],
+            [
+                [name, " ".join(f"{v:.5f}" for v in vals)]
+                for name, vals in sorted(last.first_stage.items())
+            ],
+            title="first-stage commitment",
+        )
+    )
+    vss_report = None
+    if args.vss:
+        vss_report = value_of_stochastic_solution(net, scenarios)
+        print(
+            f"VSS: two-stage eval {vss_report.stochastic_eval:.6f}  "
+            f"mean-scenario eval {vss_report.deterministic_eval:.6f}  "
+            f"vss {vss_report.vss:.6f}"
+        )
+    if tracer is not NULL_TRACER:
+        tracer.save(args.trace)
+        print(f"trace ({len(tracer)} spans) written to {args.trace}")
+    if args.output:
+        payload = {
+            "feeder": args.feeder,
+            "n_scenarios": scenarios.n_scenarios,
+            "seed": args.seed,
+            "alpha": args.alpha,
+            "solutions": {
+                obj: {
+                    "converged": sol.converged,
+                    "iterations": sol.iterations,
+                    "objective": sol.objective,
+                    "expected_cost": sol.expected_cost,
+                    "cvar_cost": sol.cvar_cost,
+                    "first_stage": {
+                        k: [float(v) for v in vals]
+                        for k, vals in sol.first_stage.items()
+                    },
+                }
+                for obj, sol in solutions.items()
+            },
+        }
+        if vss_report is not None:
+            payload["vss"] = vss_report.vss
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"stochastic report written to {args.output}")
+    unconverged = [o for o, s in solutions.items() if not s.converged]
+    if args.require_convergence and unconverged:
+        raise ConvergenceError(
+            f"objectives {unconverged} did not converge within "
+            f"{args.max_iter} iterations"
+        )
+    return 0 if not unconverged else 2
+
+
+def cmd_schedule_der(args) -> int:
+    from repro.multiperiod import Storage, rolling_horizon
+    from repro.utils.exceptions import FormulationError
+
+    net = resolve_feeder(args.feeder)
+    periods = args.periods
+    # A stylized day: load ramps to an evening peak while the price
+    # follows it — the spread the storage arbitrages.
+    base = [0.7, 0.8, 1.0, 1.2, 1.1, 0.9]
+    load_profile = [base[t % len(base)] for t in range(periods)]
+    price_profile = [0.5 + 0.7 * (x - 0.7) / 0.5 for x in load_profile]
+    storages = [
+        Storage(
+            name="bat675",
+            bus="675",
+            p_ch_max=args.storage_power,
+            p_dis_max=args.storage_power,
+            energy_max=args.storage_energy,
+            soc0=args.storage_energy / 2,
+        )
+    ]
+    cfg = ADMMConfig(rho=args.rho, eps_rel=args.eps_rel, max_iter=args.max_iter)
+    try:
+        horizon = rolling_horizon(
+            net,
+            load_profile,
+            price_profile,
+            storages,
+            window=args.horizon,
+            solver=args.solver,
+            config=cfg,
+            backend=args.backend,
+            precision=args.precision,
+        )
+    except (FormulationError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    rows = [
+        [
+            s.period,
+            f"{load_profile[s.period]:.2f}",
+            f"{price_profile[s.period]:.2f}",
+            f"{s.substation_p:.4f}",
+            f"{s.storage_p['bat675']:+.4f}",
+            f"{s.soc_after['bat675']:.4f}",
+            s.iterations,
+            "yes" if s.converged else "no",
+        ]
+        for s in horizon.steps
+    ]
+    print(
+        format_table(
+            ["t", "load", "price", "sub p", "storage p", "soc", "iters", "conv"],
+            rows,
+            title=f"rolling horizon (window {args.horizon})",
+        )
+    )
+    print(f"committed cost: {horizon.committed_cost:.6f}")
+    if args.output:
+        payload = {
+            "feeder": args.feeder,
+            "periods": periods,
+            "window": args.horizon,
+            "committed_cost": horizon.committed_cost,
+            "soc": {
+                st.name: [float(v) for v in horizon.soc_trajectory(st.name)]
+                for st in storages
+            },
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"schedule written to {args.output}")
+    unconverged = sum(1 for s in horizon.steps if not s.converged)
+    if args.require_convergence and unconverged:
+        raise ConvergenceError(
+            f"{unconverged} of {len(horizon.steps)} window solves did not converge"
+        )
+    return 0 if unconverged == 0 else 2
+
+
 def cmd_backends(args) -> int:
     import os
 
@@ -734,6 +953,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit with an error (status 3) if any scenario does not converge",
     )
     p.set_defaults(func=cmd_serve_fleet)
+
+    p = sub.add_parser(
+        "solve-stochastic",
+        help="solve the two-stage stochastic OPF (CVaR / expected value)",
+    )
+    p.add_argument("--feeder", default="ieee13-der")
+    p.add_argument("--scenarios", type=int, default=16, metavar="K")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--load-sigma", type=float, default=0.10)
+    p.add_argument("--pv-sigma", type=float, default=0.15)
+    p.add_argument("--alpha", type=float, default=0.95, help="CVaR level")
+    p.add_argument(
+        "--no-antithetic",
+        action="store_true",
+        help="disable antithetic scenario pairing",
+    )
+    p.add_argument(
+        "--objective",
+        choices=["expected", "cvar", "both"],
+        default="both",
+        help="risk objective(s) to solve",
+    )
+    _add_backend_flags(p)
+    p.add_argument(
+        "--rho",
+        type=float,
+        default=10.0,
+        help="penalty; stochastic instances favour rho ~ 10 (docs/STOCHASTIC.md)",
+    )
+    p.add_argument("--eps-rel", type=float, default=1e-3)
+    p.add_argument("--max-iter", type=int, default=60_000)
+    p.add_argument("--reference", action="store_true", help="validate against HiGHS")
+    p.add_argument(
+        "--vss",
+        action="store_true",
+        help="report the value of the stochastic solution (exact reference solves)",
+    )
+    p.add_argument("--output", help="write the report as JSON")
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="capture a span trace (Chrome JSON; .jsonl extension for JSONL)",
+    )
+    p.add_argument(
+        "--require-convergence",
+        action="store_true",
+        help="exit with an error (status 3) if a solve does not converge",
+    )
+    p.set_defaults(func=cmd_solve_stochastic)
+
+    p = sub.add_parser(
+        "schedule-der", help="rolling-horizon DER/storage schedule"
+    )
+    p.add_argument("--feeder", default="ieee13")
+    p.add_argument("--periods", type=int, default=6)
+    p.add_argument(
+        "--horizon", type=int, default=4, metavar="W", help="lookahead window"
+    )
+    p.add_argument("--solver", choices=["admm", "reference"], default="admm")
+    p.add_argument("--storage-power", type=float, default=0.05)
+    p.add_argument("--storage-energy", type=float, default=0.2)
+    _add_backend_flags(p)
+    p.add_argument("--rho", type=float, default=10.0)
+    p.add_argument("--eps-rel", type=float, default=1e-3)
+    p.add_argument("--max-iter", type=int, default=40_000)
+    p.add_argument("--output", help="write the schedule as JSON")
+    p.add_argument(
+        "--require-convergence",
+        action="store_true",
+        help="exit with an error (status 3) if a window solve does not converge",
+    )
+    p.set_defaults(func=cmd_schedule_der)
 
     p = sub.add_parser(
         "trace-summary", help="per-phase breakdown of a captured trace"

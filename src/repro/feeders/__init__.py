@@ -1,19 +1,25 @@
-"""Test feeder library: the hand-encoded IEEE 13-bus feeder, statistically
-matched IEEE 123- and 8500-class instances, and a parameterized synthetic
-radial feeder generator."""
+"""Test feeder library: the hand-encoded IEEE 13-bus feeder (plus its
+DER-augmented stochastic variant), statistically matched IEEE 34-, 123-
+and 8500-class instances, and a parameterized synthetic radial feeder
+generator."""
 
+from repro.feeders.der import attach_ders, ieee13_der
 from repro.feeders.ieee13 import ieee13
 from repro.feeders.synthetic import (
     SyntheticFeederSpec,
     build_synthetic_feeder,
+    ieee34,
     ieee123,
     ieee8500,
 )
 
 __all__ = [
     "ieee13",
+    "ieee13_der",
+    "ieee34",
     "ieee123",
     "ieee8500",
+    "attach_ders",
     "SyntheticFeederSpec",
     "build_synthetic_feeder",
 ]

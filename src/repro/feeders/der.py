@@ -1,0 +1,116 @@
+"""DER-augmented feeder variants for the stochastic workloads.
+
+The base IEEE 13-bus feeder has a single substation source, which makes a
+two-stage problem trivial (there is nothing to decide before the scenario
+is revealed).  :func:`ieee13_der` is the canonical stochastic test
+instance, built so the optimal first stage is a genuine newsvendor
+trade-off rather than a corner:
+
+* two dispatchable DERs priced between free PV and the substation energy
+  price, with combined capacity comparable to the feeder load — enough
+  that over-committing is possible in low-load/high-PV scenarios;
+* an asymmetric substation: energy is *bought* at price 1.0 but excess
+  feeder generation is *exported* at only ``EXPORT_PRICE`` — committed
+  DER energy wasted on export loses money, under-commitment buys at the
+  full price.  The optimal commitment is then a quantile of the net-load
+  distribution, which is exactly what makes the value of the stochastic
+  solution (VSS) strictly positive;
+* two PV units whose availability the scenario sampler perturbs.
+
+The variant is registered as the builtin feeder reference
+``"ieee13-der"`` so serving requests, fleet routing and the CLI can name
+it like any other feeder.
+"""
+
+from __future__ import annotations
+
+from repro.feeders.ieee13 import ieee13
+from repro.network.components import Generator
+from repro.network.network import DistributionNetwork
+
+#: Per-phase DER rating in pu on the 5 MVA base: 600 kW per phase across
+#: both units, putting the combined capacity inside the load's uncertainty
+#: band (the interior-optimum condition above).
+DER_P_MAX = 0.12
+#: Per-phase PV rating (150 kW per phase per unit).
+PV_P_MAX = 0.03
+#: Export (feed-in) price at the substation, well below every DER price.
+EXPORT_PRICE = 0.1
+
+
+def attach_ders(
+    net: DistributionNetwork,
+    ders: dict[str, tuple[str, float]],
+    pv: dict[str, tuple[str, float]] | None = None,
+) -> DistributionNetwork:
+    """Attach dispatchable DERs and PV units to ``net`` (in place).
+
+    ``ders`` maps generator name -> (bus, energy cost); ``pv`` maps
+    name -> (bus, per-phase p_max).  DERs get the bus's full phase set,
+    ``DER_P_MAX`` per phase and symmetric reactive capability; PV units
+    run at unity power factor.
+    """
+    for name, (bus, cost) in ders.items():
+        phases = net.buses[bus].phases
+        net.add_generator(
+            Generator(
+                name,
+                bus=bus,
+                phases=phases,
+                p_min=0.0,
+                p_max=DER_P_MAX,
+                q_min=-PV_P_MAX,
+                q_max=PV_P_MAX,
+                cost=cost,
+            )
+        )
+    for name, (bus, p_max) in (pv or {}).items():
+        phases = net.buses[bus].phases
+        net.add_generator(
+            Generator(
+                name,
+                bus=bus,
+                phases=phases,
+                p_min=0.0,
+                p_max=p_max,
+                q_min=0.0,
+                q_max=0.0,
+                cost=0.0,
+            )
+        )
+    net.validate()
+    return net
+
+
+def ieee13_der() -> DistributionNetwork:
+    """The IEEE 13-bus feeder plus two DERs, two PV units and asymmetric
+    substation pricing (buy at 1.0, export at ``EXPORT_PRICE``).
+
+    Deterministic (no randomness), so the ``"ieee13-der"`` reference is a
+    stable topology key for serving and fleet routing.
+    """
+    net = ieee13()
+    net.name = "ieee13-der"
+    # Split the substation head into a buy-only source and a sell-only
+    # export path: `cost * pg` prices imports at 1.0 and credits exports
+    # (negative pg) at only EXPORT_PRICE.
+    source = net.generators["source"]
+    source.p_min[:] = 0.0
+    net.add_generator(
+        Generator(
+            "export",
+            bus="650",
+            phases=(1, 2, 3),
+            p_min=-10.0,
+            p_max=0.0,
+            q_min=0.0,
+            q_max=0.0,
+            cost=EXPORT_PRICE,
+        )
+    )
+    attach_ders(
+        net,
+        ders={"der671": ("671", 0.40), "der675": ("675", 0.50)},
+        pv={"pv680": ("680", PV_P_MAX), "pv632": ("632", PV_P_MAX)},
+    )
+    return net

@@ -264,6 +264,30 @@ def build_synthetic_feeder(spec: SyntheticFeederSpec) -> DistributionNetwork:
     return net
 
 
+def ieee34(seed: int = 34) -> DistributionNetwork:
+    """An IEEE-34-class feeder (statistically matched substitute).
+
+    A long rural 24.9 kV feeder: ~1.8 MW of load spread over long
+    segments, mostly three-phase trunk with short single-phase laterals.
+    Sized between the 13- and 123-bus instances, it is the second rung of
+    the scenario-throughput scaling ladder in BENCH_stochastic.json.
+    """
+    spec = SyntheticFeederSpec(
+        name="ieee34",
+        n_buses=40,
+        seed=seed,
+        kv_base=24.9,
+        depth_bias=0.5,
+        p_keep_phases=0.6,
+        load_density=0.65,
+        delta_fraction=0.15,
+        transformer_fraction=0.05,
+        total_load_mw=1.8,
+        avg_length_ft=1300.0,
+    )
+    return build_synthetic_feeder(spec)
+
+
 def ieee123(seed: int = 123) -> DistributionNetwork:
     """An IEEE-123-class feeder (statistically matched substitute).
 

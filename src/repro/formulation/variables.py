@@ -29,10 +29,12 @@ VarKey = tuple  # (kind, owner name, phase/branch id)
 #: Variable kinds in the order of the global vector x in (7).  ``le`` is the
 #: squared branch-current variable of the SOCP branch-flow extension;
 #: ``sc``/``sd``/``se`` are the charge/discharge/state-of-charge variables of
-#: the multi-period storage extension.
+#: the multi-period storage extension; ``ct``/``cu``/``cs`` are the CVaR
+#: epigraph variables (VaR level, per-scenario excess, equality slack) of
+#: the two-stage stochastic extension.
 VAR_KINDS = (
     "pg", "qg", "w", "pb", "qb", "pd", "qd", "pf", "qf", "pt", "qt",
-    "le", "sc", "sd", "se",
+    "le", "sc", "sd", "se", "ct", "cu", "cs",
 )
 
 

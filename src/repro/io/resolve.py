@@ -1,7 +1,7 @@
 """Feeder reference resolution shared by the CLI and the serving engine.
 
 A *feeder reference* is a string naming either a builtin feeder
-(``"ieee13"``, ``"ieee123"``, ``"ieee8500"``), a parameterized synthetic
+(``"ieee13"``, ``"ieee13-der"``, ``"ieee34"``, ``"ieee123"``, ``"ieee8500"``), a parameterized synthetic
 feeder (``"synthetic:<n_buses>[:<seed>]"``), a feeder ``.json`` file, or
 a CSV feeder directory.  Builtin and synthetic references are
 deterministic — the same string always builds the same network — which is
@@ -14,13 +14,19 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.feeders import ieee13, ieee123, ieee8500
+from repro.feeders import ieee13, ieee13_der, ieee34, ieee123, ieee8500
 from repro.feeders.synthetic import SyntheticFeederSpec, build_synthetic_feeder
 from repro.io.csv_feeder import load_network_csv
 from repro.io.feeder_json import load_network
 from repro.network.network import DistributionNetwork
 
-BUILTIN_FEEDERS = {"ieee13": ieee13, "ieee123": ieee123, "ieee8500": ieee8500}
+BUILTIN_FEEDERS = {
+    "ieee13": ieee13,
+    "ieee13-der": ieee13_der,
+    "ieee34": ieee34,
+    "ieee123": ieee123,
+    "ieee8500": ieee8500,
+}
 
 #: Prefix of parameterized synthetic feeder references.
 SYNTHETIC_PREFIX = "synthetic:"

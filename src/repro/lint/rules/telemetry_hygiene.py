@@ -33,6 +33,8 @@ NAMESPACES = frozenset(
         "resilience", "cluster", "comm", "gpu", "queue", "lint",
         # The multi-worker serving plane (docs/SERVING.md, fleet section).
         "fleet",
+        # Two-stage stochastic / multi-period workloads (docs/STOCHASTIC.md).
+        "stochastic",
     }
 )
 

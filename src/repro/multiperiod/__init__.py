@@ -1,6 +1,12 @@
 """Multi-period distributed OPF with energy storage (the setting of the
-paper's comparison baseline [15]), built on the same consensus machinery."""
+paper's comparison baseline [15]), built on the same consensus machinery,
+plus a receding-horizon DER scheduler on top of it."""
 
+from repro.multiperiod.horizon import (
+    HorizonResult,
+    HorizonStep,
+    rolling_horizon,
+)
 from repro.multiperiod.model import (
     MultiPeriodProblem,
     Storage,
@@ -17,4 +23,7 @@ __all__ = [
     "build_multiperiod_lp",
     "decompose_multiperiod",
     "MultiPeriodSolverFreeADMM",
+    "HorizonStep",
+    "HorizonResult",
+    "rolling_horizon",
 ]

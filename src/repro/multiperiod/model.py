@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
 from repro.formulation.centralized import CentralizedLP, build_rows
 from repro.formulation.rows import Row, rows_to_matrix
 from repro.formulation.variables import VariableIndex
@@ -178,13 +179,13 @@ def build_multiperiod_lp(
     FormulationError
         On empty profiles, mismatched lengths, or storages at unknown buses.
     """
-    load_profile = np.asarray(load_profile, dtype=float)
+    load_profile = np.asarray(load_profile, dtype=HOST_DTYPE)
     if load_profile.ndim != 1 or load_profile.size == 0:
         raise FormulationError("load_profile must be a non-empty 1-D sequence")
     n_periods = int(load_profile.size)
     if price_profile is None:
         price_profile = np.ones(n_periods)
-    price_profile = np.asarray(price_profile, dtype=float)
+    price_profile = np.asarray(price_profile, dtype=HOST_DTYPE)
     if price_profile.shape != (n_periods,):
         raise FormulationError("price_profile must match load_profile length")
     storages = list(storages or [])

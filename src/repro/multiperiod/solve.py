@@ -41,5 +41,11 @@ class MultiPeriodSolverFreeADMM(ConicSolverFreeADMM):
 
     algorithm_name = "solver-free ADMM (multi-period with storage)"
 
-    def __init__(self, dec: ConicDecomposition, config: ADMMConfig | None = None):
-        super().__init__(dec, config)
+    def __init__(
+        self,
+        dec: ConicDecomposition,
+        config: ADMMConfig | None = None,
+        backend=None,
+        precision: str | None = None,
+    ):
+        super().__init__(dec, config, backend=backend, precision=precision)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.backend.policy import HOST_DTYPE
 from repro.formulation.centralized import CentralizedLP
 from repro.utils.exceptions import InfeasibleError
 
@@ -56,7 +57,7 @@ def solve_reference(lp: CentralizedLP) -> ReferenceSolution:
             f"centralized LP for {lp.network.name!r} not solved: {result.message}"
         )
     return ReferenceSolution(
-        x=np.asarray(result.x, dtype=float),
+        x=np.asarray(result.x, dtype=HOST_DTYPE),
         objective=float(result.fun),
         status=result.message,
     )

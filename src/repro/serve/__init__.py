@@ -14,9 +14,13 @@ from repro.serve.requests import (
     STATUS_ITERATION_LIMIT,
     STATUS_REJECTED,
     STATUS_TIMEOUT,
+    MultiPeriodRequest,
+    MultiPeriodResponse,
     OPFRequest,
     OPFResponse,
     SolveOptions,
+    StochasticRequest,
+    StochasticResponse,
     load_requests_json,
     save_requests_json,
 )
@@ -29,6 +33,10 @@ __all__ = [
     "ScenarioProblem",
     "OPFRequest",
     "OPFResponse",
+    "StochasticRequest",
+    "StochasticResponse",
+    "MultiPeriodRequest",
+    "MultiPeriodResponse",
     "SolveOptions",
     "STATUS_CONVERGED",
     "STATUS_ITERATION_LIMIT",

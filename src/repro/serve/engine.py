@@ -55,12 +55,17 @@ from repro.serve.requests import (
     STATUS_ITERATION_LIMIT,
     STATUS_REJECTED,
     STATUS_TIMEOUT,
+    MultiPeriodRequest,
+    MultiPeriodResponse,
     OPFRequest,
     OPFResponse,
+    StochasticRequest,
+    StochasticResponse,
 )
 from repro.serve.scheduler import BatchScheduler, BoundedRequestQueue, QueueFullError
 from repro.serve.warmstart import WarmStartCache
 from repro.telemetry import NULL_TRACER
+from repro.utils.exceptions import FormulationError
 from repro.utils.timing import PhaseTimer, Timer
 
 #: Thread count per block used for the modeled local-update kernel spans.
@@ -592,16 +597,57 @@ class ScenarioEngine:
         self.metrics.wall_seconds += wall.elapsed
         return responses
 
-    def serve(self, requests: list[OPFRequest]) -> list[OPFResponse]:
+    def serve(self, requests: list) -> list[OPFResponse]:
         """Submit everything, run to completion, return responses in
-        submission order (rejections included)."""
-        rejected = []
+        submission order (rejections included).
+
+        Accepts a mix of request kinds: plain :class:`OPFRequest`,
+        :class:`StochasticRequest` (expanded into one child request per
+        scenario — the scenario batch *is* the ADMM batch — and folded
+        back into one :class:`StochasticResponse` once every child,
+        including its retry/degrade path, has finished) and
+        :class:`MultiPeriodRequest` (served directly through the
+        rolling-horizon scheduler).
+        """
+        produced: dict[str, OPFResponse] = {}
+        expansions: list[tuple[StochasticRequest, list[str]]] = []
         for req in requests:
+            if isinstance(req, MultiPeriodRequest):
+                produced[req.request_id] = self._serve_multiperiod(req)
+                continue
+            if isinstance(req, StochasticRequest):
+                try:
+                    with self.timers.measure("expand"):
+                        children = req.expand(self.plan_for(req).net)
+                except (ValueError, KeyError) as exc:
+                    produced[req.request_id] = StochasticResponse(
+                        request_id=req.request_id,
+                        status=STATUS_ERROR,
+                        error=str(exc),
+                        n_scenarios=req.n_scenarios,
+                        alpha=req.alpha,
+                    )
+                    continue
+                self.metrics.record_stochastic(len(children))
+                ids = []
+                for child in children:
+                    ids.append(child.request_id)
+                    resp = self.submit(child)
+                    if resp is not None:
+                        produced[resp.request_id] = resp
+                expansions.append((req, ids))
+                continue
             resp = self.submit(req)
             if resp is not None:
-                rejected.append(resp)
-        by_id = {r.request_id: r for r in self.run() + rejected}
-        return [by_id[r.request_id] for r in requests if r.request_id in by_id]
+                produced[req.request_id] = resp
+        for r in self.run():
+            produced[r.request_id] = r
+        # Aggregate after run(): every child has passed through the full
+        # solve/retry/degrade pipeline by now.
+        for req, ids in expansions:
+            kids = [produced.pop(i) for i in ids if i in produced]
+            produced[req.request_id] = StochasticResponse.aggregate(req, kids)
+        return [produced[r.request_id] for r in requests if r.request_id in produced]
 
     def snapshot(self) -> dict:
         """Serving metrics + cache statistics, one flat dict."""
@@ -685,6 +731,65 @@ class ScenarioEngine:
             else:
                 breaker.record_success()
         return responses
+
+    def _serve_multiperiod(self, request: MultiPeriodRequest) -> MultiPeriodResponse:
+        """Run one rolling-horizon schedule (not batch-stacked: the
+        time-expanded problem already couples its periods internally)."""
+        from repro.multiperiod.horizon import rolling_horizon
+
+        self.metrics.record_multiperiod()
+        t0 = time.perf_counter()
+        opts = request.options
+        config = ADMMConfig(
+            rho=opts.rho, eps_rel=opts.eps_rel, max_iter=opts.max_iter
+        )
+        try:
+            with self.tracer.span(
+                "serve.multiperiod",
+                cat="serve",
+                periods=len(request.load_profile),
+            ):
+                net = resolve_feeder(request.feeder)
+                storages = request.build_storages()
+                horizon = rolling_horizon(
+                    net,
+                    request.load_profile,
+                    request.price_profile,
+                    storages,
+                    window=request.window,
+                    dt_hours=request.dt_hours,
+                    solver="admm",
+                    config=config,
+                    backend=self.backend,
+                )
+        except (ValueError, KeyError, FormulationError) as exc:
+            resp = MultiPeriodResponse(
+                request_id=request.request_id, status=STATUS_ERROR, error=str(exc)
+            )
+            resp.solve_seconds = resp.latency_seconds = time.perf_counter() - t0
+            self.metrics.record_response(resp.status, 0, False, resp.latency_seconds)
+            return resp
+        converged = all(s.converged for s in horizon.steps)
+        resp = MultiPeriodResponse(
+            request_id=request.request_id,
+            status=STATUS_CONVERGED if converged else STATUS_ITERATION_LIMIT,
+            objective=horizon.committed_cost,
+            iterations=sum(s.iterations for s in horizon.steps),
+            pres=0.0,
+            dres=0.0,
+            n_periods=len(horizon.steps),
+            committed_cost=horizon.committed_cost,
+            soc_trajectories={
+                st.name: [float(v) for v in horizon.soc_trajectory(st.name)]
+                for st in storages
+            },
+        )
+        resp.solve_seconds = resp.latency_seconds = time.perf_counter() - t0
+        self.metrics.solve_seconds += resp.solve_seconds
+        self.metrics.record_response(
+            resp.status, resp.iterations, False, resp.latency_seconds
+        )
+        return resp
 
     def _breaker_for(self, key: str) -> CircuitBreaker | None:
         if not self.resilience.breaker_enabled:

@@ -49,11 +49,17 @@ class ServingMetrics:
         self._breaker_rejections = reg.counter("serve.breaker_rejections")
         self._queue_depth = reg.gauge("serve.queue_depth")
         self._retry_after = reg.gauge("serve.backpressure_retry_after_s")
+        # Stochastic workloads (docs/STOCHASTIC.md): scenario-set requests
+        # expanded into ADMM batches, and rolling-horizon schedules.
+        self._stochastic_requests = reg.counter("stochastic.requests")
+        self._stochastic_scenarios = reg.counter("stochastic.scenarios")
+        self._multiperiod_requests = reg.counter("stochastic.multiperiod_requests")
 
         def hist(name: str) -> ReservoirHistogram:
             return reg.histogram(name, max_samples=RESERVOIR_SAMPLES)
 
         self.batch_sizes = hist("serve.batch_size")
+        self.stochastic_scenarios_per_request = hist("stochastic.scenarios_per_request")
         self.warm_iterations = hist("serve.warm_iterations")
         self.cold_iterations = hist("serve.cold_iterations")
         self.latencies_s = hist("serve.latency_s")
@@ -185,6 +191,14 @@ class ServingMetrics:
     def record_modeled_gpu_iteration(self, seconds: float) -> None:
         self.modeled_gpu_iteration_s.observe(float(seconds))
 
+    def record_stochastic(self, n_scenarios: int) -> None:
+        self._stochastic_requests.inc()
+        self._stochastic_scenarios.inc(int(n_scenarios))
+        self.stochastic_scenarios_per_request.observe(int(n_scenarios))
+
+    def record_multiperiod(self) -> None:
+        self._multiperiod_requests.inc()
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
@@ -251,6 +265,9 @@ class ServingMetrics:
             "modeled_gpu_iteration_us": round(
                 1e6 * self.modeled_gpu_iteration_s.mean, 2
             ),
+            "stochastic_requests": self._stochastic_requests.value,
+            "stochastic_scenarios": self._stochastic_scenarios.value,
+            "multiperiod_requests": self._multiperiod_requests.value,
         }
         if cache_stats is not None:
             snap.update({f"cache_{k}": v for k, v in cache_stats.items()})

@@ -173,6 +173,282 @@ class OPFResponse:
         return asdict(self)
 
 
+@dataclass
+class StochasticRequest:
+    """One two-stage stochastic evaluation query.
+
+    The request names a feeder, a seeded uncertainty model and a
+    first-stage DER commitment (``der_setpoints``); the engine *expands*
+    it into ``n_scenarios`` ordinary :class:`OPFRequest` children — one
+    per scenario draw, all sharing the commitment — stacks them into one
+    ADMM batch (the scenario batch *is* the ADMM batch) and aggregates
+    the per-scenario recourse objectives into expected cost and
+    CVaR-``alpha``.  Expansion is deterministic in ``seed``: the same
+    request always produces bit-identical scenario perturbations (see
+    :mod:`repro.stochastic.sampler`).
+
+    First-stage *optimization* (choosing the setpoints) is the library /
+    CLI path (:func:`repro.stochastic.solve_two_stage`); serving
+    evaluates a given commitment under uncertainty at scale.
+    """
+
+    request_id: str
+    feeder: str = "ieee13-der"
+    n_scenarios: int = 16
+    seed: int = 0
+    load_sigma: float = 0.10
+    pv_sigma: float = 0.15
+    alpha: float = 0.95
+    antithetic: bool = True
+    load_scale: float = 1.0
+    der_setpoints: dict[str, float] = field(default_factory=dict)
+    options: SolveOptions = field(default_factory=lambda: SolveOptions(rho=10.0))
+
+    def __post_init__(self) -> None:
+        if self.n_scenarios < 1:
+            raise ValueError("n_scenarios must be at least 1")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must lie in (0, 1)")
+        if self.load_sigma < 0 or self.pv_sigma < 0:
+            raise ValueError("sigmas must be nonnegative")
+        if self.load_scale < 0:
+            raise ValueError("load_scale must be nonnegative")
+
+    def topology_key(self) -> str:
+        """Same keying rule as :meth:`OPFRequest.topology_key`: scenario
+        draws perturb parameters only, so the request (and every child it
+        expands to) shares the feeder's cached plan."""
+        digest = hashlib.sha256(f"feeder:{self.feeder}".encode()).hexdigest()
+        return digest[:16]
+
+    def scenario_key(self) -> str:
+        payload = json.dumps(
+            {
+                "feeder": self.feeder,
+                "n_scenarios": self.n_scenarios,
+                "seed": self.seed,
+                "load_sigma": self.load_sigma,
+                "pv_sigma": self.pv_sigma,
+                "alpha": self.alpha,
+                "antithetic": self.antithetic,
+                "load_scale": self.load_scale,
+                "der_setpoints": sorted(self.der_setpoints.items()),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def expand(self, net) -> list[OPFRequest]:
+        """Draw the scenario set and materialize one child per scenario.
+
+        ``net`` is the engine's resolved base network for this feeder
+        (needed for the load/PV unit names and the PV base ratings the
+        availability factors scale).  Children carry the scenario's load
+        multipliers and PV ``p_max`` overrides; the first-stage
+        ``der_setpoints`` are copied onto every child unchanged — the
+        shared commitment is the non-anticipativity constraint.
+        """
+        # Lazy import: repro.stochastic must stay importable without the
+        # serving stack (and vice versa).
+        from repro.stochastic.sampler import ScenarioSampler, UncertaintyModel
+
+        sampler = ScenarioSampler.from_network(
+            net,
+            model=UncertaintyModel(
+                load_sigma=self.load_sigma, pv_sigma=self.pv_sigma
+            ),
+            seed=self.seed,
+            antithetic=self.antithetic,
+        )
+        scn = sampler.sample(self.n_scenarios)
+        children = []
+        for k in range(scn.n_scenarios):
+            gen_limits = {}
+            for name, avail in scn.pv_availability_dict(k).items():
+                base = float(net.generators[name].p_max[0])
+                gen_limits[name] = (None, base * float(avail))
+            children.append(
+                OPFRequest(
+                    request_id=f"{self.request_id}/s{k}",
+                    feeder=self.feeder,
+                    load_scale=self.load_scale,
+                    load_multipliers=scn.load_multiplier_dict(k),
+                    der_setpoints=dict(self.der_setpoints),
+                    gen_limits=gen_limits,
+                    options=self.options,
+                )
+            )
+        return children
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StochasticRequest":
+        d = dict(d)
+        opts = d.pop("options", None) or {}
+        options = opts if isinstance(opts, SolveOptions) else SolveOptions(**opts)
+        return cls(options=options, **d)
+
+
+@dataclass
+class StochasticResponse(OPFResponse):
+    """Aggregated outcome of one served stochastic request.
+
+    ``objective`` carries the risk objective the caller asked for via
+    ``alpha`` — both ``expected_cost`` and ``cvar_cost`` are always
+    reported.  Statuses aggregate conservatively: ``converged`` only if
+    every scenario child converged, otherwise the worst child status.
+    """
+
+    n_scenarios: int = 0
+    alpha: float = 0.95
+    scenario_objectives: list = field(default_factory=list)
+    expected_cost: float | None = None
+    cvar_cost: float | None = None
+
+    _STATUS_RANK = (
+        STATUS_CONVERGED,
+        STATUS_ITERATION_LIMIT,
+        STATUS_TIMEOUT,
+        STATUS_REJECTED,
+        STATUS_ERROR,
+    )
+
+    @classmethod
+    def aggregate(
+        cls,
+        request: StochasticRequest,
+        children: list[OPFResponse],
+    ) -> "StochasticResponse":
+        """Fold the per-scenario responses into one risk-aware response."""
+        from repro.stochastic.model import sample_cvar  # lazy, see expand()
+
+        rank = {s: i for i, s in enumerate(cls._STATUS_RANK)}
+        status = max(
+            (c.status for c in children), key=lambda s: rank.get(s, len(rank))
+        )
+        objectives = [c.objective for c in children]
+        expected = cvar = None
+        if all(o is not None for o in objectives) and objectives:
+            weights = [1.0 / len(objectives)] * len(objectives)
+            expected = float(
+                sum(w * o for w, o in zip(weights, objectives))
+            )
+            cvar = float(sample_cvar(objectives, weights, request.alpha))
+        errors = sorted({c.error for c in children if c.error})
+        return cls(
+            request_id=request.request_id,
+            status=status,
+            objective=cvar,
+            iterations=max((c.iterations for c in children), default=0),
+            pres=max((c.pres for c in children), default=float("inf")),
+            dres=max((c.dres for c in children), default=float("inf")),
+            warm_started=any(c.warm_started for c in children),
+            solve_seconds=max((c.solve_seconds for c in children), default=0.0),
+            latency_seconds=max(
+                (c.latency_seconds for c in children), default=0.0
+            ),
+            error="; ".join(errors) or None,
+            degraded=any(c.degraded for c in children),
+            attempts=max((c.attempts for c in children), default=1),
+            n_scenarios=len(children),
+            alpha=request.alpha,
+            scenario_objectives=objectives,
+            expected_cost=expected,
+            cvar_cost=cvar,
+        )
+
+
+@dataclass
+class MultiPeriodRequest:
+    """One rolling-horizon DER-scheduling query.
+
+    Carries the load/price profiles and the storage fleet; the engine
+    runs :func:`repro.multiperiod.rolling_horizon` over them with the
+    request's ADMM options.  Storages are plain dicts of
+    :class:`repro.multiperiod.Storage` fields so requests stay
+    JSON-serializable.
+    """
+
+    request_id: str
+    feeder: str = "ieee13"
+    load_profile: list = field(default_factory=list)
+    price_profile: list | None = None
+    storages: list = field(default_factory=list)
+    window: int = 4
+    dt_hours: float = 1.0
+    options: SolveOptions = field(default_factory=lambda: SolveOptions(rho=10.0))
+
+    def __post_init__(self) -> None:
+        if not self.load_profile:
+            raise ValueError("load_profile must be non-empty")
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        if self.dt_hours <= 0:
+            raise ValueError("dt_hours must be positive")
+
+    def topology_key(self) -> str:
+        """Unlike plain OPF, the time-expanded constraint graph depends on
+        the window width and the storage fleet, so they enter the key."""
+        payload = json.dumps(
+            {
+                "feeder": self.feeder,
+                "window": self.window,
+                "storages": sorted(
+                    (d.get("name", ""), d.get("bus", "")) for d in self.storages
+                ),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def scenario_key(self) -> str:
+        payload = json.dumps(
+            {
+                "feeder": self.feeder,
+                "load_profile": list(self.load_profile),
+                "price_profile": (
+                    list(self.price_profile)
+                    if self.price_profile is not None
+                    else None
+                ),
+                "storages": sorted(
+                    json.dumps(d, sort_keys=True) for d in self.storages
+                ),
+                "window": self.window,
+                "dt_hours": self.dt_hours,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def build_storages(self) -> list:
+        from repro.multiperiod.model import Storage  # lazy, see expand()
+
+        return [Storage(**d) for d in self.storages]
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MultiPeriodRequest":
+        d = dict(d)
+        opts = d.pop("options", None) or {}
+        options = opts if isinstance(opts, SolveOptions) else SolveOptions(**opts)
+        return cls(options=options, **d)
+
+
+@dataclass
+class MultiPeriodResponse(OPFResponse):
+    """Outcome of one rolling-horizon schedule: the committed cost plus
+    the per-storage SoC trajectories (initial value included)."""
+
+    n_periods: int = 0
+    committed_cost: float | None = None
+    soc_trajectories: dict = field(default_factory=dict)
+
+
 def load_requests_json(path) -> list[OPFRequest]:
     """Read a scenario file: a JSON list of request dicts (or an object
     with a ``"scenarios"`` list)."""

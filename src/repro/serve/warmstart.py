@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backend import resolve_backend
+from repro.backend.policy import HOST_DTYPE
 
 
 @dataclass
@@ -89,7 +90,7 @@ class WarmStartCache:
 
         Returns ``(entry, distance)``; the hit is refreshed in LRU order.
         """
-        signature = np.asarray(signature, dtype=float)
+        signature = np.asarray(signature, dtype=HOST_DTYPE)
         best_key = None
         best_dist = np.inf
         for key, entry in self._entries.items():
@@ -118,10 +119,10 @@ class WarmStartCache:
         """Insert (or refresh) one converged state, evicting LRU overflow."""
         key = (topology_key, scenario_key)
         self._entries[key] = WarmStartEntry(
-            signature=np.asarray(signature, dtype=float).copy(),
-            x=np.asarray(x, dtype=float).copy(),
-            z=np.asarray(z, dtype=float).copy(),
-            lam=np.asarray(lam, dtype=float).copy(),
+            signature=np.asarray(signature, dtype=HOST_DTYPE).copy(),
+            x=np.asarray(x, dtype=HOST_DTYPE).copy(),
+            z=np.asarray(z, dtype=HOST_DTYPE).copy(),
+            lam=np.asarray(lam, dtype=HOST_DTYPE).copy(),
             iterations=int(iterations),
         )
         self._entries.move_to_end(key)

@@ -1,0 +1,206 @@
+"""Seeded scenario sampling for stochastic OPF.
+
+A :class:`ScenarioSampler` draws multiplicative load perturbations and PV
+availability factors for a named set of loads and PV units.  Three design
+rules make the samples reproducible enough to serve:
+
+* **Determinism** — every draw comes from :func:`numpy.random.default_rng`
+  seeded by the sampler seed, so the same seed always produces the same
+  scenario matrices, bit for bit.
+* **Common random numbers** — each load/PV unit owns an independent
+  substream whose seed is derived from ``(seed, kind, name)`` via SHA-256.
+  Adding or removing one unit therefore never reshuffles the draws of the
+  others, and two configurations compared under the same seed see the
+  same underlying noise (the classic CRN variance-reduction setup).
+* **Antithetic variates** — consecutive scenarios ``(2j, 2j+1)`` use
+  negated normals, which halves the variance of smooth sample means such
+  as the expected recourse cost.
+
+Sampling is pinned to host fp64 (``np.float64``) regardless of the
+array-execution backend the solves later run under: scenario *data* is
+part of the problem statement, so an fp32 compute backend must still see
+bit-identical scenario matrices (see tests/test_stochastic.py).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.backend.policy import HOST_DTYPE
+
+#: Sampling dtype, deliberately fixed: scenario data is problem statement,
+#: not compute, so it never follows the backend's precision policy.
+SAMPLE_DTYPE = HOST_DTYPE
+
+
+@dataclass(frozen=True)
+class UncertaintyModel:
+    """Perturbation model of one scenario draw.
+
+    Loads get mean-one lognormal multipliers ``exp(sigma*z - sigma^2/2)``;
+    PV units get availability factors ``clip(mean + sigma*z, 0, 1)``.
+    """
+
+    load_sigma: float = 0.10
+    pv_sigma: float = 0.15
+    pv_availability: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.load_sigma < 0 or self.pv_sigma < 0:
+            raise ValueError("sigmas must be nonnegative")
+        if not 0.0 <= self.pv_availability <= 1.0:
+            raise ValueError("pv_availability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ScenarioSet:
+    """K sampled scenarios over named loads and PV units.
+
+    ``load_multipliers`` is ``(K, n_loads)`` and ``pv_availability`` is
+    ``(K, n_pv)``, both fp64, columns ordered like ``load_names`` /
+    ``pv_names``.  ``weights`` are the scenario probabilities (uniform
+    ``1/K`` when sampled).
+    """
+
+    load_names: tuple[str, ...]
+    pv_names: tuple[str, ...]
+    load_multipliers: np.ndarray
+    pv_availability: np.ndarray
+    weights: np.ndarray
+    seed: int = 0
+    antithetic: bool = True
+    model: UncertaintyModel = field(default_factory=UncertaintyModel)
+
+    def __post_init__(self) -> None:
+        k = self.load_multipliers.shape[0]
+        if self.load_multipliers.shape != (k, len(self.load_names)):
+            raise ValueError("load_multipliers shape mismatch")
+        if self.pv_availability.shape != (k, len(self.pv_names)):
+            raise ValueError("pv_availability shape mismatch")
+        if self.weights.shape != (k,):
+            raise ValueError("weights shape mismatch")
+
+    @property
+    def n_scenarios(self) -> int:
+        return int(self.load_multipliers.shape[0])
+
+    def load_multiplier_dict(self, k: int) -> dict[str, float]:
+        """Scenario ``k`` as the per-load multiplier mapping requests use."""
+        row = self.load_multipliers[k]
+        return {name: float(row[j]) for j, name in enumerate(self.load_names)}
+
+    def pv_availability_dict(self, k: int) -> dict[str, float]:
+        row = self.pv_availability[k]
+        return {name: float(row[j]) for j, name in enumerate(self.pv_names)}
+
+    def mean(self) -> "ScenarioSet":
+        """The probability-weighted mean scenario as a K=1 set.
+
+        This is the input of the deterministic "expected value problem"
+        in the value-of-stochastic-solution comparison.
+        """
+        w = self.weights[:, None]
+        return replace(
+            self,
+            load_multipliers=np.sum(w * self.load_multipliers, axis=0)[None, :],
+            pv_availability=np.sum(w * self.pv_availability, axis=0)[None, :],
+            weights=np.ones(1, dtype=SAMPLE_DTYPE),
+        )
+
+
+def _substream_seed(seed: int, kind: str, name: str) -> int:
+    """Independent per-unit substream seed (the CRN mechanism)."""
+    digest = hashlib.sha256(f"{seed}|{kind}|{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _normals(seed: int, kind: str, name: str, k: int, antithetic: bool) -> np.ndarray:
+    """K standard normals from the unit's substream, antithetic-paired."""
+    rng = np.random.default_rng(_substream_seed(seed, kind, name))
+    if not antithetic:
+        return rng.standard_normal(k).astype(SAMPLE_DTYPE, copy=False)
+    half = rng.standard_normal((k + 1) // 2).astype(SAMPLE_DTYPE, copy=False)
+    z = np.empty(2 * half.size, dtype=SAMPLE_DTYPE)
+    z[0::2] = half
+    z[1::2] = -half
+    return z[:k]
+
+
+class ScenarioSampler:
+    """Seeded load/PV scenario generator over explicit unit names.
+
+    Parameters
+    ----------
+    load_names:
+        Loads receiving lognormal demand multipliers (sorted internally so
+        the draw never depends on caller ordering).
+    pv_names:
+        PV units receiving availability factors in [0, 1].
+    model:
+        The :class:`UncertaintyModel` (sigmas and mean availability).
+    seed:
+        Master seed; every unit's substream derives from it.
+    antithetic:
+        Pair consecutive scenarios with negated normals.
+    """
+
+    def __init__(
+        self,
+        load_names,
+        pv_names=(),
+        model: UncertaintyModel | None = None,
+        seed: int = 0,
+        antithetic: bool = True,
+    ):
+        self.load_names = tuple(sorted(load_names))
+        self.pv_names = tuple(sorted(pv_names))
+        self.model = model if model is not None else UncertaintyModel()
+        self.seed = int(seed)
+        self.antithetic = bool(antithetic)
+
+    @classmethod
+    def from_network(
+        cls,
+        net,
+        model: UncertaintyModel | None = None,
+        seed: int = 0,
+        antithetic: bool = True,
+        pv_prefix: str = "pv",
+    ) -> "ScenarioSampler":
+        """All loads of ``net`` plus every generator named ``pv*``."""
+        return cls(
+            load_names=sorted(net.loads),
+            pv_names=sorted(g for g in net.generators if g.startswith(pv_prefix)),
+            model=model,
+            seed=seed,
+            antithetic=antithetic,
+        )
+
+    def sample(self, n_scenarios: int) -> ScenarioSet:
+        """Draw ``n_scenarios`` scenarios (fp64, deterministic in the seed)."""
+        if n_scenarios < 1:
+            raise ValueError("n_scenarios must be at least 1")
+        m = self.model
+        k = int(n_scenarios)
+        loads = np.empty((k, len(self.load_names)), dtype=SAMPLE_DTYPE)
+        for j, name in enumerate(self.load_names):
+            z = _normals(self.seed, "load", name, k, self.antithetic)
+            loads[:, j] = np.exp(m.load_sigma * z - 0.5 * m.load_sigma**2)
+        pv = np.empty((k, len(self.pv_names)), dtype=SAMPLE_DTYPE)
+        for j, name in enumerate(self.pv_names):
+            z = _normals(self.seed, "pv", name, k, self.antithetic)
+            pv[:, j] = np.clip(m.pv_availability + m.pv_sigma * z, 0.0, 1.0)
+        weights = np.full(k, 1.0 / k, dtype=SAMPLE_DTYPE)
+        return ScenarioSet(
+            load_names=self.load_names,
+            pv_names=self.pv_names,
+            load_multipliers=loads,
+            pv_availability=pv,
+            weights=weights,
+            seed=self.seed,
+            antithetic=self.antithetic,
+            model=m,
+        )

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
+
 
 @dataclass
 class Counter:
@@ -117,11 +119,11 @@ class ReservoirHistogram:
         """Estimated q-th percentile from the retained sample."""
         if not self._sample:
             return 0.0
-        return float(np.percentile(np.asarray(self._sample, dtype=float), q))
+        return float(np.percentile(np.asarray(self._sample, dtype=HOST_DTYPE), q))
 
     def values(self) -> np.ndarray:
         """Copy of the retained sample (for tests and plots)."""
-        return np.asarray(self._sample, dtype=float)
+        return np.asarray(self._sample, dtype=HOST_DTYPE)
 
     def __len__(self) -> int:
         return len(self._sample)

@@ -244,6 +244,16 @@ class TestTelemetryHygiene:
         src = "def f(reg):\n    reg.histogram(\"serve.latency_s\").observe(1.0)\n"
         assert lint_source(src, "src/repro/serve/mod.py", tmp_path) == []
 
+    def test_stochastic_namespace_registered(self, tmp_path):
+        src = "def f(reg):\n    reg.counter(\"stochastic.scenarios\").inc()\n"
+        assert lint_source(src, "src/repro/serve/mod.py", tmp_path) == []
+
+    def test_stochastic_lookalike_namespace_flagged(self, tmp_path):
+        src = "def f(reg):\n    reg.counter(\"stochastics.scenarios\").inc()\n"
+        findings = lint_source(src, "src/repro/serve/mod.py", tmp_path)
+        assert rule_ids(findings) == ["R004"]
+        assert "namespace" in findings[0].message
+
     def test_dynamic_metric_name_skipped(self, tmp_path):
         src = "def f(reg, name):\n    reg.counter(f\"serve.{name}\").inc()\n"
         assert lint_source(src, "src/repro/serve/mod.py", tmp_path) == []

@@ -149,3 +149,80 @@ class TestDistributedSolve:
         prob, _, _ = mp_setup
         dec = decompose_multiperiod(prob)
         assert np.all(dec.counts >= 1)
+
+
+class TestRollingHorizon:
+    @pytest.fixture(scope="class")
+    def schedule(self, mp_net):
+        from repro.multiperiod import rolling_horizon
+
+        load = [0.6, 0.8, 1.1, 1.3, 1.0, 0.7]
+        price = [0.5, 0.7, 1.1, 1.8, 1.2, 0.6]
+        host = [b for b in mp_net.buses.values() if b.n_phases == 3][1]
+        st = Storage(
+            "ess1", host.name, p_ch_max=0.08, p_dis_max=0.08,
+            energy_max=0.25, soc0=0.1,
+        )
+        result = rolling_horizon(
+            mp_net, load, price, [st], window=3, solver="reference"
+        )
+        return result, st
+
+    def test_soc_dynamics_within_1e8(self, schedule):
+        """Acceptance criterion: the committed trajectory satisfies the SoC
+        dynamics and limits to 1e-8."""
+        result, st = schedule
+        soc = result.soc_trajectory(st.name)
+        assert soc[0] == pytest.approx(st.soc0, abs=1e-12)
+        for t, step in enumerate(result.steps):
+            ch = step.storage_charge[st.name]
+            dis = step.storage_discharge[st.name]
+            expected = soc[t] + st.eta_ch * ch - dis / st.eta_dis
+            assert abs(soc[t + 1] - expected) <= 1e-8
+            assert -1e-8 <= ch <= st.p_ch_max + 1e-8
+            assert -1e-8 <= dis <= st.p_dis_max + 1e-8
+        assert np.all(soc >= -1e-8)
+        assert np.all(soc <= st.energy_max + 1e-8)
+
+    def test_one_step_per_period(self, schedule):
+        result, _ = schedule
+        assert [s.period for s in result.steps] == list(range(6))
+        assert all(s.converged for s in result.steps)
+        assert result.committed_cost > 0
+
+    def test_admm_close_to_reference(self, mp_net, schedule):
+        from repro.multiperiod import rolling_horizon
+
+        ref_result, st = schedule
+        load = [0.6, 0.8, 1.1, 1.3, 1.0, 0.7]
+        price = [0.5, 0.7, 1.1, 1.8, 1.2, 0.6]
+        admm = rolling_horizon(
+            mp_net, load, price,
+            [Storage("ess1", st.bus, p_ch_max=0.08, p_dis_max=0.08,
+                     energy_max=0.25, soc0=0.1)],
+            window=3, solver="admm",
+            config=ADMMConfig(rho=10.0, eps_rel=1e-3, max_iter=40_000),
+        )
+        assert all(s.converged for s in admm.steps)
+        rel = abs(admm.committed_cost - ref_result.committed_cost) / abs(
+            ref_result.committed_cost
+        )
+        assert rel < 5e-2
+
+    def test_empty_profile_rejected(self, mp_net):
+        from repro.multiperiod import rolling_horizon
+
+        with pytest.raises(FormulationError, match="non-empty"):
+            rolling_horizon(mp_net, [])
+
+    def test_bad_window_rejected(self, mp_net):
+        from repro.multiperiod import rolling_horizon
+
+        with pytest.raises(FormulationError, match="window"):
+            rolling_horizon(mp_net, [1.0], window=0)
+
+    def test_bad_solver_rejected(self, mp_net):
+        from repro.multiperiod import rolling_horizon
+
+        with pytest.raises(FormulationError, match="solver"):
+            rolling_horizon(mp_net, [1.0], solver="magic")

@@ -73,6 +73,10 @@ class TestProperties:
     def test_idempotency(self, prob):
         """Projecting a projected point is a no-op."""
         v, a, b, lb, ub = prob
+        # Same conditioning caveat as test_matches_interior_point: row
+        # reduction can inflate the system by ~1e7 on nearly singular
+        # draws, where a fixed re-projection tolerance is meaningless.
+        assume(a.size == 0 or np.abs(a).max() < 1e4)
         x = project_box_affine(v, a, b, lb, ub)
         x2 = project_box_affine(x, a, b, lb, ub)
         np.testing.assert_allclose(x2, x, atol=1e-6)
