@@ -3,7 +3,10 @@
 Serves one mixed-topology workload (ieee13 plus seven synthetic feeders,
 round-robin interleaved — the fleet's natural traffic shape) through
 process-mode fleets of 1, 2 and 4 workers and writes the scoreboard to
-``BENCH_serving_scale.json`` at the repository root.
+``BENCH_serving_scale.json`` at the repository root.  A self-healing
+section (sim fleet, virtual clock, bit-identical replay) measures the
+supervisor's MTTR and the warm-hit rate before/during/after a worker
+outage with cache re-warming, plus a full seeded chaos-soak report.
 
 Throughput accounting
 ---------------------
@@ -40,9 +43,13 @@ from _common import report
 from repro.fleet import (
     FleetConfig,
     FleetFrontend,
+    FleetSupervisor,
     HashRing,
+    SupervisorConfig,
     generate_mixed_scenarios,
+    run_chaos_soak,
 )
+from repro.resilience import FaultPlan, WorkerCrash
 from repro.utils import format_table
 
 #: Mixed ieee13/synthetic feeder set whose topology keys land exactly
@@ -113,6 +120,57 @@ def _run_fleet(requests, n_workers: int) -> dict:
     }
 
 
+def _run_self_healing() -> dict:
+    """Warm-hit rate before / during / after a worker outage, plus MTTR.
+
+    Runs on the deterministic sim fleet (virtual clock) so every number
+    here replays bit-identically: a two-worker fleet serves repeats of
+    one topology owned by w1; w1 is killed mid-stream, the failover wave
+    lands cold on the survivor, and the supervisor restarts + re-warms
+    w1 from the survivor's cache before the final wave.
+    """
+    feeders = ["ieee13"]  # routes to w1 on the two-worker ring
+    plan = FaultPlan(seed=SEED, faults=(WorkerCrash(worker="w1", after_served=8),))
+    fleet = FleetFrontend(
+        FleetConfig(n_workers=2, max_batch=2, warm_start=True), fault_plan=plan
+    )
+    sup = FleetSupervisor(
+        fleet,
+        SupervisorConfig(miss_threshold=2, restart_base_delay_s=0.05, seed=SEED),
+    )
+
+    def wave() -> float:
+        reqs = generate_mixed_scenarios(feeders, 4, seed=SEED)
+        resp = sup.serve(reqs)
+        assert all(r.status == "converged" for r in resp)
+        return sum(1 for r in resp if r.warm_started) / len(resp)
+
+    wave()  # cold warm-up: populates w1's cache
+    warm_hit_before = wave()  # steady state: every repeat warm-starts
+    warm_hit_during = wave()  # w1 dies; failover lands cold on w0
+    sup.stabilize()  # restart + re-warm w1 from the survivor
+    warm_hit_after = wave()  # back on w1, warm state recovered
+    mttr = sorted(
+        float(v) for v in fleet.metrics.histogram("fleet.restart.mttr_s").values()
+    )
+    capacity = sup.capacity()
+    fleet.close()
+
+    # Seeded kill/restart storm on a 4-worker fleet: exactly-once and
+    # bit-identical vs the fault-free twin, plus its own MTTR samples.
+    soak = run_chaos_soak().as_dict()
+    return {
+        "outage": {
+            "warm_hit_before": warm_hit_before,
+            "warm_hit_during": warm_hit_during,
+            "warm_hit_after": warm_hit_after,
+            "mttr_virtual_s": mttr,
+            "capacity": capacity,
+        },
+        "chaos_soak": soak,
+    }
+
+
 def run() -> dict:
     n_requests = REQUESTS_PER_TOPOLOGY * len(FEEDERS)
     requests = generate_mixed_scenarios(FEEDERS, n_requests, seed=SEED)
@@ -144,6 +202,7 @@ def run() -> dict:
         },
         "speedup_2w": round(base["makespan_s"] / fleets["2"]["makespan_s"], 3),
         "speedup_4w": round(base["makespan_s"] / fleets["4"]["makespan_s"], 3),
+        "self_healing": _run_self_healing(),
     }
     # Placement invariance: every fleet size produced identical results.
     for n in ("2", "4"):
@@ -175,6 +234,24 @@ def run() -> dict:
             ),
         ),
     )
+    heal = stats["self_healing"]["outage"]
+    soak = stats["self_healing"]["chaos_soak"]
+    report(
+        "bench_serving_scale.self_healing",
+        format_table(
+            ["phase", "warm-hit rate"],
+            [
+                ["before outage", heal["warm_hit_before"]],
+                ["during outage", heal["warm_hit_during"]],
+                ["after re-warm", heal["warm_hit_after"]],
+            ],
+            title=(
+                f"Self-healing — MTTR {heal['mttr_virtual_s']} virtual s; "
+                f"chaos soak: {soak['deaths']} deaths, "
+                f"{soak['restarts']} restarts, ok={soak['ok']}"
+            ),
+        ),
+    )
     return stats
 
 
@@ -187,6 +264,14 @@ def test_serving_scale():
     assert stats["speedup_4w"] >= 3.0
     # The chosen feeder set keeps every shard loaded.
     assert all(v > 0 for v in stats["shard_balance"]["4"].values())
+    # Self-healing: re-warming restores the steady-state warm-hit rate
+    # the outage destroyed, and the chaos soak's invariants all held.
+    heal = stats["self_healing"]["outage"]
+    assert heal["warm_hit_before"] == 1.0
+    assert heal["warm_hit_during"] < heal["warm_hit_before"]
+    assert heal["warm_hit_after"] == heal["warm_hit_before"]
+    assert heal["mttr_virtual_s"] and heal["capacity"]["recovered"]
+    assert stats["self_healing"]["chaos_soak"]["ok"]
     assert OUTPUT.exists()
 
 

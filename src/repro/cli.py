@@ -395,8 +395,20 @@ def cmd_serve_fleet(args) -> int:
         + (f", chaos plan with {len(faults)} fault(s)" if faults else "")
     )
     report = None
+    sup_snap = None
     with FleetFrontend(config, tracer=tracer, fault_plan=plan) as fleet:
-        if args.rate is not None:
+        if args.supervise:
+            from repro.fleet import FleetSupervisor, SupervisorConfig
+
+            supervisor = FleetSupervisor(fleet, SupervisorConfig(
+                restart_base_delay_s=args.restart_backoff,
+                max_restarts=args.max_restarts,
+                seed=args.seed,
+            ))
+            responses = supervisor.serve(requests)
+            supervisor.stabilize()
+            sup_snap = supervisor.snapshot()
+        elif args.rate is not None:
             report = run_open_loop(fleet, requests, args.rate, seed=args.seed)
             responses = fleet.responses
         elif args.concurrency is not None:
@@ -427,6 +439,15 @@ def cmd_serve_fleet(args) -> int:
         for wid, ws in snap["workers"].items()
     ]
     print(format_table(["worker", "served", "alive"], worker_rows, title="workers"))
+    if sup_snap is not None:
+        sup_rows = [
+            ["capacity", f"{sup_snap['capacity']['alive']}"
+             f"/{sup_snap['capacity']['target']} alive"],
+            ["quarantined", ", ".join(sup_snap["quarantined"]) or "-"],
+            ["restarts", sum(h["restarts"] for h in sup_snap["health"].values())],
+            ["mttr_mean_s", f"{snap.get('fleet.restart.mttr_s_mean', 0.0):.3f}"],
+        ]
+        print(format_table(["metric", "value"], sup_rows, title="supervisor"))
     if report is not None:
         print(format_table(
             ["metric", "value"],
@@ -453,6 +474,60 @@ def cmd_serve_fleet(args) -> int:
                 f"{unconverged} of {len(responses)} scenarios did not converge"
             )
     return 0 if failed == 0 else 2
+
+
+def cmd_fleet_chaos(args) -> int:
+    from repro.fleet import SupervisorConfig, run_chaos_soak
+
+    tracer = Tracer() if args.trace else None
+    feeders = tuple(f.strip() for f in args.feeders.split(",") if f.strip())
+    mode = "process" if args.procs else "sim"
+    print(
+        f"chaos soak: {args.workers} {mode} workers, {args.requests} requests, "
+        f"{args.kills} kill draws, seed {args.seed}"
+    )
+    report = run_chaos_soak(
+        n_workers=args.workers,
+        n_requests=args.requests,
+        kills=args.kills,
+        seed=args.seed,
+        mode=mode,
+        feeders=feeders,
+        max_batch=args.max_batch,
+        supervisor=SupervisorConfig(
+            heartbeat_interval_s=1.0 if mode == "sim" else 0.2,
+            miss_threshold=2,
+            restart_base_delay_s=0.05,
+            max_restarts=args.max_restarts,
+            seed=args.seed,
+        ),
+        tracer=tracer,
+        require_ok=False,
+    )
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"trace ({len(tracer)} spans) written to {args.trace}")
+    d = report.as_dict()
+    print(format_table(
+        ["invariant / metric", "value"],
+        [[k, d[k]] for k in (
+            "deaths", "restarts", "quarantined", "exactly_once",
+            "bit_identical", "capacity_recovered", "mttr_mean_s",
+        )],
+        title="chaos soak report",
+    ))
+    if report.mismatches:
+        for line in report.mismatches:
+            print(f"  mismatch: {line}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(d, fh, indent=1)
+        print(f"soak report written to {args.output}")
+    if not report.ok:
+        print("chaos soak FAILED: invariants violated")
+        return 2
+    print("chaos soak ok: exactly-once, bit-identical, capacity recovered")
+    return 0
 
 
 def cmd_solve_stochastic(args) -> int:
@@ -952,7 +1027,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit with an error (status 3) if any scenario does not converge",
     )
+    p.add_argument(
+        "--supervise", action="store_true",
+        help="run a self-healing supervisor: heartbeat health checks, "
+        "auto-restart with backoff, cache re-warming, crash-loop quarantine",
+    )
+    p.add_argument(
+        "--restart-backoff", type=float, default=0.05, metavar="S",
+        help="base restart backoff in seconds (exponential, seeded jitter)",
+    )
+    p.add_argument(
+        "--max-restarts", type=int, default=3, metavar="N",
+        help="per-worker restart budget before quarantine",
+    )
     p.set_defaults(func=cmd_serve_fleet)
+
+    p = sub.add_parser(
+        "fleet-chaos",
+        help="seeded kill/restart storm over a supervised fleet "
+        "(exactly-once + bit-identical + capacity-recovered gate)",
+    )
+    p.add_argument("--workers", type=int, default=4, help="fleet size")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--sim", action="store_true",
+        help="in-process deterministic workers (default)",
+    )
+    mode.add_argument(
+        "--procs", action="store_true",
+        help="real multiprocessing workers",
+    )
+    p.add_argument(
+        "--requests", type=int, default=24, metavar="N",
+        help="mixed-topology scenario count",
+    )
+    p.add_argument("--kills", type=int, default=3, help="storm kill draws")
+    p.add_argument("--seed", type=int, default=5, help="storm + workload seed")
+    p.add_argument(
+        "--feeders",
+        default="ieee13,synthetic:20:0,synthetic:20:2,synthetic:20:9",
+        help="comma-separated feeder references",
+    )
+    p.add_argument("--max-batch", type=int, default=2)
+    p.add_argument(
+        "--max-restarts", type=int, default=3, metavar="N",
+        help="per-worker restart budget before quarantine",
+    )
+    p.add_argument("--output", help="write the soak report as JSON")
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="capture a span trace (Chrome JSON; .jsonl extension for JSONL)",
+    )
+    p.set_defaults(func=cmd_fleet_chaos)
 
     p = sub.add_parser(
         "solve-stochastic",

@@ -14,11 +14,17 @@ the per-worker cache locality the engine's performance depends on:
   failover (re-route, never drop), structured backpressure.
 * :mod:`repro.fleet.loadgen` — seeded Poisson / closed-loop load tests
   reporting latency percentiles straight from the fleet telemetry.
+* :mod:`repro.fleet.supervisor` — the self-healing layer: heartbeat
+  health checks, auto-restart with seeded backoff, crash-loop
+  quarantine, cache re-warming, graceful drain.
+* :mod:`repro.fleet.chaos` — the seeded kill/restart soak harness
+  proving exactly-once + bit-identical + capacity-recovered invariants.
 
 See docs/SERVING.md (fleet section) for the architecture and
-``repro serve-fleet`` for the CLI entry point.
+``repro serve-fleet`` / ``repro fleet-chaos`` for the CLI entry points.
 """
 
+from repro.fleet.chaos import ChaosSoakReport, run_chaos_soak
 from repro.fleet.frontend import (
     MODE_PROCESS,
     MODE_SIM,
@@ -34,6 +40,7 @@ from repro.fleet.loadgen import (
     run_open_loop,
 )
 from repro.fleet.routing import DEFAULT_REPLICAS, HashRing, stable_hash
+from repro.fleet.supervisor import FleetSupervisor, SupervisorConfig, WorkerHealth
 from repro.fleet.worker import (
     CRASH_EXIT_CODE,
     ProcessWorker,
@@ -61,4 +68,9 @@ __all__ = [
     "poisson_arrival_times",
     "run_open_loop",
     "run_closed_loop",
+    "FleetSupervisor",
+    "SupervisorConfig",
+    "WorkerHealth",
+    "ChaosSoakReport",
+    "run_chaos_soak",
 ]

@@ -1,0 +1,180 @@
+"""Seeded chaos-soak harness for the self-healing fleet.
+
+:func:`run_chaos_soak` runs the same workload twice — once fault-free,
+once under a seeded kill/restart storm with a :class:`FleetSupervisor`
+healing the fleet — and checks the invariants the self-healing design
+promises:
+
+* **exactly once** — every accepted request is answered exactly once
+  (no loss on the failover path, no duplicate from a dying worker's
+  late batch);
+* **bit-identical results** — with ``warm_start=False`` cold stacked
+  solves are placement- and batch-composition-invariant, so the storm
+  run's responses must match the fault-free run scenario for scenario
+  (status, objective, iterations — exact equality, not tolerance);
+* **capacity recovered** — after the storm the alive-worker count is
+  back at the configured target minus any quarantined crash-loopers;
+* **MTTR measured** — detection-to-restart times from the
+  ``fleet.restart.mttr_s`` histogram (virtual seconds in sim mode, so
+  the whole report replays bit-identically from the seed).
+
+The storm itself comes from :meth:`FaultPlan.fleet_storm` — per-worker
+crash points drawn from one seed, successive draws for one worker
+becoming its successive incarnations' crash points via the supervisor's
+``worker_crash_schedule`` consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.frontend import MODE_SIM, FleetConfig, FleetFrontend
+from repro.fleet.loadgen import generate_mixed_scenarios
+from repro.fleet.supervisor import FleetSupervisor, SupervisorConfig
+from repro.resilience.faults import FaultPlan
+from repro.utils.exceptions import ReproError
+
+DEFAULT_FEEDERS = ("ieee13", "synthetic:20:0", "synthetic:20:2", "synthetic:20:9")
+
+
+@dataclass
+class ChaosSoakReport:
+    """Outcome of one seeded storm run vs its fault-free twin."""
+
+    seed: int
+    n_workers: int
+    n_requests: int
+    kills_planned: int
+    deaths: int
+    restarts: int
+    quarantined: list[str]
+    exactly_once: bool
+    bit_identical: bool
+    capacity_recovered: bool
+    mttr_s: list[float] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.exactly_once and self.bit_identical and self.capacity_recovered
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_workers": self.n_workers,
+            "n_requests": self.n_requests,
+            "kills_planned": self.kills_planned,
+            "deaths": self.deaths,
+            "restarts": self.restarts,
+            "quarantined": list(self.quarantined),
+            "exactly_once": self.exactly_once,
+            "bit_identical": self.bit_identical,
+            "capacity_recovered": self.capacity_recovered,
+            "mttr_s": list(self.mttr_s),
+            "mttr_mean_s": (
+                sum(self.mttr_s) / len(self.mttr_s) if self.mttr_s else None
+            ),
+            "ok": self.ok,
+        }
+
+
+def _fingerprint(resp) -> tuple:
+    return (resp.status, resp.objective, resp.iterations)
+
+
+def run_chaos_soak(
+    n_workers: int = 4,
+    n_requests: int = 24,
+    kills: int = 3,
+    seed: int = 5,
+    mode: str = MODE_SIM,
+    feeders: tuple = DEFAULT_FEEDERS,
+    max_after_served: int = 4,
+    supervisor: SupervisorConfig | None = None,
+    tracer=None,
+    max_batch: int = 2,
+    require_ok: bool = True,
+) -> ChaosSoakReport:
+    """Kill/restart storm vs fault-free twin; asserts the invariants.
+
+    ``warm_start`` is forced off in both runs — cold solves are what
+    makes bit-identity well-defined under re-routing.  ``require_ok``
+    raises on any violated invariant (the CI smoke gate); pass ``False``
+    to inspect a failing report instead.
+    """
+    config = FleetConfig(
+        n_workers=n_workers,
+        mode=mode,
+        max_batch=max_batch,
+        warm_start=False,
+        heartbeat_interval_s=0.2 if mode != MODE_SIM else 1.0,
+    )
+    requests = generate_mixed_scenarios(list(feeders), n_requests, seed=seed)
+
+    # Fault-free twin: same fleet shape, no faults, no supervisor needed.
+    with FleetFrontend(config, tracer=tracer) as baseline_fleet:
+        baseline = {
+            r.request_id: _fingerprint(r)
+            for r in baseline_fleet.serve(requests)
+        }
+
+    plan = FaultPlan.fleet_storm(
+        seed=seed,
+        worker_ids=FleetConfig(n_workers=n_workers).worker_ids(),
+        kills=kills,
+        max_after_served=max_after_served,
+    )
+    sup_config = supervisor if supervisor is not None else SupervisorConfig(
+        heartbeat_interval_s=config.heartbeat_interval_s,
+        miss_threshold=2,
+        restart_base_delay_s=0.05,
+        seed=seed,
+    )
+    with FleetFrontend(config, tracer=tracer, fault_plan=plan) as fleet:
+        sup = FleetSupervisor(fleet, sup_config)
+        responses = sup.serve(requests)
+        sup.stabilize()
+        snap = fleet.metrics.snapshot()
+        mttr = sorted(
+            float(v)
+            for v in fleet.metrics.histogram("fleet.restart.mttr_s").values()
+        )
+        deaths = int(snap.get("fleet.worker_deaths", 0))
+        restarts = int(snap.get("fleet.restart.count", 0))
+        cap = sup.capacity()
+        quarantined = sorted(sup.quarantined())
+
+    # Exactly once: every submitted request answered once, none twice.
+    answered: dict[str, int] = {}
+    for resp in responses:
+        answered[resp.request_id] = answered.get(resp.request_id, 0) + 1
+    expected = [r.request_id for r in requests]
+    exactly_once = sorted(answered) == sorted(expected) and all(
+        n == 1 for n in answered.values()
+    )
+
+    mismatches = []
+    for resp in responses:
+        want = baseline.get(resp.request_id)
+        if want != _fingerprint(resp):
+            mismatches.append(
+                f"{resp.request_id}: {want} != {_fingerprint(resp)}"
+            )
+
+    report = ChaosSoakReport(
+        seed=seed,
+        n_workers=n_workers,
+        n_requests=len(requests),
+        kills_planned=len(plan.faults),
+        deaths=deaths,
+        restarts=restarts,
+        quarantined=quarantined,
+        exactly_once=exactly_once,
+        bit_identical=not mismatches,
+        capacity_recovered=bool(cap["recovered"]),
+        mttr_s=mttr,
+        mismatches=mismatches[:10],
+    )
+    if require_ok and not report.ok:
+        raise ReproError(f"chaos soak violated invariants: {report.as_dict()}")
+    return report

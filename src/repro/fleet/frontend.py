@@ -29,13 +29,17 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_mod
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.fleet.routing import DEFAULT_REPLICAS, HashRing
 from repro.fleet.worker import (
+    CTRL_EXPORT,
+    CTRL_IMPORT,
     WORKER_BATCH,
     WORKER_DONE,
+    WORKER_HEARTBEAT,
     WORKER_READY,
+    WORKER_STATE,
     ProcessWorker,
     SimWorker,
     WorkerQueueFull,
@@ -103,6 +107,7 @@ class FleetConfig:
     breaker_failure_threshold: int = 5
     breaker_recovery_s: float = 30.0
     response_timeout_s: float = 120.0
+    heartbeat_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -128,6 +133,7 @@ class FleetConfig:
             backend=self.backend,
             precision=self.precision,
             crash_after_served=crash_after,
+            heartbeat_interval_s=self.heartbeat_interval_s,
         )
 
 
@@ -170,6 +176,7 @@ class FleetFrontend:
         self.config = config if config is not None else FleetConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fault_plan = fault_plan
+        self._clock = clock
         self.metrics = MetricsRegistry()
         self.ring = HashRing(self.config.worker_ids(), replicas=self.config.replicas)
         self.breakers = {
@@ -191,6 +198,16 @@ class FleetFrontend:
         self._latency = self.metrics.histogram("fleet.latency_s")
         self._worker_stats: dict[str, dict] = {}
         self._final_snapshots: dict[str, dict] = {}
+        #: topology_key -> feeder of every request ever routed; the rewarm
+        #: path uses it to know which topologies a worker's ring slice owns
+        #: (and which feeder rebuilds each plan).
+        self._topologies: dict[str, str] = {}
+        #: worker_id -> clock time of the last liveness signal (process
+        #: mode: heartbeat/batch messages; sim mode: maintained by the
+        #: supervisor's virtual clock instead).
+        self.last_heartbeat: dict[str, float] = {}
+        self._state_replies: dict[str, dict] = {}
+        self._closed = False
 
         self.workers: dict = {}
         self._mp_ctx = None
@@ -212,9 +229,13 @@ class FleetFrontend:
             self._await_ready()
 
     # -- lifecycle ------------------------------------------------------
-    def _await_ready(self) -> None:
-        """Block until every worker process has built its engine."""
-        pending = set(self.workers)
+    def _await_ready(self, pending: set[str] | None = None) -> None:
+        """Block until the given worker processes (default: all) have
+        built their engines.  Other worker messages arriving meanwhile —
+        batches, heartbeats, deaths of *other* workers — are dispatched
+        normally rather than dropped, so a restart-time ready-wait can
+        never lose responses."""
+        pending = set(self.workers) if pending is None else set(pending)
         deadline = time.monotonic() + self.config.response_timeout_s
         while pending:
             dead = [wid for wid in pending if not self.workers[wid].alive]
@@ -226,27 +247,43 @@ class FleetFrontend:
                     f"fleet workers never became ready: {sorted(pending)}"
                 )
             try:
-                kind, wid, _ = self._response_q.get(timeout=timeout)
+                kind, wid, payload = self._response_q.get(timeout=timeout)
             except queue_mod.Empty:
                 continue
             if kind == WORKER_READY:
                 pending.discard(wid)
+                self.last_heartbeat[wid] = self._clock()
+            else:
+                self._dispatch(kind, wid, payload)
 
     def close(self) -> None:
-        """Shut the fleet down (process mode: sentinel + join each child)."""
-        if self.config.mode != MODE_PROCESS:
+        """Shut the fleet down; answers any still-outstanding request with
+        an ``error`` response so callers are never left hanging.  A second
+        ``close`` is a no-op."""
+        if self._closed:
             return
-        for worker in self.workers.values():
-            worker.shutdown()
-        # Collect any final snapshots the children managed to send.
-        while True:
-            try:
-                kind, wid, payload = self._response_q.get_nowait()
-            except (queue_mod.Empty, OSError):
-                break
-            if kind == WORKER_DONE:
-                self._final_snapshots[wid] = payload
-        self._response_q.close()
+        self._closed = True
+        if self.config.mode == MODE_PROCESS:
+            for worker in self.workers.values():
+                worker.shutdown()
+            # Collect any final snapshots the children managed to send.
+            while True:
+                try:
+                    kind, wid, payload = self._response_q.get_nowait()
+                except (queue_mod.Empty, OSError):
+                    break
+                self._dispatch(kind, wid, payload)
+            self._response_q.close()
+        for wid in sorted(self._outstanding):
+            for req in list(self._outstanding[wid].values()):
+                self._finalize(
+                    wid,
+                    OPFResponse(
+                        request_id=req.request_id,
+                        status=STATUS_ERROR,
+                        error=f"fleet closed with request outstanding on {wid}",
+                    ),
+                )
 
     def __enter__(self) -> "FleetFrontend":
         return self
@@ -281,6 +318,7 @@ class FleetFrontend:
         """
         self.metrics.counter("fleet.submitted").inc()
         key = request.topology_key()
+        self._topologies[key] = request.feeder
         with self.tracer.span("fleet.route", cat="fleet", topology=key):
             candidates = self._candidates(key)
         depths: dict[str, int] = {}
@@ -452,17 +490,34 @@ class FleetFrontend:
                     kind, wid, payload = self._response_q.get_nowait()
             except queue_mod.Empty:
                 return
-            if kind == WORKER_BATCH:
-                response_dicts, stats = payload
-                agg = self._worker_stats.setdefault(
-                    wid, {"busy_cpu_s": 0.0, "busy_wall_s": 0.0, "served": 0}
-                )
-                for k in agg:
-                    agg[k] += stats[k]
-                for d in response_dicts:
-                    self._finalize(wid, OPFResponse(**d))
-            elif kind == WORKER_DONE:
-                self._final_snapshots[wid] = payload
+            self._dispatch(kind, wid, payload)
+
+    def _dispatch(self, kind: str, wid: str, payload) -> None:
+        """Route one worker message to its handler (single place every
+        drain loop — poll, ready-wait, state-wait, close — goes through,
+        so no loop can drop a message kind it did not expect)."""
+        if kind == WORKER_BATCH:
+            self.last_heartbeat[wid] = self._clock()
+            response_dicts, stats = payload
+            agg = self._worker_stats.setdefault(
+                wid, {"busy_cpu_s": 0.0, "busy_wall_s": 0.0, "served": 0}
+            )
+            for k in agg:
+                agg[k] += stats[k]
+            for d in response_dicts:
+                self._finalize(wid, OPFResponse(**d))
+        elif kind == WORKER_HEARTBEAT:
+            self.last_heartbeat[wid] = self._clock()
+            self.metrics.counter("fleet.heartbeat.received").inc()
+        elif kind == WORKER_STATE:
+            self.last_heartbeat[wid] = self._clock()
+            self._state_replies[wid] = payload
+        elif kind == WORKER_DONE:
+            self._final_snapshots[wid] = payload
+        elif kind == WORKER_READY:
+            # A late READY (e.g. surfaced by a drain racing a restart's
+            # ready-wait) is only a liveness signal at this point.
+            self.last_heartbeat[wid] = self._clock()
 
     def run(self) -> list[OPFResponse]:
         """Drive the fleet until every accepted request is answered;
@@ -514,13 +569,158 @@ class FleetFrontend:
 
     def kill_worker(self, worker_id: str) -> None:
         """Chaos hook: fail-stop one worker now (sim: flag flip; process:
-        SIGTERM).  The next poll detects the death and fails over."""
+        SIGTERM).  The next poll detects the death and fails over.
+
+        Idempotent: killing an already-dead worker is a no-op, so a
+        supervisor race (worker crashed between its health check and the
+        kill) cannot double-trigger death handling."""
         worker = self.workers[worker_id]
+        if not worker.alive:
+            return
         if self.config.mode == MODE_SIM:
             worker.alive = False
         else:
             worker.process.terminate()
             worker.process.join(timeout=5.0)
+
+    # -- restart / rewarm / drain hooks ---------------------------------
+    def restart_worker(
+        self, worker_id: str, crash_after_served: int | None = None
+    ) -> None:
+        """Replace a dead worker with a fresh incarnation under the same
+        id and return its vnodes to the ring.
+
+        The new worker starts cold (empty caches — :meth:`rewarm_worker`
+        refills them) with a clean breaker and a cleared death record, so
+        a later death of the same id is detected and handled again.
+        ``crash_after_served`` seeds the *next* incarnation's chaos crash
+        point (a crash-looping worker in the soak tests).
+        """
+        worker = self.workers[worker_id]
+        if worker.alive:
+            raise ReproError(f"worker {worker_id} is alive; kill or drain it first")
+        spec = replace(
+            self.config.spec_for(worker_id, None),
+            crash_after_served=crash_after_served,
+        )
+        if self.config.mode == MODE_SIM:
+            self.workers[worker_id] = SimWorker(spec, tracer=self.tracer)
+        else:
+            worker.shutdown()  # reap the corpse + close its request queue
+            self.workers[worker_id] = ProcessWorker(
+                spec, self._mp_ctx, self._response_q
+            )
+            self._await_ready({worker_id})
+        self.ring.add(worker_id)
+        self._dead_handled.discard(worker_id)
+        self._outstanding.setdefault(worker_id, {})
+        self.breakers[worker_id] = CircuitBreaker(
+            failure_threshold=max(1, self.config.breaker_failure_threshold),
+            recovery_s=self.config.breaker_recovery_s,
+            clock=self._clock,
+        )
+        self.last_heartbeat[worker_id] = self._clock()
+        self.metrics.counter("fleet.restart.count").inc()
+        self._gauge_depths()
+
+    def owned_topologies(self, worker_id: str) -> set[str]:
+        """Topology keys the current ring assigns to ``worker_id``, out
+        of every topology this frontend has ever routed."""
+        return {
+            key for key in self._topologies if self.ring.route(key) == worker_id
+        }
+
+    def rewarm_worker(self, worker_id: str) -> dict:
+        """Refill a (restarted) worker's caches for the topologies it owns.
+
+        For each owned topology key the donor is the next *alive* worker
+        in the key's ring preference — exactly where failover sent that
+        key's traffic during the outage, so the donor holds the freshest
+        projections and warm-start states.  Returns aggregate counts.
+        """
+        counts = {"topologies": 0, "projections": 0, "warm_entries": 0}
+        donors: dict[str, set[str]] = {}
+        for key in sorted(self.owned_topologies(worker_id)):
+            for cand in self.ring.preference(key):
+                if cand != worker_id and cand in self.workers and self._alive(cand):
+                    donors.setdefault(cand, set()).add(key)
+                    break
+        with self.tracer.span(
+            "fleet.rewarm", cat="fleet", worker=worker_id, donors=len(donors)
+        ):
+            for donor in sorted(donors):
+                payload = self._export_state(donor, donors[donor])
+                imported = self._import_state(worker_id, payload)
+                for k in counts:
+                    counts[k] += imported[k]
+        self.metrics.counter("fleet.rewarm.topologies").inc(counts["topologies"])
+        self.metrics.counter("fleet.rewarm.warm_entries").inc(counts["warm_entries"])
+        return counts
+
+    def handoff_state(self, from_wid: str, to_wid: str, keys: set[str]) -> dict:
+        """Copy warm state for ``keys`` from one live worker to another
+        (the graceful-drain path: the leaving worker is the donor)."""
+        if not keys:
+            return {"topologies": 0, "projections": 0, "warm_entries": 0}
+        payload = self._export_state(from_wid, keys)
+        return self._import_state(to_wid, payload)
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Forget a worker entirely (the end of a graceful drain).
+
+        The worker must have nothing outstanding; its vnodes must already
+        be off the ring (``ring.remove``) or are removed here.
+        """
+        if self._outstanding.get(worker_id):
+            raise ReproError(
+                f"worker {worker_id} still has "
+                f"{len(self._outstanding[worker_id])} outstanding requests"
+            )
+        if worker_id in self.ring.workers():
+            self.ring.remove(worker_id)
+        worker = self.workers.pop(worker_id)
+        if self.config.mode == MODE_PROCESS:
+            worker.shutdown()
+            self._drain_response_q(timeout=0.0)
+        self._outstanding.pop(worker_id, None)
+        self.breakers.pop(worker_id, None)
+        self._dead_handled.discard(worker_id)
+        self.last_heartbeat.pop(worker_id, None)
+        self.metrics.gauge(f"fleet.queue_depth.{worker_id}").set(0)
+        self._gauge_depths()
+
+    def _export_state(self, wid: str, keys: set[str]) -> dict:
+        worker = self.workers[wid]
+        if self.config.mode == MODE_SIM:
+            return worker.export_state(set(keys))
+        worker.send_control(CTRL_EXPORT, set(keys))
+        return self._await_state(wid)
+
+    def _import_state(self, wid: str, payload: dict) -> dict:
+        worker = self.workers[wid]
+        if self.config.mode == MODE_SIM:
+            return worker.import_state(payload)
+        worker.send_control(CTRL_IMPORT, payload)
+        return self._await_state(wid)
+
+    def _await_state(self, wid: str) -> dict:
+        """Block until ``wid`` answers a control verb, dispatching every
+        other worker message normally along the way."""
+        deadline = time.monotonic() + self.config.response_timeout_s
+        while True:
+            reply = self._state_replies.pop(wid, None)
+            if reply is not None:
+                return reply
+            if not self._alive(wid):
+                raise ReproError(f"worker {wid} died during state handoff")
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise ReproError(f"worker {wid} state handoff timed out")
+            try:
+                kind, src, payload = self._response_q.get(timeout=min(0.25, timeout))
+            except queue_mod.Empty:
+                continue
+            self._dispatch(kind, src, payload)
 
     def snapshot(self) -> dict:
         """Fleet-level metrics plus per-worker engine snapshots."""

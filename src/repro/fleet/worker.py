@@ -38,6 +38,13 @@ from repro.utils.exceptions import ReproError
 WORKER_READY = "__ready__"
 WORKER_BATCH = "__batch__"
 WORKER_DONE = "__done__"
+WORKER_HEARTBEAT = "__heartbeat__"
+WORKER_STATE = "__state__"
+
+#: Parent -> child control verbs (first element of a tuple on the
+#: request queue; plain request dicts are the data plane).
+CTRL_EXPORT = "__export__"
+CTRL_IMPORT = "__warm__"
 
 #: Exit code of a chaos-crashed worker process (distinguishes the
 #: deliberate fail-stop from a Python traceback's exit 1 in CI logs).
@@ -83,6 +90,12 @@ class WorkerSpec:
     least ``k`` requests have completed (``0`` = before serving anything).
     ``backend`` is a registry *name* (never an instance — instances do
     not pickle and each process must build its own arrays anyway).
+
+    ``heartbeat_interval_s`` is how long a process worker's blocking get
+    waits before posting a :data:`WORKER_HEARTBEAT` instead — the idle
+    liveness signal the supervisor watches.  ``hang_on_shutdown`` is a
+    test hook: the child ignores the shutdown sentinel, forcing
+    :meth:`ProcessWorker.shutdown` to escalate to ``terminate()``.
     """
 
     worker_id: str
@@ -93,12 +106,16 @@ class WorkerSpec:
     backend: str | None = None
     precision: str | None = None
     crash_after_served: int | None = None
+    heartbeat_interval_s: float = 1.0
+    hang_on_shutdown: bool = False
 
     def __post_init__(self) -> None:
         if not self.worker_id:
             raise ValueError("worker_id must be nonempty")
         if self.crash_after_served is not None and self.crash_after_served < 0:
             raise ValueError("crash_after_served must be nonnegative")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
 
     def build_engine(self, tracer=None) -> ScenarioEngine:
         # Per-topology breakers stay off inside fleet workers: the fleet
@@ -178,6 +195,18 @@ class SimWorker:
         """Everything accepted but not yet served (failover recovery)."""
         return self.engine.queue.drain_all()
 
+    def heartbeat(self) -> bool:
+        """Liveness probe: a sim worker is responsive iff it is alive."""
+        return self.alive
+
+    def export_state(self, topology_keys: set[str] | None = None) -> dict:
+        """Warm-state snapshot for handoff (projections + warm entries)."""
+        return self.engine.export_topology_state(topology_keys)
+
+    def import_state(self, payload: dict) -> dict:
+        """Install a warm-state snapshot exported by another worker."""
+        return self.engine.import_topology_state(payload)
+
     def snapshot(self) -> dict:
         snap = self.engine.snapshot()
         snap["worker.served"] = self.served
@@ -194,10 +223,14 @@ def _worker_main(spec: WorkerSpec, request_q, response_q) -> None:
     * child -> parent: ``(WORKER_READY, worker_id, None)`` once the
       engine is constructed, then ``(WORKER_BATCH, worker_id, payload)``
       per served micro-batch where ``payload`` is ``(response_dicts,
-      stats)``, and finally ``(WORKER_DONE, worker_id, snapshot)`` on
-      clean shutdown.
-    * parent -> child: request dicts, or ``None`` as the shutdown
-      sentinel.
+      stats)``, ``(WORKER_HEARTBEAT, worker_id, served)`` whenever the
+      blocking get idles past ``heartbeat_interval_s``, ``(WORKER_STATE,
+      worker_id, payload)`` in reply to a control verb, and finally
+      ``(WORKER_DONE, worker_id, snapshot)`` on clean shutdown.
+    * parent -> child: request dicts, ``None`` as the shutdown sentinel,
+      or control tuples — ``(CTRL_EXPORT, topology_keys)`` answers with
+      the warm-state snapshot, ``(CTRL_IMPORT, payload)`` installs one
+      and answers with the import counts.
 
     The loop blocks for the first request, then greedily drains up to
     ``max_batch - 1`` more without blocking — the micro-batching that
@@ -208,15 +241,33 @@ def _worker_main(spec: WorkerSpec, request_q, response_q) -> None:
     response_q.put((WORKER_READY, spec.worker_id, None))
     served = 0
     crash_at = spec.crash_after_served
+
+    def handle_control(msg: tuple) -> None:
+        verb, arg = msg
+        if verb == CTRL_EXPORT:
+            payload = engine.export_topology_state(arg)
+        else:  # CTRL_IMPORT
+            payload = engine.import_topology_state(arg)
+        response_q.put((WORKER_STATE, spec.worker_id, payload))
+
     while True:
         if crash_at is not None and served >= crash_at:
             # Seeded fail-stop: no drain, no goodbye — the parent sees a
             # dead process with requests outstanding and fails over.
             os._exit(CRASH_EXIT_CODE)
-        item = request_q.get()
+        try:
+            item = request_q.get(timeout=spec.heartbeat_interval_s)
+        except queue_mod.Empty:
+            response_q.put((WORKER_HEARTBEAT, spec.worker_id, served))
+            continue
         if item is None:
+            if spec.hang_on_shutdown:
+                continue  # test hook: force shutdown() to escalate
             response_q.put((WORKER_DONE, spec.worker_id, engine.snapshot()))
             return
+        if isinstance(item, tuple):
+            handle_control(item)
+            continue
         items = [item]
         while len(items) < spec.max_batch:
             try:
@@ -227,6 +278,9 @@ def _worker_main(spec: WorkerSpec, request_q, response_q) -> None:
                 # Defer shutdown until after this batch is served.
                 request_q.put(None)
                 break
+            if isinstance(extra, tuple):
+                handle_control(extra)
+                continue
             items.append(extra)
         t_cpu = time.process_time()
         t_wall = time.perf_counter()
@@ -281,6 +335,7 @@ class ProcessWorker:
         self.spec = spec
         self.worker_id = spec.worker_id
         self.request_q = ctx.Queue()
+        self._shut_down = False
         self.process = ctx.Process(
             target=_worker_main,
             args=(spec, self.request_q, response_q),
@@ -296,8 +351,19 @@ class ProcessWorker:
     def send(self, request: OPFRequest) -> None:
         self.request_q.put(request.to_dict())
 
+    def send_control(self, verb: str, arg) -> None:
+        """Queue a control verb; the child answers with ``WORKER_STATE``."""
+        self.request_q.put((verb, arg))
+
     def shutdown(self, timeout_s: float = 5.0) -> None:
-        """Sentinel + join; escalate to terminate if the child hangs."""
+        """Sentinel + join; escalate to terminate if the child hangs.
+
+        Idempotent: a second call is a no-op (the queue is already closed
+        and the process reaped).
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
         if self.process.is_alive():
             try:
                 self.request_q.put(None)

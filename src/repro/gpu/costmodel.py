@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.decomposition.decomposed import DecomposedOPF
+from repro.backend.policy import HOST_DTYPE
 from repro.gpu.device import DeviceSpec
 from repro.parallel.comm import BYTES_PER_VALUE, CommModel
 
@@ -79,7 +80,7 @@ def local_update_time_batched(
 ) -> float:
     """Eq. (15) as a batched matvec: sum over components of 2 n_s^2 flops,
     streaming each projection operator from memory once."""
-    sizes = np.asarray(sizes, dtype=float)
+    sizes = np.asarray(sizes, dtype=HOST_DTYPE)
     flops = float(np.sum(2.0 * sizes**2 + 2.0 * sizes))
     nbytes = itemsize * float(np.sum(sizes**2 + 3.0 * sizes))
     return _stream_time(device, flops, nbytes, kernels=2)
@@ -99,7 +100,7 @@ def local_update_time_threads(
     """
     if threads_per_block < 1:
         raise ValueError("threads_per_block must be at least 1")
-    sizes = np.asarray(sizes, dtype=float)
+    sizes = np.asarray(sizes, dtype=HOST_DTYPE)
     t = float(threads_per_block)
     blocks_per_sm = max(1, min(device.max_blocks_per_sm, device.max_threads_per_sm // max(int(t), 1)))
     concurrent = device.sm_count * blocks_per_sm
@@ -132,7 +133,7 @@ def iteration_times_from_sizes(
     backend's compute dtype (``backend.policy.itemsize``); the default
     keeps the paper's fp64 numbers.
     """
-    sizes = np.asarray(sizes, dtype=float)
+    sizes = np.asarray(sizes, dtype=HOST_DTYPE)
     n_local = int(np.sum(sizes))
     if threads_per_block is None:
         local = local_update_time_batched(device, sizes, itemsize=itemsize)
@@ -154,7 +155,7 @@ def iteration_times(
     itemsize: int = BYTES_PER_VALUE,
 ) -> UpdateTimes:
     """Modeled single-device times of one full ADMM iteration."""
-    sizes = np.array([c.n_vars for c in dec.components], dtype=float)
+    sizes = np.array([c.n_vars for c in dec.components], dtype=HOST_DTYPE)
     return iteration_times_from_sizes(
         device, sizes, dec.lp.n_vars, threads_per_block=threads_per_block,
         itemsize=itemsize,
@@ -172,7 +173,7 @@ def multi_device_iteration_times(
     local stage, and grows with N while per-device compute shrinks."""
     if n_devices < 1:
         raise ValueError("need at least one device")
-    sizes = np.array([c.n_vars for c in dec.components], dtype=float)
+    sizes = np.array([c.n_vars for c in dec.components], dtype=HOST_DTYPE)
     order = np.arange(len(sizes))
     shares = np.array_split(order, n_devices)
     per_dev = [local_update_time_batched(device, sizes[s]) for s in shares if len(s)]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.decomposition.decomposed import DecomposedOPF
+from repro.backend.policy import HOST_DTYPE
 from repro.gpu.device import DeviceSpec
 
 #: Effective cycles per multiply-accumulate for cache-resident operands;
@@ -39,7 +40,7 @@ class KernelSpec:
     def __post_init__(self) -> None:
         if self.threads_per_block < 1:
             raise ValueError("threads_per_block must be at least 1")
-        cycles = np.asarray(self.block_cycles, dtype=float)
+        cycles = np.asarray(self.block_cycles, dtype=HOST_DTYPE)
         if cycles.ndim != 1 or cycles.size == 0:
             raise ValueError("block_cycles must be a non-empty vector")
         if np.any(cycles < 0):
@@ -139,9 +140,9 @@ def local_update_kernel(
     model (:mod:`repro.gpu.costmodel`) was validated against.
     """
     if isinstance(dec_or_sizes, DecomposedOPF):
-        sizes = np.array([c.n_vars for c in dec_or_sizes.components], dtype=float)
+        sizes = np.array([c.n_vars for c in dec_or_sizes.components], dtype=HOST_DTYPE)
     else:
-        sizes = np.asarray(dec_or_sizes, dtype=float)
+        sizes = np.asarray(dec_or_sizes, dtype=HOST_DTYPE)
     cycles_per_mac = CYCLES_PER_MAC * itemsize / 8.0
     cycles = np.ceil(sizes / threads_per_block) * sizes * cycles_per_mac
     return KernelSpec(name=name, threads_per_block=threads_per_block, block_cycles=cycles)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
 from repro.network.phases import (
     DELTA_BRANCH_PHASES,
     delta_branch_tuple,
@@ -48,7 +49,7 @@ class LoadType(enum.Enum):
 
 def _per_phase(value, n: int, name: str) -> np.ndarray:
     """Broadcast a scalar or validate an array to a length-``n`` float array."""
-    arr = np.asarray(value, dtype=float)
+    arr = np.asarray(value, dtype=HOST_DTYPE)
     if arr.ndim == 0:
         arr = np.full(n, float(arr))
     if arr.shape != (n,):
@@ -57,7 +58,7 @@ def _per_phase(value, n: int, name: str) -> np.ndarray:
 
 
 def _square(value, n: int, name: str) -> np.ndarray:
-    arr = np.asarray(value, dtype=float)
+    arr = np.asarray(value, dtype=HOST_DTYPE)
     if arr.shape != (n, n):
         raise ValueError(f"{name}: expected shape ({n},{n}), got {arr.shape}")
     return arr.copy()

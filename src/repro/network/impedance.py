@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
 from repro.network.phases import phase_tuple
 
 FEET_PER_MILE = 5280.0
@@ -35,8 +36,8 @@ class LineConfig:
     def __post_init__(self) -> None:
         object.__setattr__(self, "phases", phase_tuple(self.phases))
         n = len(self.phases)
-        r = np.asarray(self.r_per_mile, dtype=float)
-        x = np.asarray(self.x_per_mile, dtype=float)
+        r = np.asarray(self.r_per_mile, dtype=HOST_DTYPE)
+        x = np.asarray(self.x_per_mile, dtype=HOST_DTYPE)
         if r.shape != (n, n) or x.shape != (n, n):
             raise ValueError(f"config {self.name}: impedance must be ({n},{n})")
         object.__setattr__(self, "r_per_mile", r)

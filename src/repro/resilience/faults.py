@@ -174,6 +174,20 @@ class FaultPlan:
                   if isinstance(f, WorkerCrash) and f.worker == worker_id]
         return min(counts) if counts else None
 
+    def worker_crash_schedule(self, worker_id: str) -> list[int]:
+        """Every ``after_served`` crash point for ``worker_id``, ascending.
+
+        Entry ``i`` is incarnation ``i``'s crash point — the supervisor
+        seeds each restart's chaos hook from the next entry, so a plan
+        with K entries for one worker id is a worker that crashes K times
+        (a crash loop when the entries are close together).
+        """
+        return sorted(
+            f.after_served
+            for f in self.faults
+            if isinstance(f, WorkerCrash) and f.worker == worker_id
+        )
+
     def of_type(self, kind) -> list:
         return [f for f in self.faults if isinstance(f, kind)]
 
@@ -210,6 +224,41 @@ class FaultPlan:
                 from_iteration=int(rng.integers(1, max(2, horizon // 4))),
             ))
         return cls(seed=seed, faults=tuple(faults))
+
+    @classmethod
+    def fleet_storm(
+        cls,
+        seed: int,
+        worker_ids: list[str],
+        kills: int,
+        max_after_served: int = 6,
+        spare: int = 1,
+    ) -> "FaultPlan":
+        """Generate a seeded kill storm over a serving fleet.
+
+        Draws ``kills`` :class:`WorkerCrash` specs across ``worker_ids``,
+        leaving at least ``spare`` worker ids untargeted so the storm is
+        survivable by construction.  Crash points are drawn in
+        ``[0, max_after_served]``; repeat draws for one worker become its
+        successive incarnations' crash points (the supervisor consumes
+        them via :meth:`worker_crash_schedule`).
+        """
+        if spare < 0 or spare >= len(worker_ids):
+            raise ValueError("spare must leave at least one targetable worker")
+        rng = np.random.default_rng(seed)
+        targets = sorted(worker_ids)
+        spared = {targets[int(i)] for i in rng.choice(
+            len(targets), size=spare, replace=False
+        )}
+        candidates = [w for w in targets if w not in spared]
+        faults = tuple(
+            WorkerCrash(
+                worker=candidates[int(rng.integers(0, len(candidates)))],
+                after_served=int(rng.integers(0, max_after_served + 1)),
+            )
+            for _ in range(kills)
+        )
+        return cls(seed=seed, faults=faults)
 
 
 class FaultInjector:

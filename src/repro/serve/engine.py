@@ -227,6 +227,35 @@ class TopologyPlan:
             lp=lp,
         )
 
+    def export_projections(self) -> list[tuple[int, bytes, np.ndarray, np.ndarray]]:
+        """Content-addressed cache entries as ``(component, digest, M, bbar)``.
+
+        Deterministic order (component index, then digest) so a handoff
+        payload built from the same cache state is bit-identical.
+        """
+        return [
+            (s, digest, m, bbar)
+            for (s, digest), (m, bbar) in sorted(
+                self._projections.items(), key=lambda kv: (kv[0][0], kv[0][1])
+            )
+        ]
+
+    def import_projections(
+        self, items: list[tuple[int, bytes, np.ndarray, np.ndarray]]
+    ) -> int:
+        """Seed the projection cache from an export; returns entries added.
+
+        Existing entries win (they are content-addressed, so a collision is
+        the same factorization anyway) and do not count as reuse — the
+        reuse counters keep measuring *serving* behaviour, not handoff.
+        """
+        added = 0
+        for s, digest, m, bbar in items:
+            if (s, digest) not in self._projections:
+                self._projections[(s, digest)] = (m, bbar)
+                added += 1
+        return added
+
 
 @dataclass
 class _BatchOutcome:
@@ -530,6 +559,53 @@ class ScenarioEngine:
                 plan = TopologyPlan(request.feeder)
             self.plans[key] = plan
         return plan
+
+    # ------------------------------------------------------------------
+    # Warm-state handoff (fleet restart re-warming / graceful drain).
+    def export_topology_state(self, topology_keys: set[str] | None = None) -> dict:
+        """Snapshot cached warm state for the given topologies.
+
+        Returns a pickle-safe payload: per-topology feeder names plus the
+        content-addressed projection entries, and the warm-start cache
+        entries.  ``None`` exports every topology this engine has planned.
+        """
+        plans = {}
+        for key, plan in self.plans.items():
+            if topology_keys is not None and key not in topology_keys:
+                continue
+            plans[key] = {
+                "feeder": plan.feeder,
+                "projections": plan.export_projections(),
+            }
+        return {
+            "plans": plans,
+            "warm_entries": self.cache.export_topology(topology_keys),
+        }
+
+    def import_topology_state(self, payload: dict) -> dict:
+        """Install an exported warm-state payload into this engine.
+
+        Rebuilds each topology's :class:`TopologyPlan` if absent (the plan
+        structure is a pure function of the feeder), seeds its projection
+        cache, and stores the warm-start entries through the normal LRU
+        path.  Returns counts for telemetry.
+        """
+        projections = 0
+        for key, item in payload.get("plans", {}).items():
+            plan = self.plans.get(key)
+            if plan is None:
+                with self.timers.measure("plan"):
+                    plan = TopologyPlan(item["feeder"])
+                self.plans[key] = plan
+            projections += plan.import_projections(item["projections"])
+        warm_entries = payload.get("warm_entries", [])
+        if self.warm_start:
+            self.cache.import_entries(warm_entries)
+        return {
+            "topologies": len(payload.get("plans", {})),
+            "projections": projections,
+            "warm_entries": len(warm_entries) if self.warm_start else 0,
+        }
 
     def submit(self, request: OPFRequest) -> OPFResponse | None:
         """Enqueue a request; returns a ``rejected`` response when the

@@ -133,3 +133,47 @@ class WarmStartCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def export_topology(self, topology_keys: set[str] | None = None) -> list[dict]:
+        """Serialize entries for handoff to another cache.
+
+        ``topology_keys`` restricts the export to the given topologies;
+        ``None`` exports everything.  The payload is a list of plain dicts
+        (arrays stay numpy — handoff crosses process boundaries via pickle,
+        which round-trips ndarrays bit-exactly).  Entries are emitted in LRU
+        order (oldest first) so importing preserves recency.
+        """
+        out = []
+        for (tkey, skey), entry in self._entries.items():
+            if topology_keys is not None and tkey not in topology_keys:
+                continue
+            out.append(
+                {
+                    "topology_key": tkey,
+                    "scenario_key": skey,
+                    "signature": entry.signature,
+                    "x": entry.x,
+                    "z": entry.z,
+                    "lam": entry.lam,
+                    "iterations": entry.iterations,
+                }
+            )
+        return out
+
+    def import_entries(self, entries: list[dict]) -> int:
+        """Install exported entries; returns how many were stored.
+
+        Goes through :meth:`store`, so capacity/LRU/stats accounting applies
+        exactly as if the states had been produced locally.
+        """
+        for item in entries:
+            self.store(
+                item["topology_key"],
+                item["scenario_key"],
+                item["signature"],
+                item["x"],
+                item["z"],
+                item["lam"],
+                item["iterations"],
+            )
+        return len(entries)
