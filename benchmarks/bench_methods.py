@@ -1,0 +1,87 @@
+"""The fidelity ladder's accuracy/speed frontier (docs/METHODS.md).
+
+Solves every rung — linearized, qp, socp — on the Table-5 feeders at the
+rung's spec defaults, records the relative objective gap against the
+rung's own HiGHS reference (the SOCP's by cutting planes), the iteration
+count, the measured wall time, and the modeled A100 solve time, and
+asserts the ladder property the facade promises: on at least one Table-5
+feeder the gaps order ``socp <= qp <= linearized``.
+
+Writes ``BENCH_methods.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _common import report
+
+from repro.feeders import ieee13
+from repro.methods import method_report
+from repro.utils import format_table
+
+#: ieee13 is the Table-5 feeder the spec tiers are tuned on; the ladder's
+#: behaviour on ieee34 (per-feeder tightened settings) is covered by
+#: tests/test_methods.py::TestParityIEEE34.
+FEEDERS = (("ieee13", ieee13),)
+OUTPUT = Path(__file__).parent.parent / "BENCH_methods.json"
+
+
+def run() -> dict:
+    stats: dict[str, object] = {"feeders": {}}
+    for name, factory in FEEDERS:
+        t0 = time.perf_counter()
+        cells = [rep.to_dict() for rep in method_report(factory())]
+        stats["feeders"][name] = {
+            "methods": cells,
+            "wall_s": time.perf_counter() - t0,
+        }
+    gaps13 = {c["method"]: c["gap"] for c in stats["feeders"]["ieee13"]["methods"]}
+    stats["ladder_ordered"] = bool(
+        gaps13["socp"] <= gaps13["qp"] <= gaps13["linearized"]
+    )
+    OUTPUT.write_text(json.dumps(stats, indent=2) + "\n")
+
+    rows = []
+    for name, entry in stats["feeders"].items():
+        for c in entry["methods"]:
+            rows.append([
+                name,
+                c["method"],
+                "yes" if c["converged"] else "no",
+                c["iterations"],
+                f"{c['gap']:.3e}",
+                f"{c['gap_tol']:g}",
+                "yes" if c["within_tier"] else "NO",
+                f"{c['modeled_solve_s'] * 1e3:.1f}",
+            ])
+    report(
+        "bench_methods",
+        format_table(
+            ["feeder", "method", "conv", "iters", "gap", "tier", "ok", "modeled ms"],
+            rows,
+            title=(
+                "Fidelity ladder: objective gap vs HiGHS at spec defaults "
+                f"(ladder ordered: {stats['ladder_ordered']})"
+            ),
+        ),
+    )
+    return stats
+
+
+def test_methods_bench():
+    stats = run()
+    for name, entry in stats["feeders"].items():
+        for c in entry["methods"]:
+            assert c["converged"], (name, c["method"])
+            assert c["within_tier"], (name, c["method"], c["gap"])
+    # The headline acceptance: higher fidelity, smaller gap, on a
+    # Table-5 feeder.
+    assert stats["ladder_ordered"]
+    assert OUTPUT.exists()
+
+
+if __name__ == "__main__":
+    test_methods_bench()

@@ -7,6 +7,10 @@ Commands
 ``solve``
     Run the solver-free (or benchmark) ADMM and print a solution report,
     optionally validating against the centralized HiGHS optimum.
+``methods``
+    Run every rung of the fidelity ladder (linearized / qp / socp) on a
+    feeder, reporting each method's accuracy gap against its HiGHS
+    reference and the modeled GPU cost (see docs/METHODS.md).
 ``export``
     Convert a feeder between the named builtins, JSON, and CSV formats, or
     dump the assembled LP as ``.npz``.
@@ -97,6 +101,8 @@ def cmd_info(args) -> int:
 
 
 def cmd_solve(args) -> int:
+    if getattr(args, "method", None):
+        return _cmd_solve_method(args)
     net = resolve_feeder(args.feeder)
     lp = build_centralized_lp(net)
     dec = decompose(lp)
@@ -167,6 +173,136 @@ def cmd_solve(args) -> int:
     return 0 if result.converged else 2
 
 
+def _cmd_solve_method(args) -> int:
+    """``repro solve --method ...``: one rung of the fidelity ladder
+    through the unified :mod:`repro.methods` facade."""
+    from repro.methods import (
+        Method,
+        build_method_problem,
+        make_method_solver,
+        reference_objective,
+    )
+
+    net = resolve_feeder(args.feeder)
+    cfg = ADMMConfig(
+        rho=args.rho,
+        eps_rel=args.eps_rel,
+        max_iter=args.max_iter,
+        relaxation=args.relaxation,
+        record_history=args.diagnostics,
+    )
+    tracer = Tracer() if args.trace else None
+    try:
+        method = Method.parse(args.method)
+        problem = build_method_problem(net, method)
+        solver = make_method_solver(
+            problem, cfg, tracer=tracer,
+            backend=args.backend, precision=args.precision,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    policy = solver.backend.policy
+    print(f"method: {method}   backend: {solver.backend.name} "
+          f"(precision {policy.name}, compute {policy.compute})")
+    result = solver.solve()
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"trace ({len(tracer)} spans) written to {args.trace}")
+    print(result.summary())
+    if method is Method.SOCP:
+        conic = problem.conic
+        slack = conic.cone_slack(result.x)
+        print(
+            format_table(
+                ["quantity", "value"],
+                [
+                    ["objective", f"{problem.objective(result.x):.6f}"],
+                    ["worst cone violation", f"{conic.cone_violation(result.x):.3e}"],
+                    ["min cone slack", f"{float(slack.min()):.3e}"],
+                    ["tight cones (slack < 1e-6)", int((slack < 1e-6).sum())],
+                    ["cones", len(conic.cones)],
+                ],
+                title="conic relaxation report",
+            )
+        )
+    else:
+        report = solution_report(problem.lp, result.x)
+        print(
+            format_table(
+                ["quantity", "value"],
+                [[k, v] for k, v in report.items()],
+                title="solution report",
+            )
+        )
+    if args.reference:
+        ref = reference_objective(problem)
+        obj = problem.objective(result.x)
+        gap = abs(obj - ref) / max(abs(ref), 1e-12)
+        print(f"reference objective {ref:.6f}  relative gap {gap:.3e}")
+    if args.output:
+        from repro.io import save_result
+
+        save_result(result, args.output)
+        print(f"result written to {args.output}")
+    if args.require_convergence and not result.converged:
+        raise ConvergenceError(
+            f"solve did not converge within {result.iterations} iterations "
+            f"(pres {result.pres:.3e}, dres {result.dres:.3e})"
+        )
+    return 0 if result.converged else 2
+
+
+def cmd_methods(args) -> int:
+    """``repro methods``: the accuracy/modeled-cost ladder on one feeder."""
+    from repro.methods import method_report
+    from repro.telemetry import MetricsRegistry
+
+    net = resolve_feeder(args.feeder)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    try:
+        reports = method_report(
+            net,
+            methods or None,
+            backend=args.backend,
+            precision=args.precision,
+            metrics=MetricsRegistry(),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    rows = [
+        [
+            r.method,
+            "yes" if r.converged else "no",
+            r.iterations,
+            f"{r.objective:.6f}",
+            f"{r.reference_objective:.6f}",
+            f"{r.gap:.3e}",
+            f"{r.gap_tol:g}",
+            "yes" if r.within_tier else "NO",
+            f"{r.modeled_iteration_s * 1e6:.1f}",
+            f"{r.modeled_solve_s * 1e3:.2f}",
+        ]
+        for r in reports
+    ]
+    print(
+        format_table(
+            ["method", "conv", "iters", "objective", "reference",
+             "gap", "tier", "ok", "us/iter", "modeled ms"],
+            rows,
+            title=f"fidelity ladder on {args.feeder!r} (gap vs HiGHS, A100 model)",
+        )
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(
+                {"feeder": args.feeder, "methods": [r.to_dict() for r in reports]},
+                fh,
+                indent=1,
+            )
+        print(f"method report written to {args.output}")
+    return 0 if all(r.within_tier for r in reports) else 2
+
+
 def cmd_export(args) -> int:
     net = resolve_feeder(args.feeder)
     out = Path(args.output)
@@ -218,7 +354,11 @@ def cmd_bench_iteration(args) -> int:
 
 
 def generate_scenarios(
-    feeder: str, count: int, seed: int, spread: float = 0.15
+    feeder: str,
+    count: int,
+    seed: int,
+    spread: float = 0.15,
+    method: str = "linearized",
 ) -> list:
     """Random but reproducible load-perturbation scenarios for a feeder.
 
@@ -255,6 +395,7 @@ def generate_scenarios(
                 feeder=feeder,
                 load_scale=scale,
                 load_multipliers=mult,
+                method=method,
             )
         )
     return requests
@@ -273,7 +414,9 @@ def cmd_serve_batch(args) -> int:
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             raise SystemExit(f"cannot read scenarios: {exc}") from None
     else:
-        requests = generate_scenarios(args.feeder, args.generate, args.seed)
+        requests = generate_scenarios(
+            args.feeder, args.generate, args.seed, method=args.method
+        )
         print(f"generated {len(requests)} scenarios on feeder {args.feeder!r}")
     if args.save_scenarios:
         save_requests_json(requests, args.save_scenarios)
@@ -361,7 +504,9 @@ def cmd_serve_fleet(args) -> int:
             raise SystemExit(f"cannot read scenarios: {exc}") from None
     else:
         feeders = [f.strip() for f in args.feeders.split(",") if f.strip()]
-        requests = generate_mixed_scenarios(feeders, args.generate, args.seed)
+        requests = generate_mixed_scenarios(
+            feeders, args.generate, args.seed, method=args.method
+        )
         print(
             f"generated {len(requests)} scenarios over "
             f"{len(feeders)} feeders"
@@ -901,6 +1046,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solve", help="run the distributed OPF")
     p.add_argument("--feeder", default="ieee13")
+    p.add_argument(
+        "--method",
+        choices=["linearized", "qp", "socp"],
+        default=None,
+        help="solve one rung of the fidelity ladder through the unified "
+        "facade (docs/METHODS.md); omit for the classic --algorithm path",
+    )
     p.add_argument("--algorithm", choices=["solver-free", "benchmark"], default="solver-free")
     p.add_argument("--local-mode", choices=["interior_point", "projection"], default="projection")
     _add_backend_flags(p)
@@ -927,6 +1079,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_solve)
 
+    p = sub.add_parser(
+        "methods",
+        help="cross-method validation: accuracy gap vs HiGHS and modeled "
+        "GPU cost for every ladder rung on one feeder",
+    )
+    p.add_argument("--feeder", default="ieee13")
+    p.add_argument(
+        "--methods",
+        default="linearized,qp,socp",
+        help="comma-separated rungs to run (default: all)",
+    )
+    _add_backend_flags(p)
+    p.add_argument("--output", help="write the method report as JSON")
+    p.set_defaults(func=cmd_methods)
+
     p = sub.add_parser("export", help="convert a feeder / dump the LP")
     p.add_argument("--feeder", default="ieee13")
     p.add_argument("--format", choices=["json", "csv", "npz"], required=True)
@@ -950,6 +1117,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="generate N random scenarios when no --scenarios file is given",
     )
     p.add_argument("--seed", type=int, default=0, help="seed for --generate")
+    p.add_argument(
+        "--method",
+        choices=["linearized", "qp", "socp"],
+        default="linearized",
+        help="OPF method for generated scenarios (docs/METHODS.md)",
+    )
     p.add_argument("--save-scenarios", help="also write the scenario file here")
     p.add_argument("--max-batch", type=int, default=16)
     p.add_argument("--queue-size", type=int, default=256)
@@ -994,6 +1167,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="generate N mixed-topology scenarios when no --scenarios file",
     )
     p.add_argument("--seed", type=int, default=0, help="scenario / chaos seed")
+    p.add_argument(
+        "--method",
+        choices=["linearized", "qp", "socp"],
+        default="linearized",
+        help="OPF method for generated scenarios (docs/METHODS.md)",
+    )
     p.add_argument(
         "--crash", action="append", metavar="WORKER[:AFTER]",
         help="chaos: fail-stop WORKER after serving AFTER requests "

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.backend.policy import HOST_DTYPE
 import scipy.sparse as sp
 
 from repro.decomposition.partition import (
@@ -42,7 +44,7 @@ class SizeStats:
 
     @classmethod
     def of(cls, values: list[int]) -> "SizeStats":
-        arr = np.asarray(values, dtype=float)
+        arr = np.asarray(values, dtype=HOST_DTYPE)
         return cls(
             minimum=int(arr.min()),
             maximum=int(arr.max()),
@@ -169,7 +171,7 @@ def decompose(
         if components
         else np.zeros(0, dtype=np.int64)
     )
-    copy_counts = np.bincount(global_cols, minlength=lp.n_vars).astype(float)
+    copy_counts = np.bincount(global_cols, minlength=lp.n_vars).astype(HOST_DTYPE)
     if np.any(copy_counts == 0):
         missing = int(np.argmax(copy_counts == 0))
         raise DecompositionError(

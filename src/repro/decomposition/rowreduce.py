@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
 from repro.utils.exceptions import InfeasibleError
 
 
@@ -50,8 +51,8 @@ def reduced_row_echelon(
         If elimination produces a row ``0 = rhs`` with ``|rhs|`` above the
         tolerance — the local system is inconsistent.
     """
-    a = np.array(a, dtype=float, copy=True)
-    b = np.array(b, dtype=float, copy=True).reshape(-1)
+    a = np.array(a, dtype=HOST_DTYPE, copy=True)
+    b = np.array(b, dtype=HOST_DTYPE, copy=True).reshape(-1)
     m, n = a.shape
     if b.shape != (m,):
         raise ValueError(f"rhs shape {b.shape} incompatible with matrix {a.shape}")
@@ -61,7 +62,11 @@ def reduced_row_echelon(
     scale = np.max(np.abs(aug))
     if scale == 0.0:
         return np.zeros((0, n)), np.zeros(0), []
-    threshold = tol * max(scale, 1.0)
+    # Pivots are judged relative to the system's own magnitude; the
+    # inconsistency check below keeps the absolute floor so sub-tolerance
+    # noise rows (`0 = 1e-30`) are still dropped rather than rejected.
+    threshold = tol * scale
+    infeasible_threshold = tol * max(scale, 1.0)
 
     rank = 0
     pivot_cols: list[int] = []
@@ -84,7 +89,7 @@ def reduced_row_echelon(
     # a surviving RHS there means 0 = rhs: inconsistent.
     if rank < m:
         tail_rhs = np.abs(aug[rank:, n])
-        bad = tail_rhs > threshold
+        bad = tail_rhs > infeasible_threshold
         if np.any(bad):
             raise InfeasibleError(
                 f"inconsistent local system: 0 = {float(tail_rhs[bad][0]):.3e} "

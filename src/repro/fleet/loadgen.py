@@ -32,7 +32,11 @@ from repro.serve.requests import OPFRequest
 
 
 def generate_mixed_scenarios(
-    feeders: list[str], count: int, seed: int, spread: float = 0.15
+    feeders: list[str],
+    count: int,
+    seed: int,
+    spread: float = 0.15,
+    method: str = "linearized",
 ) -> list[OPFRequest]:
     """Seeded load-perturbation scenarios round-robined over ``feeders``.
 
@@ -57,6 +61,7 @@ def generate_mixed_scenarios(
                     name: float(1.0 + rng.uniform(-spread, spread))
                     for name in load_names[feeder]
                 },
+                method=method,
             )
         )
     return requests

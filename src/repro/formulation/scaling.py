@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
+
 from repro.formulation.centralized import CentralizedLP
 from repro.formulation.rows import Row, rows_to_matrix
 from repro.formulation.variables import VariableIndex, VarKey
@@ -77,7 +79,7 @@ def scale_lp(lp: CentralizedLP, d: np.ndarray | None = None) -> ScaledLP:
     """
     if d is None:
         d = column_scales(lp)
-    d = np.asarray(d, dtype=float)
+    d = np.asarray(d, dtype=HOST_DTYPE)
     if d.shape != (lp.n_vars,) or np.any(d <= 0):
         raise ValueError("scale vector must be positive with one entry per column")
 

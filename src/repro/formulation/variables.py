@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
+
 VarKey = tuple  # (kind, owner name, phase/branch id)
 
 #: Variable kinds in the order of the global vector x in (7).  ``le`` is the
@@ -106,13 +108,13 @@ class VariableIndex:
         return self._keys[idx]
 
     def lower_bounds(self) -> np.ndarray:
-        return np.asarray(self._lb, dtype=float)
+        return np.asarray(self._lb, dtype=HOST_DTYPE)
 
     def upper_bounds(self) -> np.ndarray:
-        return np.asarray(self._ub, dtype=float)
+        return np.asarray(self._ub, dtype=HOST_DTYPE)
 
     def costs(self) -> np.ndarray:
-        return np.asarray(self._cost, dtype=float)
+        return np.asarray(self._cost, dtype=HOST_DTYPE)
 
     def voltage_mask(self) -> np.ndarray:
         return np.asarray(self._is_voltage, dtype=bool)

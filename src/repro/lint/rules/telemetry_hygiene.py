@@ -35,6 +35,8 @@ NAMESPACES = frozenset(
         "fleet",
         # Two-stage stochastic / multi-period workloads (docs/STOCHASTIC.md).
         "stochastic",
+        # The fidelity-ladder facade (docs/METHODS.md).
+        "methods",
     }
 )
 

@@ -1,0 +1,38 @@
+"""The fidelity ladder: one facade over linearized, QP and SOCP OPF.
+
+The paper's algorithm is a single point on an accuracy-speed ladder.  This
+package names the rungs (:class:`Method`), builds each rung's model and
+solver through the shared ``ADMMLoop``/Backend engine, and validates every
+rung against a HiGHS reference with per-method tolerance tiers — see
+docs/METHODS.md for the ladder table.
+"""
+
+from repro.methods.facade import (
+    METHOD_SPECS,
+    Method,
+    MethodProblem,
+    MethodReport,
+    MethodSpec,
+    build_method_problem,
+    make_method_solver,
+    method_report,
+    modeled_iteration_times,
+    reference_objective,
+    solve_with_method,
+)
+from repro.methods.reference import solve_reference_socp
+
+__all__ = [
+    "METHOD_SPECS",
+    "Method",
+    "MethodProblem",
+    "MethodReport",
+    "MethodSpec",
+    "build_method_problem",
+    "make_method_solver",
+    "method_report",
+    "modeled_iteration_times",
+    "reference_objective",
+    "solve_reference_socp",
+    "solve_with_method",
+]

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
+
 
 def assign_even(n_components: int, n_ranks: int) -> np.ndarray:
     """Round-robin-free contiguous near-even split; returns rank per component.
@@ -39,7 +41,7 @@ def assign_even(n_components: int, n_ranks: int) -> np.ndarray:
 
 def assign_greedy(costs: np.ndarray, n_ranks: int) -> np.ndarray:
     """Longest-processing-time-first assignment by per-component cost."""
-    costs = np.asarray(costs, dtype=float)
+    costs = np.asarray(costs, dtype=HOST_DTYPE)
     if n_ranks < 1:
         raise ValueError("need at least one rank")
     n_ranks = min(n_ranks, len(costs))
@@ -54,7 +56,7 @@ def assign_greedy(costs: np.ndarray, n_ranks: int) -> np.ndarray:
 
 def rank_loads(costs: np.ndarray, owner: np.ndarray, n_ranks: int) -> np.ndarray:
     """Total cost per rank under an assignment."""
-    return np.bincount(owner, weights=np.asarray(costs, dtype=float), minlength=n_ranks)
+    return np.bincount(owner, weights=np.asarray(costs, dtype=HOST_DTYPE), minlength=n_ranks)
 
 
 def rank_partition(

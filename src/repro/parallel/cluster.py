@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
+
 from repro.decomposition.decomposed import DecomposedOPF
 from repro.parallel.assignment import assign_even, assign_greedy, rank_loads
 from repro.parallel.comm import BYTES_PER_VALUE, CommModel
@@ -71,7 +73,7 @@ class SimulatedCluster:
     slowdowns: np.ndarray | None = None
 
     def __post_init__(self) -> None:
-        costs = np.asarray(self.component_costs, dtype=float)
+        costs = np.asarray(self.component_costs, dtype=HOST_DTYPE)
         if costs.shape != (self.dec.n_components,):
             raise ValueError("component_costs must have one entry per component")
         if self.strategy == "even":
@@ -83,7 +85,7 @@ class SimulatedCluster:
         self.effective_ranks = int(self.owner.max()) + 1
         self._costs = costs
         if self.slowdowns is not None:
-            factors = np.asarray(self.slowdowns, dtype=float)
+            factors = np.asarray(self.slowdowns, dtype=HOST_DTYPE)
             if factors.shape != (self.n_ranks,):
                 raise ValueError("slowdowns must have one entry per rank")
             if np.any(factors < 1.0):
@@ -97,7 +99,7 @@ class SimulatedCluster:
         matching ``B_s x`` slice), so the payload is proportional to the sum
         of its components' local dimensions.
         """
-        sizes = np.array([c.n_vars for c in self.dec.components], dtype=float)
+        sizes = np.array([c.n_vars for c in self.dec.components], dtype=HOST_DTYPE)
         per_rank = np.bincount(self.owner, weights=sizes, minlength=self.effective_ranks)
         return per_rank * 2.0 * BYTES_PER_VALUE
 

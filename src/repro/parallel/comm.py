@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
+
 BYTES_PER_VALUE = 8  # float64 on the wire
 
 
@@ -59,7 +61,7 @@ class CommModel:
         direction, giving the ``N * alpha + total_bytes / beta`` growth of
         Fig. 1(c); both directions carry the same payload sizes.
         """
-        per_rank_bytes = np.asarray(per_rank_bytes, dtype=float)
+        per_rank_bytes = np.asarray(per_rank_bytes, dtype=HOST_DTYPE)
         one_direction = float(
             sum(self.message_time(b) for b in per_rank_bytes)
         )

@@ -45,7 +45,12 @@ from repro.gpu.costmodel import iteration_times_from_sizes
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.kernel_sim import simulate_local_update
 from repro.io.resolve import resolve_feeder
+from repro.methods.facade import METHOD_SPECS, Method
+from repro.qp.projection import project_box_affine
 from repro.reference import solve_reference
+from repro.socp.bfm import build_bfm_socp
+from repro.socp.cone import project_rotated_soc_batch
+from repro.socp.solver import decompose_conic
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.resilience.policy import CircuitBreaker, CircuitOpenError, ResilienceConfig
 from repro.serve.metrics import ServingMetrics
@@ -109,29 +114,78 @@ class ScenarioProblem:
 
 
 class TopologyPlan:
-    """Precomputed, shareable solve structure for one topology key."""
+    """Precomputed, shareable solve structure for one (topology, method) key.
 
-    def __init__(self, feeder: str):
+    The plan's identity is the request's :meth:`~repro.serve.requests.
+    OPFRequest.topology_key`, which hashes the feeder *and* the method —
+    each fidelity rung builds a different decomposition of the same
+    network, and their caches must never mix (a linearized projection
+    plan is meaningless to the conic layout).
+
+    * ``linearized`` / ``qp`` share the LP (7) decomposition; the
+      content-addressed cache stores ``(M, bbar)`` batched projections
+      for the former and the reduced ``(A, b)`` systems for the latter
+      (the box-QP projection needs the explicit rows).
+    * ``socp`` builds the branch-flow conic model: linear components plus
+      width-4 cone blocks, with the same content-addressed caching over
+      the linear components (cone projections have no factorization).
+    """
+
+    def __init__(self, feeder: str, method: str = "linearized"):
         self.feeder = feeder
+        self.method = Method.parse(method).value
         self.net = resolve_feeder(feeder)
-        self.lp = build_centralized_lp(self.net)
-        self.dec = decompose(self.lp)
-        self.n_vars = self.lp.n_vars
-        self.n_local = self.dec.n_local
-        self.global_cols = self.dec.global_cols
-        self.counts = self.dec.counts
-        self.offsets = self.dec.offsets
-        self.sizes = np.array([c.n_vars for c in self.dec.components], dtype=np.int64)
-        # Row ownership of the base partition; scenario rebuilds reuse it
-        # (perturbations never add/remove components or rows).
-        self._owner_to_spec: dict[tuple, int] = {}
-        for idx, spec in enumerate(self.dec.specs):
-            for owner in spec.owners():
-                self._owner_to_spec[owner] = idx
-        self._local_keys = [c.local_keys for c in self.dec.components]
+        if self.method == "socp":
+            spec = METHOD_SPECS[Method.SOCP]
+            self.lp = None
+            self.dec = None
+            self.conic = build_bfm_socp(self.net, **spec.build_kwargs)
+            cdec = self.cdec = decompose_conic(self.conic)
+            self.n_vars = self.conic.n_vars
+            self.n_local = cdec.n_local
+            self.global_cols = cdec.global_cols
+            self.counts = cdec.counts
+            self.n_linear = cdec.n_linear
+            self.linear_offsets = cdec.offsets_linear
+            n_cones = cdec.cone_cols.shape[0]
+            linear_sizes = np.array(
+                [c.n_vars for c in cdec.linear], dtype=np.int64
+            )
+            # Cost-model widths: linear components plus 4-wide cone blocks.
+            self.sizes = np.concatenate(
+                [linear_sizes, np.full(n_cones, 4, dtype=np.int64)]
+            )
+            self.offsets = np.concatenate([[0], np.cumsum(self.sizes)])
+            # Row ownership in decompose_conic's first-seen order.
+            self._owner_to_spec = {}
+            for row in self.conic.rows:
+                self._owner_to_spec.setdefault(
+                    row.owner, len(self._owner_to_spec)
+                )
+            self._local_keys = [c.local_keys for c in cdec.linear]
+        else:
+            self.conic = None
+            self.cdec = None
+            self.lp = build_centralized_lp(self.net)
+            self.dec = decompose(self.lp)
+            self.n_vars = self.lp.n_vars
+            self.n_local = self.dec.n_local
+            self.global_cols = self.dec.global_cols
+            self.counts = self.dec.counts
+            self.offsets = self.dec.offsets
+            self.sizes = np.array(
+                [c.n_vars for c in self.dec.components], dtype=np.int64
+            )
+            # Row ownership of the base partition; scenario rebuilds reuse
+            # it (perturbations never add/remove components or rows).
+            self._owner_to_spec: dict[tuple, int] = {}
+            for idx, spec in enumerate(self.dec.specs):
+                for owner in spec.owners():
+                    self._owner_to_spec[owner] = idx
+            self._local_keys = [c.local_keys for c in self.dec.components]
         # Content-addressed projection cache: (component, digest of the raw
-        # local system) -> (M, bbar).  Shared across every scenario served
-        # on this topology.
+        # local system) -> the method's cached pair.  Shared across every
+        # scenario served on this (topology, method) plan.
         self._projections: dict[tuple[int, bytes], tuple[np.ndarray, np.ndarray]] = {}
         self._rref_tol = 1e-9
         self.factorizations_computed = 0
@@ -191,30 +245,15 @@ class TopologyPlan:
             inconsistent limits.
         """
         net = self._perturbed_network(request)
+        if self.method == "socp":
+            return self._build_scenario_socp(request, net)
         lp = build_centralized_lp(net)
         if lp.n_vars != self.n_vars:
             raise ValueError("scenario changed the variable space (topology?)")
         rows_by_spec: list[list] = [[] for _ in self.dec.specs]
         for row in lp.rows:
             rows_by_spec[self._owner_to_spec[row.owner]].append(row)
-        components: list[_ScenarioComponent] = []
-        projections: list[tuple[np.ndarray, np.ndarray]] = []
-        for s, rows in enumerate(rows_by_spec):
-            keys = self._local_keys[s]
-            a_raw, b_raw = rows_to_dense_local(rows, keys)
-            digest = hashlib.sha256(a_raw.tobytes() + b_raw.tobytes()).digest()
-            cached = self._projections.get((s, digest))
-            if cached is None:
-                a_red, b_red, _ = reduced_row_echelon(a_raw, b_raw, tol=self._rref_tol)
-                cached = projection_data(a_red, b_red)
-                self._projections[(s, digest)] = cached
-                self.factorizations_computed += 1
-            else:
-                self.factorizations_reused += 1
-            components.append(
-                _ScenarioComponent(n_vars=len(keys), a=np.zeros((0, len(keys))), b=np.zeros(0))
-            )
-            projections.append(cached)
+        components, projections = self._cached_components(rows_by_spec)
         return ScenarioProblem(
             request=request,
             cost=lp.cost,
@@ -225,6 +264,65 @@ class TopologyPlan:
             projections=projections,
             signature=self._signature(net),
             lp=lp,
+        )
+
+    def _cached_components(
+        self, rows_by_spec: list[list]
+    ) -> tuple[list[_ScenarioComponent], list[tuple[np.ndarray, np.ndarray]]]:
+        """Assemble each component's local system through the cache.
+
+        The cached pair is method-specific — ``(M, bbar)`` batched
+        projections for ``linearized``/``socp`` linear components, the
+        reduced ``(A, b)`` rows for ``qp`` — but the content-addressing
+        (raw system bytes) and the hit accounting are identical.
+        """
+        components: list[_ScenarioComponent] = []
+        projections: list[tuple[np.ndarray, np.ndarray]] = []
+        for s, rows in enumerate(rows_by_spec):
+            keys = self._local_keys[s]
+            a_raw, b_raw = rows_to_dense_local(rows, keys)
+            digest = hashlib.sha256(a_raw.tobytes() + b_raw.tobytes()).digest()
+            cached = self._projections.get((s, digest))
+            if cached is None:
+                a_red, b_red, _ = reduced_row_echelon(a_raw, b_raw, tol=self._rref_tol)
+                if self.method == "qp":
+                    cached = (a_red, b_red)
+                else:
+                    cached = projection_data(a_red, b_red)
+                self._projections[(s, digest)] = cached
+                self.factorizations_computed += 1
+            else:
+                self.factorizations_reused += 1
+            components.append(
+                _ScenarioComponent(n_vars=len(keys), a=np.zeros((0, len(keys))), b=np.zeros(0))
+            )
+            projections.append(cached)
+        return components, projections
+
+    def _build_scenario_socp(self, request: OPFRequest, net) -> ScenarioProblem:
+        """Assemble one conic scenario: the perturbation re-enters through
+        the rebuilt branch-flow model's linear rows (loads live in the bus
+        balance) and bounds; the cone blocks are structural and need no
+        per-scenario work.  ``lp=None``: there is no LP to degrade to, so
+        an unrecoverable divergence becomes an ``error`` response."""
+        spec = METHOD_SPECS[Method.SOCP]
+        conic = build_bfm_socp(net, **spec.build_kwargs)
+        if conic.n_vars != self.n_vars:
+            raise ValueError("scenario changed the variable space (topology?)")
+        rows_by_spec: list[list] = [[] for _ in self.cdec.linear]
+        for row in conic.rows:
+            rows_by_spec[self._owner_to_spec[row.owner]].append(row)
+        components, projections = self._cached_components(rows_by_spec)
+        return ScenarioProblem(
+            request=request,
+            cost=conic.cost,
+            lb=conic.lb,
+            ub=conic.ub,
+            x0_default=conic.initial_point(),
+            components=components,
+            projections=projections,
+            signature=self._signature(net),
+            lp=None,
         )
 
     def export_projections(self) -> list[tuple[int, bytes, np.ndarray, np.ndarray]]:
@@ -372,8 +470,12 @@ class _StackedBatchStrategy(IterationStrategy):
         scatter = b.scatter_add(self.gcols, z - lam / self.rho_l, self.k_n * self.n)
         return b.clip((scatter - self.c / self.rho_g) / self.counts, self.lb, self.ub)
 
+    def _local_solve(self, v):
+        """The method-specific stacked local update (subclass hook)."""
+        return self.solver.solve(v)
+
     def local_step(self, bx_eff, z_prev, lam, rho):
-        z = self.solver.solve(bx_eff + lam / self.rho_l)
+        z = self._local_solve(bx_eff + lam / self.rho_l)
         injector = self.injector
         if injector is not None:
             # Chaos hook: seeded NaN corruption of a target scenario's
@@ -456,6 +558,111 @@ class _StackedBatchStrategy(IterationStrategy):
             eps_dual=float(eps_dual.min()),
             converged=bool(done.all()),
         )
+
+
+class _StackedQPStrategy(_StackedBatchStrategy):
+    """The ``qp`` rung stacked: benchmark ADMM over same-topology scenarios.
+
+    Mirrors :class:`~repro.core.baseline.BenchmarkADMM` in its closed-form
+    ``projection`` local mode — the global step is *unclipped* (bounds
+    move into the local box-QPs), and each component's local update is the
+    exact projection onto ``{A_s x = b_s} ∩ [lb_s, ub_s]``.  Shares all
+    residual/snapshot/deadline/divergence bookkeeping with the base.
+    """
+
+    algorithm_name = "stacked benchmark ADMM (box-QP projections)"
+
+    def __init__(self, engine: "ScenarioEngine", plan: TopologyPlan, problems):
+        super().__init__(engine, plan, problems, solver=None)
+        # Stacked local bounds: scenario k's component s sees the scenario
+        # LP's bounds gathered through the shared column map.
+        self.lbl = np.concatenate([p.lb[plan.global_cols] for p in problems])
+        self.ubl = np.concatenate([p.ub[plan.global_cols] for p in problems])
+
+    def global_step(self, z, lam, rho):
+        b = self.backend
+        scatter = b.scatter_add(self.gcols, z - lam / self.rho_l, self.k_n * self.n)
+        return (scatter - self.c / self.rho_g) / self.counts
+
+    def _local_solve(self, v):
+        b = self.backend
+        v = b.to_numpy(v)
+        z = np.empty_like(v)
+        offsets = self.plan.offsets
+        n_local = self.n_local
+        for k, p in enumerate(self.problems):
+            base = k * n_local
+            for s, (a_red, b_red) in enumerate(p.projections):
+                sl = slice(base + int(offsets[s]), base + int(offsets[s + 1]))
+                z[sl] = project_box_affine(
+                    v[sl], a_red, b_red, self.lbl[sl], self.ubl[sl]
+                )
+        return b.asarray(z)
+
+
+class _StackedConicStrategy(_StackedBatchStrategy):
+    """The ``socp`` rung stacked: conic consensus ADMM over K scenarios.
+
+    Per-scenario layout is ``[linear components | 4-wide cone blocks]``
+    (the conic decomposition's stacked order), scenario-major — so the
+    shared residual reshape, snapshot freezing and divergence isolation
+    of the base apply unchanged.  The linear parts of *all* scenarios run
+    through one :class:`~repro.core.batch.BatchedLocalSolver` (padded
+    batched matmuls, exactly the linearized engine's amortization) and
+    every cone of every scenario goes through one vectorized rotated-SOC
+    projection call.
+    """
+
+    algorithm_name = "stacked solver-free conic ADMM"
+
+    def __init__(self, engine: "ScenarioEngine", plan: TopologyPlan, problems):
+        comps_all = [c for p in problems for c in p.components]
+        projections_all = [pr for p in problems for pr in p.projections]
+        linear_sizes = plan.sizes[: len(plan.cdec.linear)]
+        sizes_lin = np.tile(linear_sizes, len(problems))
+        offsets_lin = np.concatenate([[0], np.cumsum(sizes_lin)])
+        solver = BatchedLocalSolver.from_parts(
+            comps_all, offsets_lin, projections=projections_all,
+            backend=engine.backend,
+        )
+        super().__init__(engine, plan, problems, solver)
+        self.n_linear = plan.n_linear
+
+    def _local_solve(self, v):
+        b = self.backend
+        xp = b.xp
+        k_n, n_local, n_linear = self.k_n, self.n_local, self.n_linear
+        vmat = v.reshape(k_n, n_local)
+        z = b.empty(k_n * n_local)
+        zmat = z.reshape(k_n, n_local)
+        zmat[:, :n_linear] = self.solver.solve(
+            xp.ascontiguousarray(vmat[:, :n_linear]).reshape(-1)
+        ).reshape(k_n, n_linear)
+        cone = vmat[:, n_linear:].reshape(-1, 4)
+        u, w, pq = project_rotated_soc_batch(cone[:, 0], cone[:, 1], cone[:, 2:])
+        out = xp.concatenate([u[:, None], w[:, None], pq], axis=1)
+        zmat[:, n_linear:] = out.reshape(k_n, n_local - n_linear)
+        return z
+
+
+def _make_stacked_strategy(
+    engine: "ScenarioEngine", plan: TopologyPlan, problems
+) -> _StackedBatchStrategy:
+    """Dispatch the plan's method to its stacked strategy (the serving
+    side of the :mod:`repro.methods` facade)."""
+    if plan.method == "socp":
+        return _StackedConicStrategy(engine, plan, problems)
+    if plan.method == "qp":
+        return _StackedQPStrategy(engine, plan, problems)
+    comps_all = [c for p in problems for c in p.components]
+    projections_all = [pr for p in problems for pr in p.projections]
+    sizes_all = np.tile(plan.sizes, len(problems))
+    offsets_all = np.concatenate([[0], np.cumsum(sizes_all)])
+    solver = BatchedLocalSolver.from_parts(
+        comps_all, offsets_all, projections=projections_all,
+        backend=engine.backend,
+    )
+    return _StackedBatchStrategy(engine, plan, problems, solver)
 
 
 class ScenarioEngine:
@@ -556,7 +763,10 @@ class ScenarioEngine:
         plan = self.plans.get(key)
         if plan is None:
             with self.timers.measure("plan"):
-                plan = TopologyPlan(request.feeder)
+                plan = TopologyPlan(
+                    request.feeder,
+                    method=getattr(request, "method", "linearized"),
+                )
             self.plans[key] = plan
         return plan
 
@@ -575,6 +785,7 @@ class ScenarioEngine:
                 continue
             plans[key] = {
                 "feeder": plan.feeder,
+                "method": plan.method,
                 "projections": plan.export_projections(),
             }
         return {
@@ -595,7 +806,9 @@ class ScenarioEngine:
             plan = self.plans.get(key)
             if plan is None:
                 with self.timers.measure("plan"):
-                    plan = TopologyPlan(item["feeder"])
+                    plan = TopologyPlan(
+                        item["feeder"], method=item.get("method", "linearized")
+                    )
                 self.plans[key] = plan
             projections += plan.import_projections(item["projections"])
         warm_entries = payload.get("warm_entries", [])
@@ -649,7 +862,11 @@ class ScenarioEngine:
         if not batch:
             return []
         self.metrics.record_batch(len(batch))
-        with self.tracer.span("serve.batch", cat="serve", size=len(batch)):
+        method = getattr(batch[0], "method", "linearized")
+        self.metrics.registry.counter(f"methods.batches_{method}").inc()
+        with self.tracer.span(
+            "serve.batch", cat="serve", size=len(batch), method=method
+        ):
             with Timer() as batch_wall:
                 responses = self._serve_batch(batch)
         # Keep the backpressure hint fresh: an EWMA of batch wall
@@ -992,15 +1209,9 @@ class ScenarioEngine:
         n = plan.n_vars
         n_local = plan.n_local
 
-        comps_all = [c for p in problems for c in p.components]
-        projections_all = [pr for p in problems for pr in p.projections]
         sizes_all = np.tile(plan.sizes, k_n)
-        offsets_all = np.concatenate([[0], np.cumsum(sizes_all)])
         with self.timers.measure("stack"):
-            solver = BatchedLocalSolver.from_parts(
-                comps_all, offsets_all, projections=projections_all, backend=b
-            )
-        strat = _StackedBatchStrategy(self, plan, problems, solver)
+            strat = _make_stacked_strategy(self, plan, problems)
 
         # Warm starts: seed each scenario from its nearest cached neighbour.
         x = b.empty(k_n * n)

@@ -31,6 +31,10 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
+#: Methods of the fidelity ladder (docs/METHODS.md).  Kept as a plain
+#: tuple here so requests stay importable without :mod:`repro.methods`.
+METHODS = ("linearized", "qp", "socp")
+
 STATUS_CONVERGED = "converged"
 STATUS_ITERATION_LIMIT = "iteration_limit"
 STATUS_REJECTED = "rejected"
@@ -85,6 +89,11 @@ class OPFRequest:
         either entry may be ``None`` to keep the base value.
     options:
         ADMM solve options.
+    method:
+        Fidelity-ladder rung this request runs on (``linearized``, ``qp``
+        or ``socp`` — see docs/METHODS.md).  The method is part of the
+        plan and warm-start cache identity: a linearized warm start must
+        never seed a conic solve.
     """
 
     request_id: str
@@ -94,38 +103,51 @@ class OPFRequest:
     der_setpoints: dict[str, float] = field(default_factory=dict)
     gen_limits: dict[str, tuple[float | None, float | None]] = field(default_factory=dict)
     options: SolveOptions = field(default_factory=SolveOptions)
+    method: str = "linearized"
 
     def __post_init__(self) -> None:
         if self.load_scale < 0:
             raise ValueError("load_scale must be nonnegative")
         if any(m < 0 for m in self.load_multipliers.values()):
             raise ValueError("load multipliers must be nonnegative")
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r} (choose from {METHODS})"
+            )
 
     def topology_key(self) -> str:
-        """Deterministic key of the network/partition this request runs on.
+        """Deterministic key of the (network, method) plan this runs on.
 
         Requests with equal keys share the plan's precomputed partition,
-        row reduction and projection factorizations.  Only the feeder
-        reference enters the key: the scenario perturbations never change
-        the constraint-graph topology.
+        row reduction and projection factorizations.  The feeder reference
+        and the method enter the key — the scenario perturbations never
+        change the constraint-graph topology, but each method builds a
+        different decomposition of it.  The default ``linearized`` method
+        is keyed exactly as before the ladder existed, so historical
+        routing/cache digests (and the pinned golden fleet assignments)
+        are unchanged.
         """
-        digest = hashlib.sha256(f"feeder:{self.feeder}".encode()).hexdigest()
-        return digest[:16]
+        tag = f"feeder:{self.feeder}"
+        if self.method != "linearized":
+            tag += f"|method:{self.method}"
+        return hashlib.sha256(tag.encode()).hexdigest()[:16]
 
     def scenario_key(self) -> str:
         """Deterministic key of the *full* perturbation (cache identity)."""
-        payload = json.dumps(
-            {
-                "feeder": self.feeder,
-                "load_scale": self.load_scale,
-                "load_multipliers": sorted(self.load_multipliers.items()),
-                "der_setpoints": sorted(self.der_setpoints.items()),
-                "gen_limits": sorted(
-                    (k, tuple(v)) for k, v in self.gen_limits.items()
-                ),
-            },
-            sort_keys=True,
-        )
+        payload_dict = {
+            "feeder": self.feeder,
+            "load_scale": self.load_scale,
+            "load_multipliers": sorted(self.load_multipliers.items()),
+            "der_setpoints": sorted(self.der_setpoints.items()),
+            "gen_limits": sorted(
+                (k, tuple(v)) for k, v in self.gen_limits.items()
+            ),
+        }
+        # Same back-compat rule as topology_key(): the default method
+        # hashes identically to the pre-ladder payload.
+        if self.method != "linearized":
+            payload_dict["method"] = self.method
+        payload = json.dumps(payload_dict, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def to_dict(self) -> dict:

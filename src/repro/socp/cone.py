@@ -17,29 +17,38 @@ formula transfers exactly.  The factor 2 matters: the variant
 ``u v >= ||w||^2`` is only a *linear* (non-isometric) image of the standard
 cone and admits no such closed form — model variables should be scaled so
 their constraint takes the factor-2 form (see :mod:`repro.socp.bfm`).
+
+Dtype discipline: every projection computes in host fp64 (the square roots
+and cancellations want the headroom) but returns in the *caller's* dtype,
+mirroring :func:`repro.qp.projection.project_box_affine` — an fp32 backend's
+iterates pass through without silent promotion, and fp64 inputs round-trip
+bit-identically (the final cast is a no-op view).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.policy import HOST_DTYPE
+
 SQRT2 = np.sqrt(2.0)
 
 
 def project_soc(t: float, z: np.ndarray) -> tuple[float, np.ndarray]:
     """Project ``(t, z)`` onto the standard cone ``||z|| <= t``."""
-    z = np.asarray(z, dtype=float)
+    z_in = np.asarray(z)
+    z = z_in.astype(HOST_DTYPE, copy=False)
     nz = float(np.linalg.norm(z))
     if nz <= t:
-        return float(t), z.copy()
+        return float(t), z_in.copy()
     if nz <= -t:
-        return 0.0, np.zeros_like(z)
+        return 0.0, np.zeros_like(z_in)
     alpha = 0.5 * (1.0 + t / nz)
-    return float(alpha * nz), alpha * z
+    return float(alpha * nz), (alpha * z).astype(z_in.dtype, copy=False)
 
 
 def project_soc_batch(t: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized standard-cone projection.
+    """Vectorized standard-cone projection; preserves the input dtype.
 
     Parameters
     ----------
@@ -48,8 +57,11 @@ def project_soc_batch(t: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndar
     z:
         Shape ``(m, d)``.
     """
-    t = np.asarray(t, dtype=float)
-    z = np.asarray(z, dtype=float)
+    t_in = np.asarray(t)
+    z_in = np.asarray(z)
+    out_dtype = np.result_type(t_in, z_in)
+    t = t_in.astype(HOST_DTYPE, copy=False)
+    z = z_in.astype(HOST_DTYPE, copy=False)
     nz = np.linalg.norm(z, axis=1)
     inside = nz <= t
     polar = nz <= -t
@@ -60,13 +72,16 @@ def project_soc_batch(t: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndar
         alpha = 0.5 * (1.0 + t[boundary] / nz[boundary])
         t_out[boundary] = alpha * nz[boundary]
         z_out[boundary] = alpha[:, None] * z[boundary]
-    return t_out, z_out
+    return (
+        t_out.astype(out_dtype, copy=False),
+        z_out.astype(out_dtype, copy=False),
+    )
 
 
 def project_rotated_soc(u: float, v: float, w: np.ndarray) -> tuple[float, float, np.ndarray]:
     """Project ``(u, v, w)`` onto ``{2 u v >= ||w||^2, u, v >= 0}``."""
     uu, vv, ww = project_rotated_soc_batch(
-        np.array([u]), np.array([v]), np.asarray(w, dtype=float)[None, :]
+        np.array([u]), np.array([v]), np.asarray(w, dtype=HOST_DTYPE)[None, :]
     )
     return float(uu[0]), float(vv[0]), ww[0]
 
@@ -78,10 +93,15 @@ def project_rotated_soc_batch(
 
     Exact because the (u, v) rotation is orthogonal and the tail passes
     through unchanged — the whole map to the standard cone is an isometry.
+    The result comes back in the inputs' dtype (fp32 in, fp32 out).
     """
-    u = np.asarray(u, dtype=float)
-    v = np.asarray(v, dtype=float)
-    w = np.asarray(w, dtype=float)
+    u_in = np.asarray(u)
+    v_in = np.asarray(v)
+    w_in = np.asarray(w)
+    out_dtype = np.result_type(u_in, v_in, w_in)
+    u = u_in.astype(HOST_DTYPE, copy=False)
+    v = v_in.astype(HOST_DTYPE, copy=False)
+    w = w_in.astype(HOST_DTYPE, copy=False)
     s = (u + v) / SQRT2
     d = (u - v) / SQRT2
     tail = np.concatenate([d[:, None], w], axis=1)
@@ -93,10 +113,14 @@ def project_rotated_soc_batch(
     # Clamp the tiny negative fuzz the rotation can leave behind.
     u_p = np.maximum(u_p, 0.0)
     v_p = np.maximum(v_p, 0.0)
-    return u_p, v_p, w_p
+    return (
+        u_p.astype(out_dtype, copy=False),
+        v_p.astype(out_dtype, copy=False),
+        w_p.astype(out_dtype, copy=False),
+    )
 
 
 def in_rotated_soc(u: float, v: float, w: np.ndarray, tol: float = 1e-9) -> bool:
     """Membership test for ``{2 u v >= ||w||^2, u, v >= 0}`` (with tolerance)."""
-    w = np.asarray(w, dtype=float)
+    w = np.asarray(w, dtype=HOST_DTYPE)
     return u >= -tol and v >= -tol and 2.0 * u * v + tol >= float(w @ w)

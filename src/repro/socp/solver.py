@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.backend import resolve_backend
+from repro.backend.policy import HOST_DTYPE
 from repro.core.batch import BatchedLocalSolver
 from repro.core.config import ADMMConfig
 from repro.core.loop import ADMMLoop, IterationStrategy
@@ -127,7 +128,7 @@ def decompose_conic(problem: ConicProblem, rref_tol: float = 1e-9) -> ConicDecom
     global_cols = np.concatenate(
         [c.global_cols for c in linear] + [cone_cols.reshape(-1)]
     )
-    counts = np.bincount(global_cols, minlength=vi.n).astype(float)
+    counts = np.bincount(global_cols, minlength=vi.n).astype(HOST_DTYPE)
     if np.any(counts == 0):
         missing = int(np.argmax(counts == 0))
         raise DecompositionError(

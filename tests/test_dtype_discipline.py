@@ -115,6 +115,18 @@ class TestConic:
         for name in ("c", "lb", "ub", "counts"):
             assert getattr(solver, name).dtype == np.float32, name
 
+    def test_no_fp64_intermediates(self):
+        """Cone projections included, the conic hot loop stays fp32 — and
+        the solution still leaves the host boundary as fp64."""
+        from repro.socp import build_bfm_socp, decompose_conic
+
+        sdec = decompose_conic(build_bfm_socp(ieee13()))
+        solver = ConicSolverFreeADMM(sdec, backend="numpy32", precision="fp32")
+        checked = _assert_hot_loop_dtypes(solver, np.float32)
+        result = solver.solve(max_iter=40)
+        assert checked["global"] == checked["local"] == checked["dual"] == 40
+        assert result.x.dtype == np.float64
+
 
 class TestServe:
     def test_stacked_solve_stays_fp32(self, monkeypatch):
