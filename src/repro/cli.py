@@ -946,14 +946,44 @@ def cmd_trace_summary(args) -> int:
 DEFAULT_BASELINE = "lint-baseline.json"
 
 
+def _changed_files(base: str) -> set[Path]:
+    """Changed + untracked ``.py`` files per git, for ``--changed``."""
+    import subprocess
+
+    from repro.lint import LintConfigError
+
+    out: set[Path] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "--diff-filter=d", base],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise LintConfigError(
+                f"--changed needs a git checkout: {detail.strip()}"
+            ) from exc
+        for line in proc.stdout.splitlines():
+            if line.endswith(".py"):
+                out.add(Path(line))
+    return out
+
+
 def cmd_lint(args) -> int:
     import time
 
     from repro.lint import (
+        DEFAULT_CACHE_PATH,
+        LintCache,
         LintConfigError,
         LintEngine,
+        engine_signature,
         format_github,
         format_json,
+        format_sarif,
         format_stats,
         format_text,
         get_rules,
@@ -978,16 +1008,30 @@ def cmd_lint(args) -> int:
             # path is allowed to be absent (fresh checkouts, fixtures).
             raise LintConfigError(f"baseline {baseline_path} does not exist")
         engine = LintEngine(rules)
+        cache = None
+        if not args.no_cache:
+            cache = LintCache(
+                args.cache or DEFAULT_CACHE_PATH,
+                engine_signature(engine.rule_ids()),
+            )
+        changed = None
+        if args.changed is not None:
+            changed = _changed_files(args.changed or "HEAD")
+            if not changed:
+                print("lint: no changed python files — nothing to do")
+                return 0
         t0 = time.perf_counter()
         if args.write_baseline:
-            result = engine.run(args.paths)
+            result = engine.run(args.paths, cache=cache, jobs=args.jobs)
             save_baseline(baseline_path, result.findings)
             print(
                 f"lint: baseline with {len(result.findings)} entries "
                 f"written to {baseline_path}"
             )
             return 0
-        result = engine.run(args.paths, baseline)
+        result = engine.run(
+            args.paths, baseline, cache=cache, jobs=args.jobs, changed=changed
+        )
         t1 = time.perf_counter()
     except LintConfigError as exc:
         print(f"lint: {exc}", file=sys.stderr)
@@ -1015,6 +1059,8 @@ def cmd_lint(args) -> int:
         print(format_json(result))
     elif args.format == "github":
         print(format_github(result))
+    elif args.format == "sarif":
+        print(format_sarif(result))
     else:
         print(format_text(result, verbose=args.verbose))
     return 0 if result.clean and not result.stale_baseline else 1
@@ -1355,9 +1401,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=["text", "json", "github"],
+        choices=["text", "json", "github", "sarif"],
         default="text",
-        help="output format (github emits workflow annotations)",
+        help="output format (github emits workflow annotations; sarif is "
+        "the 2.1.0 code-scanning schema)",
+    )
+    p.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        metavar="BASE",
+        help="scope per-file findings to files changed vs BASE (default "
+        "HEAD) plus untracked files; whole-program findings still report",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files in N parallel processes (default: 1)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="incremental analysis cache path (default: .repro-lint-cache.json)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (cold run, nothing written)",
     )
     p.add_argument(
         "--baseline",

@@ -246,8 +246,13 @@ def _worker_main(spec: WorkerSpec, request_q, response_q) -> None:
         verb, arg = msg
         if verb == CTRL_EXPORT:
             payload = engine.export_topology_state(arg)
-        else:  # CTRL_IMPORT
+        elif verb == CTRL_IMPORT:
             payload = engine.import_topology_state(arg)
+        else:
+            # A verb this worker build doesn't know (version skew during
+            # a rolling restart): answer with an error payload instead of
+            # leaving the parent's collect loop to time out.
+            payload = {"error": f"unknown control verb {verb!r}"}
         response_q.put((WORKER_STATE, spec.worker_id, payload))
 
     while True:

@@ -15,12 +15,34 @@ in a diff (see docs/LINTING.md for the catalog and fix recipes):
 * **R005 exception-discipline** — no bare ``except:`` / swallowed broad
   handlers around solver control flow.
 
+On top of the per-file pass, a whole-program phase assembles a
+:class:`~repro.lint.graph.ProjectGraph` (imports, dataclass fields,
+tracked call literals, protocol-constant uses) and runs the
+cross-module rules against it:
+
+* **R100 architecture-layering** — the declared layer map holds: lower
+  layers never import serving/app code, telemetry is reached only
+  through the sanctioned seams, eager import cycles are forbidden.
+* **R101 cache-key-completeness** — every field of a request dataclass
+  is either read by its digest methods or carries an explicit
+  ``# repro-lint: non-keying=<reason>`` pragma.
+* **R102 telemetry-registry** — every literal metric/span name is
+  registered in :mod:`repro.telemetry.names`, and every registered name
+  is emitted somewhere.
+* **R103 worker-protocol** — every fleet protocol verb that is sent has
+  a handler comparison on the other side of the process boundary, and
+  vice versa.
+
 Run it with ``repro lint``; grandfathered findings live in
-``lint-baseline.json`` and ratchet downward.
+``lint-baseline.json`` and ratchet downward.  Warm runs are incremental
+(:class:`~repro.lint.cache.LintCache`, content-hashed) and ``--format
+sarif`` emits GitHub-code-scanning-ready output.
 """
 
 from repro.lint.baseline import load_baseline, save_baseline
+from repro.lint.cache import DEFAULT_CACHE_PATH, LintCache, engine_signature
 from repro.lint.engine import (
+    FileAnalysis,
     Finding,
     LintConfigError,
     LintEngine,
@@ -28,30 +50,49 @@ from repro.lint.engine import (
     fingerprint,
     scope_path,
 )
+from repro.lint.graph import ModuleInfo, ProjectGraph, extract_module
 from repro.lint.report import (
     format_github,
     format_json,
     format_stats,
     format_text,
 )
-from repro.lint.rules import RULE_REGISTRY, Rule, all_rules, get_rules, register
+from repro.lint.rules import (
+    RULE_REGISTRY,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rules,
+    register,
+)
+from repro.lint.sarif import format_sarif, sarif_log
 
 __all__ = [
+    "FileAnalysis",
     "Finding",
     "LintConfigError",
     "LintEngine",
     "LintResult",
+    "ModuleInfo",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
     "RULE_REGISTRY",
     "all_rules",
     "get_rules",
     "register",
+    "extract_module",
     "fingerprint",
     "scope_path",
     "load_baseline",
     "save_baseline",
+    "DEFAULT_CACHE_PATH",
+    "LintCache",
+    "engine_signature",
     "format_text",
     "format_json",
     "format_github",
     "format_stats",
+    "format_sarif",
+    "sarif_log",
 ]

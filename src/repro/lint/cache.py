@@ -1,0 +1,114 @@
+"""Content-hash incremental caching for the lint engine.
+
+A cold lint run parses every file; a warm run should not.  The cache
+stores, per file, everything phase two (the graph pass) and the report
+need: the phase-one findings, the suppression-pragma state, and the
+extracted :class:`~repro.lint.graph.ModuleInfo`.  A file whose content
+hash is unchanged contributes all three from the cache without being
+read past the hash — the whole-program rules then run against the
+assembled graph as usual, which is what "the graph pass invalidates
+dependents" means here: cross-module findings are *recomputed every
+run* from cheap cached summaries, so a change in ``worker.py`` moves a
+finding in ``frontend.py`` with no staleness window.
+
+The cache is keyed on an *engine signature* — a digest of the lint
+package's own source plus the selected rule ids — so editing any rule,
+the engine, or the graph extractor invalidates every entry at once.
+Nothing ever lints against stale rule logic.
+
+The file lives at :data:`DEFAULT_CACHE_PATH` (gitignored; CI persists it
+via ``actions/cache`` keyed on the tree's content hashes).  A corrupt or
+version-skewed cache is discarded silently — the cache is an
+accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+FORMAT_VERSION = 1
+
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:24]
+
+
+def engine_signature(rule_ids: list[str]) -> str:
+    """Digest of the linter's own source plus the rule selection.
+
+    Hashing the package source means a rule edit, an engine fix or a
+    graph-extractor change each invalidate the whole cache — the
+    alternative (a hand-bumped version constant) fails exactly when
+    someone forgets to bump it.
+    """
+    h = hashlib.sha256()
+    pkg_root = Path(__file__).parent
+    for path in sorted(pkg_root.rglob("*.py")):
+        h.update(path.as_posix().encode())
+        try:
+            h.update(path.read_bytes())
+        except OSError:
+            continue
+    h.update("|".join(sorted(rule_ids)).encode())
+    return h.hexdigest()[:24]
+
+
+class LintCache:
+    """Per-file analysis store, loaded once and rewritten atomically."""
+
+    def __init__(self, path: str | Path, signature: str):
+        self.path = Path(path)
+        self.signature = signature
+        self.entries: dict[str, dict] = {}
+        self._fresh: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if (
+            not isinstance(doc, dict)
+            or doc.get("version") != FORMAT_VERSION
+            or doc.get("signature") != self.signature
+            or not isinstance(doc.get("files"), dict)
+        ):
+            return
+        self.entries = doc["files"]
+
+    def get(self, key: str, sha: str) -> dict | None:
+        """The cached entry for ``key`` if its content hash matches."""
+        entry = self.entries.get(key)
+        if entry is not None and entry.get("sha") == sha:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, entry: dict) -> None:
+        self._fresh[key] = entry
+
+    def save(self) -> None:
+        """Write only this run's entries (files that vanished drop out)."""
+        doc = {
+            "version": FORMAT_VERSION,
+            "signature": self.signature,
+            "files": self._fresh,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(doc))
+            tmp.replace(self.path)
+        except OSError:
+            # A read-only tree degrades to cold runs; never fail the lint.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

@@ -120,6 +120,23 @@ def format_stats(result: LintResult) -> str:
     out.append("per package:")
     for pkg, count in sorted(by_pkg.items(), key=lambda kv: (-kv[1], kv[0])):
         out.append(f"  {pkg:32s} {count:4d}")
+    if result.graph_modules:
+        out.append("project graph:")
+        out.append(
+            f"  {result.graph_modules} modules, "
+            f"{result.graph_edges} internal import edges"
+        )
+    if result.timings:
+        out.append("timings:")
+        for key in ("file_pass", "graph_build", "graph_rules", "total"):
+            if key in result.timings:
+                out.append(f"  {key:12s} {result.timings[key] * 1000:8.1f} ms")
+    if result.cache_hits or result.cache_misses:
+        total = result.cache_hits + result.cache_misses
+        out.append(
+            f"cache: {result.cache_hits}/{total} hits "
+            f"({result.cache_misses} analyzed fresh)"
+        )
     out.append("")
     out.append(summary_line(result))
     return "\n".join(out)

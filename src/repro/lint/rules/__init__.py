@@ -57,6 +57,24 @@ class Rule:
         }
 
 
+class ProjectRule(Rule):
+    """A whole-program rule: runs once against the assembled
+    :class:`~repro.lint.graph.ProjectGraph` instead of per file.
+
+    Subclasses implement :meth:`check_project`, yielding ``(relpath,
+    line, col, message)`` — the engine attributes each finding back to
+    its file so suppression pragmas and baselining work unchanged.
+    ``scope`` filters which files a project rule's findings may land in
+    (the analysis itself always sees the whole graph).
+    """
+
+    def check(self, tree, lines, relpath):
+        return iter(())  # project rules have no per-file pass
+
+    def check_project(self, graph) -> Iterator[tuple[str, int, int, str]]:
+        raise NotImplementedError
+
+
 #: id -> rule class, in registration order.
 RULE_REGISTRY: dict[str, type[Rule]] = {}
 
@@ -105,3 +123,9 @@ from repro.lint.rules import determinism  # noqa: E402,F401
 from repro.lint.rules import exception_discipline  # noqa: E402,F401
 from repro.lint.rules import precision  # noqa: E402,F401
 from repro.lint.rules import telemetry_hygiene  # noqa: E402,F401
+
+# Whole-program rules (R100+): run against the ProjectGraph.
+from repro.lint.rules import architecture  # noqa: E402,F401
+from repro.lint.rules import cache_keys  # noqa: E402,F401
+from repro.lint.rules import telemetry_registry  # noqa: E402,F401
+from repro.lint.rules import protocol  # noqa: E402,F401

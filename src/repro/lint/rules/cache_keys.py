@@ -1,0 +1,100 @@
+"""R101 cache-key completeness: every request field keys or explains why.
+
+The serving stack routes, plans and caches on two digests —
+``topology_key()`` and ``scenario_key()`` — computed from request
+fields.  A field that affects the solve but enters neither digest is a
+silent cache-poisoning hazard: two requests that should solve
+differently collide on the same cache identity (the exact hazard the
+fidelity-ladder PR had to thread ``method`` through by hand).
+
+This rule closes the class: for every dataclass that defines *both*
+digest methods, every field must be
+
+* read (``self.<field>``) somewhere in the transitive closure of the
+  two digest methods over the class's own methods, or
+* marked ``# repro-lint: non-keying=<reason>`` on its line — and the
+  reason is mandatory, because "I forgot" and "identity only, echoed on
+  the response" must be distinguishable in review.
+
+A ``non-keying`` pragma on a field that *is* read by a digest is flagged
+as stale, so the pragmas ratchet just like suppressions do.
+"""
+
+from __future__ import annotations
+
+from repro.lint.graph import ClassInfo
+from repro.lint.rules import ProjectRule, register
+
+#: The digest-method pair that marks a class as cache-keyed.
+DIGEST_METHODS = ("topology_key", "scenario_key")
+
+
+def _digest_reads(cls: ClassInfo) -> set[str]:
+    """Attributes read by the digest methods, transitively through the
+    class's own method calls (``self.helper()`` pulls in helper's reads)."""
+    seen: set[str] = set()
+    queue = [m for m in DIGEST_METHODS if m in cls.methods]
+    reads: set[str] = set()
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        method = cls.methods.get(name)
+        if method is None:
+            continue
+        reads.update(method.self_reads)
+        queue.extend(c for c in method.self_calls if c in cls.methods)
+    return reads
+
+
+@register
+class CacheKeyCompleteness(ProjectRule):
+    id = "R101"
+    name = "cache-key-completeness"
+    severity = "error"
+    rationale = (
+        "every field of a request class with topology_key/scenario_key "
+        "digests must enter a digest or carry a reasoned "
+        "`# repro-lint: non-keying=<reason>` pragma, so no field can "
+        "silently affect the solve without affecting the cache identity"
+    )
+    scope = ()
+
+    def check_project(self, graph):
+        for mod in graph.modules:
+            for cls in mod.classes.values():
+                if not all(m in cls.methods for m in DIGEST_METHODS):
+                    continue
+                reads = _digest_reads(cls)
+                for field in cls.fields:
+                    keyed = field.name in reads
+                    if keyed and field.non_keying:
+                        yield (
+                            mod.rel,
+                            field.line,
+                            0,
+                            f"stale non-keying pragma: {cls.name}.{field.name} "
+                            "is read by a digest method — remove the pragma",
+                        )
+                    elif not keyed and not field.non_keying:
+                        yield (
+                            mod.rel,
+                            field.line,
+                            0,
+                            f"unkeyed field: {cls.name}.{field.name} enters "
+                            "neither topology_key() nor scenario_key() — "
+                            "key it, or mark it `# repro-lint: "
+                            "non-keying=<reason>` if it cannot affect the "
+                            "solve",
+                        )
+                    elif not keyed and not field.non_keying_reason:
+                        yield (
+                            mod.rel,
+                            field.line,
+                            0,
+                            f"non-keying pragma on {cls.name}.{field.name} "
+                            "has no reason — write `# repro-lint: "
+                            "non-keying=<why this field cannot affect the "
+                            "solve>`",
+                        )

@@ -1,0 +1,78 @@
+"""R103 worker-protocol consistency: both sides of the pickle boundary.
+
+The fleet's parent and child processes speak a tuple protocol whose
+message kinds and control verbs are module-level ``__dunder__`` string
+constants (``WORKER_BATCH``, ``CTRL_EXPORT``, ...).  The two sides live
+in different modules — the sender in the frontend/supervisor, the
+handler branch in the worker loop — so a per-file rule cannot see that a
+verb was added to one side only.  That bug ships silently: the message
+is produced, nothing consumes it (or vice versa), and the failure shows
+up later as a timeout.
+
+Whole-program, the check is simple.  Every protocol constant (a
+module-level constant whose *value* matches ``__verb__``) must appear
+
+* in a *send* position — inside a call's arguments (``response_q.put((
+  WORKER_BATCH, ...))``, ``send_control(CTRL_EXPORT, keys)``) — and
+* in a *handle* position — as an operand of a comparison
+  (``kind == WORKER_BATCH``, ``verb in (CTRL_EXPORT, CTRL_IMPORT)``)
+
+somewhere in the analyzed tree.  Sent-but-never-handled,
+handled-but-never-sent and defined-but-unused constants are all flagged
+at the definition line.  The rule keys on the constant *name*, so both
+``from ... import CTRL_EXPORT`` re-exports and same-module uses count.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import ProjectRule, register
+
+#: Value shape of a protocol token (``__ready__``, ``__export__``, ...).
+PROTOCOL_VALUE_PATTERN = r"^__[a-z][a-z0-9_]*__$"
+
+
+@register
+class WorkerProtocolConsistency(ProjectRule):
+    id = "R103"
+    name = "worker-protocol"
+    severity = "error"
+    rationale = (
+        "every protocol verb sent across the worker boundary must have a "
+        "matching handler comparison somewhere, and vice versa — a "
+        "one-sided verb is a silent timeout waiting to happen"
+    )
+    scope = ()
+
+    def check_project(self, graph):
+        constants = graph.constants_matching(PROTOCOL_VALUE_PATTERN)
+        for mod, const in constants:
+            uses = graph.name_uses(const.name)
+            sends = [u for _, u in uses if u.role == "send"]
+            handles = [u for _, u in uses if u.role == "compare"]
+            if not sends and not handles:
+                yield (
+                    mod.rel,
+                    const.line,
+                    0,
+                    f"protocol constant {const.name} ({const.value!r}) is "
+                    "never sent or handled — dead protocol surface, remove "
+                    "it",
+                )
+            elif not handles:
+                yield (
+                    mod.rel,
+                    const.line,
+                    0,
+                    f"protocol verb {const.name} ({const.value!r}) is sent "
+                    "but no handler compares against it — add the handler "
+                    "branch on the receiving side",
+                )
+            elif not sends:
+                yield (
+                    mod.rel,
+                    const.line,
+                    0,
+                    f"protocol verb {const.name} ({const.value!r}) has a "
+                    "handler branch but is never sent — remove the dead "
+                    "branch or restore the sender",
+                )

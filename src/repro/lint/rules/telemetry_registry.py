@@ -1,0 +1,103 @@
+"""R102 telemetry-registry cross-check: the metric/span namespace, closed.
+
+R004 checks each literal metric/span name's *shape* per file; this rule
+closes the loop whole-program against the canonical registry
+(:mod:`repro.telemetry.names`):
+
+* every literal name used at a ``counter``/``gauge``/``histogram`` call
+  site must be in ``METRIC_NAMES``, and every literal ``span``/
+  ``add_complete``/``add_modeled`` name must be in ``SPAN_NAMES`` — a
+  typo'd name can no longer silently fork the metric space, because the
+  fork fails lint instead of appearing on no dashboard;
+* every registered name must be used somewhere — a renamed metric whose
+  registry entry lingers is flagged at the registry line, so the
+  registry file describes exactly what the running system emits.
+
+Dynamically built names (f-strings such as the per-worker
+``fleet.queue_depth.<wid>`` gauges) are invisible here by design; their
+*prefixes* are vetted by R004's namespace check, and the registry keeps
+a ``DYNAMIC_METRIC_PREFIXES`` list documenting them.
+
+The registry is located *in the graph* (the module whose scope path ends
+with ``telemetry/names.py``), never imported — so fixture trees in tests
+bring their own registry, and trees without one skip the rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import ProjectRule, register
+
+#: Scope-path suffix of the registry module.
+REGISTRY_MODULE = "telemetry/names.py"
+
+_METRIC_ATTRS = frozenset({"counter", "gauge", "histogram"})
+_SPAN_ATTRS = frozenset({"span", "add_complete", "add_modeled"})
+
+
+@register
+class TelemetryRegistryCrossCheck(ProjectRule):
+    id = "R102"
+    name = "telemetry-registry"
+    severity = "error"
+    rationale = (
+        "every literal metric/span name must be registered in "
+        "repro.telemetry.names and every registered name must be used, "
+        "so the registry is exactly the set of series the system emits"
+    )
+    scope = ()
+
+    def check_project(self, graph):
+        metric_reg = graph.string_set(REGISTRY_MODULE, "METRIC_NAMES")
+        span_reg = graph.string_set(REGISTRY_MODULE, "SPAN_NAMES")
+        if not metric_reg and not span_reg:
+            return  # tree has no registry module; nothing to cross-check
+        metric_names = {value for value, _, _ in metric_reg}
+        span_names = {value for value, _, _ in span_reg}
+        used_metrics: set[str] = set()
+        used_spans: set[str] = set()
+
+        for mod in graph.modules:
+            if mod.rel.endswith(REGISTRY_MODULE):
+                continue
+            for lit in mod.call_literals:
+                if lit.attr in _METRIC_ATTRS:
+                    used_metrics.add(lit.value)
+                    if lit.value not in metric_names:
+                        yield (
+                            mod.rel,
+                            lit.line,
+                            lit.col,
+                            f"metric name {lit.value!r} is not registered — "
+                            "add it to METRIC_NAMES in "
+                            "repro/telemetry/names.py (or fix the typo)",
+                        )
+                elif lit.attr in _SPAN_ATTRS:
+                    used_spans.add(lit.value)
+                    if lit.value not in span_names:
+                        yield (
+                            mod.rel,
+                            lit.line,
+                            lit.col,
+                            f"span name {lit.value!r} is not registered — "
+                            "add it to SPAN_NAMES in "
+                            "repro/telemetry/names.py (or fix the typo)",
+                        )
+
+        for value, line, rel in metric_reg:
+            if value not in used_metrics:
+                yield (
+                    rel,
+                    line,
+                    0,
+                    f"registered metric {value!r} is never emitted — remove "
+                    "it from METRIC_NAMES or restore the call site",
+                )
+        for value, line, rel in span_reg:
+            if value not in used_spans:
+                yield (
+                    rel,
+                    line,
+                    0,
+                    f"registered span {value!r} is never opened — remove it "
+                    "from SPAN_NAMES or restore the call site",
+                )

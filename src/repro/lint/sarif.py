@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 emission for GitHub code scanning.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub's
+``upload-sarif`` action ingests: findings become code-scanning alerts
+annotated on PRs, rule metadata becomes the alert help text, and
+``partialFingerprints`` keeps alert identity stable across line drift —
+which is exactly what our content fingerprints already provide, so they
+are passed through verbatim.
+
+The emitter maps:
+
+* each registered rule -> ``tool.driver.rules[]`` with id, short/full
+  description (the rule's rationale) and default severity level;
+* each finding -> ``results[]`` with ``ruleId``, level, message,
+  one physical location, and ``partialFingerprints.reproLint/v1``;
+* baselined findings -> ``baselineState: "unchanged"`` (new findings get
+  ``"new"``), so a grandfathered finding uploads without re-alerting.
+
+Only the small schema subset code scanning reads is emitted; the output
+validates against the full 2.1.0 schema because everything emitted is
+spelled per spec and everything omitted is optional.
+"""
+
+from __future__ import annotations
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Our severities -> SARIF result levels.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning"),
+        },
+        "properties": {"scope": list(rule.scope)},
+    }
+
+
+def _result(finding, rule_index: dict[str, int], baseline_state: str) -> dict:
+    out = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+        "baselineState": baseline_state,
+    }
+    if finding.rule in rule_index:
+        out["ruleIndex"] = rule_index[finding.rule]
+    return out
+
+
+def sarif_log(result) -> dict:
+    """The SARIF log document for one :class:`~repro.lint.LintResult`."""
+    rules = sorted(result.rules, key=lambda r: r.id)
+    # R000 (unused suppression) is emitted by the engine, not registered
+    # as a rule object; synthesize its descriptor so every result's
+    # ruleId resolves.
+    descriptors = [
+        {
+            "id": "R000",
+            "name": "unused-suppression",
+            "shortDescription": {"text": "unused-suppression"},
+            "fullDescription": {
+                "text": "a suppression pragma that never fires is stale "
+                "and must be removed"
+            },
+            "defaultConfiguration": {"level": "warning"},
+            "properties": {"scope": []},
+        }
+    ] + [_rule_descriptor(r) for r in rules]
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = [_result(f, rule_index, "new") for f in result.findings] + [
+        _result(f, rule_index, "unchanged") for f in result.baselined
+    ]
+    results.sort(
+        key=lambda r: (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+            r["ruleId"],
+        )
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/repro"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def format_sarif(result) -> str:
+    return json.dumps(sarif_log(result), indent=2, sort_keys=False)

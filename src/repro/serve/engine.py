@@ -46,6 +46,7 @@ from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.kernel_sim import simulate_local_update
 from repro.io.resolve import resolve_feeder
 from repro.methods.facade import METHOD_SPECS, Method
+from repro.methods.reference import solve_reference_socp
 from repro.qp.projection import project_box_affine
 from repro.reference import solve_reference
 from repro.socp.bfm import build_bfm_socp
@@ -97,9 +98,11 @@ class _ScenarioComponent:
 class ScenarioProblem:
     """A fully assembled scenario: perturbed LP + per-component systems.
 
-    ``lp`` is retained for the graceful-degradation path: when the batched
-    ADMM solve of this scenario diverges and retries run out, the engine
-    falls back to a centralized reference solve of exactly this LP.
+    ``lp`` (linearized/qp scenarios) or ``conic`` (socp scenarios) is
+    retained for the graceful-degradation path: when the batched ADMM
+    solve of this scenario diverges and retries run out, the engine falls
+    back to a centralized reference solve of exactly this model — HiGHS
+    on the LP, or the HiGHS cutting-plane loop on the conic problem.
     """
 
     request: OPFRequest
@@ -111,6 +114,7 @@ class ScenarioProblem:
     projections: list[tuple[np.ndarray, np.ndarray]]
     signature: np.ndarray
     lp: object = None
+    conic: object = None
 
 
 class TopologyPlan:
@@ -303,8 +307,9 @@ class TopologyPlan:
         """Assemble one conic scenario: the perturbation re-enters through
         the rebuilt branch-flow model's linear rows (loads live in the bus
         balance) and bounds; the cone blocks are structural and need no
-        per-scenario work.  ``lp=None``: there is no LP to degrade to, so
-        an unrecoverable divergence becomes an ``error`` response."""
+        per-scenario work.  ``lp=None`` but the conic problem itself is
+        retained — an unrecoverable divergence degrades to the HiGHS
+        cutting-plane reference solve of exactly this model."""
         spec = METHOD_SPECS[Method.SOCP]
         conic = build_bfm_socp(net, **spec.build_kwargs)
         if conic.n_vars != self.n_vars:
@@ -323,6 +328,7 @@ class TopologyPlan:
             projections=projections,
             signature=self._signature(net),
             lp=None,
+            conic=conic,
         )
 
     def export_projections(self) -> list[tuple[int, bytes, np.ndarray, np.ndarray]]:
@@ -1139,9 +1145,15 @@ class ScenarioEngine:
 
     def _degrade_or_error(self, p: ScenarioProblem, attempts: int) -> OPFResponse:
         req = p.request
-        if self.resilience.degrade_to_reference and p.lp is not None:
+        degradable = p.lp is not None or p.conic is not None
+        if self.resilience.degrade_to_reference and degradable:
             with self.timers.measure("degrade"):
-                ref = solve_reference(p.lp)
+                if p.lp is not None:
+                    ref = solve_reference(p.lp)
+                else:
+                    # Conic scenarios have no LP; the exact fallback is
+                    # the HiGHS cutting-plane solve of the same model.
+                    ref = solve_reference_socp(p.conic)
             self.metrics.record_degraded()
             resp = OPFResponse(
                 request_id=req.request_id,

@@ -64,6 +64,16 @@ class SolveOptions:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive when set")
 
+    def solve_signature(self) -> tuple:
+        """The solve-relevant settings, for scenario cache identity.
+
+        ``deadline_s`` is deliberately excluded: it is a latency budget
+        on *this submission*, not a property of the mathematical
+        scenario — two requests differing only in deadline must hit the
+        same cache entry.
+        """
+        return (self.rho, self.eps_rel, self.max_iter)
+
 
 @dataclass
 class OPFRequest:
@@ -96,7 +106,7 @@ class OPFRequest:
         never seed a conic solve.
     """
 
-    request_id: str
+    request_id: str  # repro-lint: non-keying=caller-chosen echo token, never affects the solve
     feeder: str = "ieee13"
     load_scale: float = 1.0
     load_multipliers: dict[str, float] = field(default_factory=dict)
@@ -147,6 +157,12 @@ class OPFRequest:
         # hashes identically to the pre-ladder payload.
         if self.method != "linearized":
             payload_dict["method"] = self.method
+        # Non-default solve settings change what "the answer" is
+        # (tolerance, penalty, budget), so they are cache identity too —
+        # keyed only when they differ from the default, which keeps every
+        # historical digest stable.
+        if self.options.solve_signature() != SolveOptions().solve_signature():
+            payload_dict["options"] = list(self.options.solve_signature())
         payload = json.dumps(payload_dict, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
@@ -214,7 +230,7 @@ class StochasticRequest:
     evaluates a given commitment under uncertainty at scale.
     """
 
-    request_id: str
+    request_id: str  # repro-lint: non-keying=caller-chosen echo token, never affects the solve
     feeder: str = "ieee13-der"
     n_scenarios: int = 16
     seed: int = 0
@@ -244,20 +260,23 @@ class StochasticRequest:
         return digest[:16]
 
     def scenario_key(self) -> str:
-        payload = json.dumps(
-            {
-                "feeder": self.feeder,
-                "n_scenarios": self.n_scenarios,
-                "seed": self.seed,
-                "load_sigma": self.load_sigma,
-                "pv_sigma": self.pv_sigma,
-                "alpha": self.alpha,
-                "antithetic": self.antithetic,
-                "load_scale": self.load_scale,
-                "der_setpoints": sorted(self.der_setpoints.items()),
-            },
-            sort_keys=True,
-        )
+        payload_dict = {
+            "feeder": self.feeder,
+            "n_scenarios": self.n_scenarios,
+            "seed": self.seed,
+            "load_sigma": self.load_sigma,
+            "pv_sigma": self.pv_sigma,
+            "alpha": self.alpha,
+            "antithetic": self.antithetic,
+            "load_scale": self.load_scale,
+            "der_setpoints": sorted(self.der_setpoints.items()),
+        }
+        # Keyed only when non-default (digest back-compat; see
+        # OPFRequest.scenario_key).  This class's default rho is 10.0.
+        default_sig = SolveOptions(rho=10.0).solve_signature()
+        if self.options.solve_signature() != default_sig:
+            payload_dict["options"] = list(self.options.solve_signature())
+        payload = json.dumps(payload_dict, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def expand(self, net) -> list[OPFRequest]:
@@ -393,7 +412,7 @@ class MultiPeriodRequest:
     JSON-serializable.
     """
 
-    request_id: str
+    request_id: str  # repro-lint: non-keying=caller-chosen echo token, never affects the solve
     feeder: str = "ieee13"
     load_profile: list = field(default_factory=list)
     price_profile: list | None = None
@@ -426,23 +445,26 @@ class MultiPeriodRequest:
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def scenario_key(self) -> str:
-        payload = json.dumps(
-            {
-                "feeder": self.feeder,
-                "load_profile": list(self.load_profile),
-                "price_profile": (
-                    list(self.price_profile)
-                    if self.price_profile is not None
-                    else None
-                ),
-                "storages": sorted(
-                    json.dumps(d, sort_keys=True) for d in self.storages
-                ),
-                "window": self.window,
-                "dt_hours": self.dt_hours,
-            },
-            sort_keys=True,
-        )
+        payload_dict = {
+            "feeder": self.feeder,
+            "load_profile": list(self.load_profile),
+            "price_profile": (
+                list(self.price_profile)
+                if self.price_profile is not None
+                else None
+            ),
+            "storages": sorted(
+                json.dumps(d, sort_keys=True) for d in self.storages
+            ),
+            "window": self.window,
+            "dt_hours": self.dt_hours,
+        }
+        # Keyed only when non-default (digest back-compat; see
+        # OPFRequest.scenario_key).  This class's default rho is 10.0.
+        default_sig = SolveOptions(rho=10.0).solve_signature()
+        if self.options.solve_signature() != default_sig:
+            payload_dict["options"] = list(self.options.solve_signature())
+        payload = json.dumps(payload_dict, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def build_storages(self) -> list:

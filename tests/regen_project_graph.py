@@ -1,0 +1,43 @@
+"""Regenerate the golden package-level import-edge snapshot.
+
+Run from the repo root after a deliberate dependency change::
+
+    PYTHONPATH=src python tests/regen_project_graph.py
+
+then review the diff of ``tests/data/project_graph_imports.json`` — every
+changed edge should be one you meant to add or remove (and should still
+satisfy the layer map in docs/ARCHITECTURE.md, or ``repro lint`` will
+fail before this snapshot does).
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint.engine import LintEngine, discover
+from repro.lint.graph import ProjectGraph
+
+GOLDEN = Path(__file__).parent / "data" / "project_graph_imports.json"
+
+
+def snapshot(src_root: str = "src") -> dict:
+    engine = LintEngine()
+    analyses = [engine.analyze_file(p, r) for p, r in discover([src_root])]
+    graph = ProjectGraph([a.module for a in analyses])
+    return {
+        pkg: sorted(dsts)
+        for pkg, dsts in sorted(graph.package_edges().items())
+    }
+
+
+def main() -> None:
+    doc = {
+        "_comment": "Golden package-level import edges of src/repro. "
+        "Regenerate with: PYTHONPATH=src python tests/regen_project_graph.py",
+        "packages": snapshot(),
+    }
+    GOLDEN.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN} ({len(doc['packages'])} packages)")
+
+
+if __name__ == "__main__":
+    main()

@@ -121,6 +121,55 @@ class TestGracefulDegradation:
         assert engine.metrics.degraded == 0
         assert engine.metrics.errors == 1
 
+    def test_socp_scenario_degrades_to_cutting_plane_reference(self):
+        """A conic scenario has no LP to fall back to; exhausted retries
+        must degrade to the HiGHS cutting-plane SOCP solve of the same
+        model (not error out, which was the pre-ladder behavior)."""
+        from repro.methods.reference import solve_reference_socp
+
+        plan_faults = FaultPlan(
+            faults=tuple(
+                NaNCorruption(target="s0", at_iteration=1, attempt=a)
+                for a in range(2)
+            )
+        )
+        cfg = ResilienceConfig(
+            retry=RetryPolicy(max_retries=1), degrade_to_reference=True
+        )
+        engine = ScenarioEngine(
+            max_batch=2, fault_plan=plan_faults, resilience=cfg
+        )
+        resp = engine.serve(reqs(1.04, method="socp"))[0]
+        assert resp.status == STATUS_CONVERGED
+        assert resp.degraded
+        assert resp.iterations == 0
+        assert resp.attempts == 2
+        plan = next(iter(engine.plans.values()))
+        scenario = plan.build_scenario(
+            OPFRequest(request_id="s0", load_scale=1.04, method="socp")
+        )
+        assert scenario.lp is None and scenario.conic is not None
+        ref = solve_reference_socp(scenario.conic)
+        assert resp.objective == pytest.approx(ref.objective, rel=1e-6)
+        assert engine.snapshot()["degraded"] == 1
+
+    def test_socp_degradation_disabled_still_errors(self):
+        plan_faults = FaultPlan(
+            faults=tuple(
+                NaNCorruption(target="s0", at_iteration=1, attempt=a)
+                for a in range(2)
+            )
+        )
+        cfg = ResilienceConfig(
+            retry=RetryPolicy(max_retries=1), degrade_to_reference=False
+        )
+        engine = ScenarioEngine(
+            max_batch=2, fault_plan=plan_faults, resilience=cfg
+        )
+        resp = engine.serve(reqs(1.0, method="socp"))[0]
+        assert resp.status == STATUS_ERROR
+        assert "diverged" in resp.error
+
 
 class TestCircuitBreaker:
     def test_breaker_opens_and_fast_rejects(self):
